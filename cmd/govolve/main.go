@@ -1,0 +1,147 @@
+// Command govolve runs a toy-language program, optionally applying a
+// dynamic software update mid-run:
+//
+//	govolve -main Main prog.jva
+//	govolve -main App -update v2.jva -tag 1 -after 50 v1.jva
+//
+// With -update, the VM runs -after scheduler slices of the old version,
+// then applies the update (UPT diff, default transformers) and continues to
+// completion. -transformers supplies a JvolveTransformers class overriding
+// the generated defaults, and -blacklist restricts extra methods
+// ("Class.name(sig)ret", comma separated).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"govolve"
+	"govolve/internal/asm"
+	"govolve/internal/classfile"
+	"govolve/internal/core"
+	"govolve/internal/upt"
+)
+
+func main() {
+	mainClass := flag.String("main", "Main", "class whose main()V to run")
+	updatePath := flag.String("update", "", "new-version source to apply mid-run")
+	transformersPath := flag.String("transformers", "", "custom JvolveTransformers source")
+	tag := flag.String("tag", "old", "rename tag for old classes (vTAG_Name)")
+	after := flag.Int("after", 20, "scheduler slices to run before updating")
+	blacklist := flag.String("blacklist", "", "extra restricted methods, e.g. 'App.handle()V,App.tick()V'")
+	timeout := flag.Duration("timeout", 15*time.Second, "DSU safe point timeout (the paper's default is 15s)")
+	heap := flag.Int("heap", 1<<20, "semispace size in words")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: govolve [flags] program.jva")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *mainClass, *updatePath, *transformersPath, *tag, *blacklist, *after, *timeout, *heap); err != nil {
+		fmt.Fprintf(os.Stderr, "govolve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(progPath, mainClass, updatePath, transformersPath, tag, blacklist string, after int, timeout time.Duration, heap int) error {
+	src, err := os.ReadFile(progPath)
+	if err != nil {
+		return err
+	}
+	prog, err := govolve.Assemble(progPath, string(src))
+	if err != nil {
+		return err
+	}
+	machine, err := govolve.NewVM(govolve.Options{HeapWords: heap})
+	if err != nil {
+		return err
+	}
+	if err := machine.LoadProgram(prog); err != nil {
+		return err
+	}
+	if _, err := machine.SpawnMain(mainClass); err != nil {
+		return err
+	}
+
+	if updatePath == "" {
+		return finish(machine)
+	}
+
+	machine.Step(after)
+	newSrc, err := os.ReadFile(updatePath)
+	if err != nil {
+		return err
+	}
+	newProg, err := govolve.Assemble(updatePath, string(newSrc))
+	if err != nil {
+		return err
+	}
+	spec, err := govolve.PrepareUpdate(tag, prog, newProg)
+	if err != nil {
+		return err
+	}
+	if transformersPath != "" {
+		tSrc, err := os.ReadFile(transformersPath)
+		if err != nil {
+			return err
+		}
+		classes, err := asm.Assemble(transformersPath, string(tSrc))
+		if err != nil {
+			return err
+		}
+		for _, m := range classes[0].Methods {
+			spec.OverrideTransformer(m)
+		}
+	}
+	if blacklist != "" {
+		for _, item := range strings.Split(blacklist, ",") {
+			ref, err := parseMethodRef(strings.TrimSpace(item))
+			if err != nil {
+				return err
+			}
+			spec.AddBlacklist(ref)
+		}
+	}
+
+	engine := govolve.NewEngine(machine)
+	res, err := engine.ApplyNow(spec, core.Options{Timeout: timeout})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "govolve: update %s (attempts %d, barriers %d, OSR %d, transformed %d, pause %v)\n",
+		res.Outcome, res.Stats.Attempts, res.Stats.BarriersInstalled,
+		res.Stats.OSRFrames, res.Stats.TransformedObjects, res.Stats.PauseTotal)
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "govolve: %v\n", res.Err)
+	}
+	return finish(machine)
+}
+
+func finish(machine *govolve.VM) error {
+	if err := machine.Run(); err != nil {
+		return err
+	}
+	for _, th := range machine.Threads {
+		if th.Err != nil {
+			return fmt.Errorf("thread %s: %w", th.Name, th.Err)
+		}
+	}
+	return nil
+}
+
+func parseMethodRef(s string) (upt.MethodRef, error) {
+	dot := strings.IndexByte(s, '.')
+	paren := strings.IndexByte(s, '(')
+	if dot < 0 || paren < dot {
+		return upt.MethodRef{}, fmt.Errorf("bad method reference %q (want Class.name(sig)ret)", s)
+	}
+	return upt.MethodRef{
+		Class: s[:dot],
+		Name:  s[dot+1 : paren],
+		Sig:   classfile.Sig(s[paren:]),
+	}, nil
+}

@@ -1,0 +1,184 @@
+// Command jvolve-bench regenerates every table and figure of the paper's
+// evaluation:
+//
+//	jvolve-bench -exp table1    # update-pause microbenchmark grid (Table 1)
+//	jvolve-bench -exp fig6      # pause decomposition series (Figure 6)
+//	jvolve-bench -exp fig5      # steady-state throughput/latency (Figure 5)
+//	jvolve-bench -exp tables234 # UPT summaries for all three apps (Tables 2–4)
+//	jvolve-bench -exp matrix    # the §4 "20 of 22 updates" experience
+//	jvolve-bench -exp ablation  # eager vs lazy-indirection steady-state cost
+//	jvolve-bench -exp transformers # §4.1: interpreted vs native default transformers
+//	jvolve-bench -exp scratch   # §3.5: old-copy scratch region memory pressure
+//	jvolve-bench -exp active    # §3.5: UpStare-style active-method updates
+//	jvolve-bench -exp all
+//
+// -scale divides the microbenchmark object counts (1 = the paper's full
+// 280k–3.67M objects; the default 8 finishes quickly on a laptop).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"govolve/internal/apps"
+	"govolve/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig5|tables234|matrix|ablation|all")
+	scale := flag.Int("scale", 8, "divide microbenchmark object counts by this factor (1 = paper scale)")
+	runs := flag.Int("runs", 3, "runs per measurement cell (paper: 21 for fig5)")
+	duration := flag.Duration("duration", 500*time.Millisecond, "measurement window per fig5/ablation run (paper: 60s)")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		switch *exp {
+		case name, "all":
+			if err := f(); err != nil {
+				fmt.Fprintf(os.Stderr, "jvolve-bench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	var microCells []bench.Cell
+	var microSizes []bench.MicroConfig
+	fractions := bench.DefaultFractions()
+	runMicro := func() error {
+		if microCells != nil {
+			return nil
+		}
+		if *scale <= 1 {
+			microSizes = bench.PaperSizes()
+		} else {
+			microSizes = bench.ScaledSizes(*scale)
+		}
+		fmt.Printf("Microbenchmark sweep: %d sizes × %d fractions × %d run(s)\n",
+			len(microSizes), len(fractions), *runs)
+		cells, err := bench.RunSweep(bench.MicroSweep{
+			Sizes: microSizes, Fractions: fractions, Runs: *runs,
+		}, os.Stderr)
+		if err != nil {
+			return err
+		}
+		microCells = cells
+		return nil
+	}
+
+	run("table1", func() error {
+		if err := runMicro(); err != nil {
+			return err
+		}
+		fmt.Println("=== Table 1: JVOLVE update pause time ===")
+		bench.PrintTable1(os.Stdout, microSizes, fractions, microCells)
+		return nil
+	})
+	run("fig6", func() error {
+		if err := runMicro(); err != nil {
+			return err
+		}
+		fmt.Println("=== Figure 6 ===")
+		bench.PrintFig6(os.Stdout, microSizes, fractions, microCells)
+		fmt.Println()
+		return nil
+	})
+	run("fig5", func() error {
+		fmt.Println("=== Figure 5 ===")
+		app := apps.Webserver()
+		results, err := bench.RunFig5(app, bench.DefaultFig5Configs(app),
+			bench.Fig5Options{Runs: *runs, Duration: *duration}, os.Stderr)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig5(os.Stdout, results)
+		fmt.Println()
+		return nil
+	})
+	run("tables234", func() error {
+		fmt.Println("=== Tables 2-4: UPT release summaries ===")
+		for _, app := range apps.All() {
+			rows, err := bench.SummarizeApp(app)
+			if err != nil {
+				return err
+			}
+			bench.PrintTable(os.Stdout, app, rows)
+		}
+		return nil
+	})
+	run("matrix", func() error {
+		fmt.Println("=== Update applicability (paper §4: 20 of 22) ===")
+		var all []apps.MatrixEntry
+		for _, app := range apps.All() {
+			entries, err := apps.RunMatrix(app, 1<<20)
+			if err != nil {
+				return err
+			}
+			all = append(all, entries...)
+		}
+		bench.PrintMatrix(os.Stdout, all)
+		fmt.Println()
+		return nil
+	})
+	run("ablation", func() error {
+		fmt.Println("=== Ablation: steady-state cost of lazy-update indirection ===")
+		res, err := bench.RunAblation(apps.Webserver(), *runs, *duration, os.Stderr)
+		if err != nil {
+			return err
+		}
+		bench.PrintAblation(os.Stdout, res)
+		fmt.Println()
+		return nil
+	})
+	run("transformers", func() error {
+		fmt.Println("=== Extension: transformer execution strategy (§4.1 optimization) ===")
+		objects := 280_000 / *scale
+		if *scale <= 1 {
+			objects = 280_000
+		}
+		res, err := bench.RunTransformerStrategy(objects, *runs, os.Stderr)
+		if err != nil {
+			return err
+		}
+		bench.PrintTransformerStrategy(os.Stdout, res)
+		fmt.Println()
+		return nil
+	})
+	run("scratch", func() error {
+		fmt.Println("=== Extension: scratch region for old copies (§3.5 memory pressure) ===")
+		objects := 280_000 / *scale
+		if *scale <= 1 {
+			objects = 280_000
+		}
+		rows, err := bench.RunScratchPressure(objects, nil, os.Stderr)
+		if err != nil {
+			return err
+		}
+		bench.PrintScratch(os.Stdout, objects, rows)
+		fmt.Println()
+		return nil
+	})
+	run("active", func() error {
+		fmt.Println("=== Extension: active-method updates (UpStare-style, §3.5 future work) ===")
+		var all []apps.MatrixEntry
+		for _, app := range []*apps.App{apps.Webserver(), apps.EmailServer()} {
+			entries, err := apps.RunActiveExperiment(app, 1<<20)
+			if err != nil {
+				return err
+			}
+			all = append(all, entries...)
+		}
+		bench.PrintMatrix(os.Stdout, all)
+		fmt.Println()
+		return nil
+	})
+
+	switch *exp {
+	case "table1", "fig6", "fig5", "tables234", "matrix", "ablation", "transformers", "scratch", "active", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "jvolve-bench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

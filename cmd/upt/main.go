@@ -1,0 +1,116 @@
+// Command upt is the Update Preparation Tool (paper §3.1) as a standalone
+// program: it diffs two program versions and emits the update
+// specification — class updates (direct and transitively affected),
+// method-body updates, category-(2) indirect methods — plus the generated
+// default transformer class and the flattened old-version definitions.
+//
+//	upt -tag 131 old.jva new.jva
+//	upt -tag 131 -dump-transformers old.jva new.jva
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"govolve"
+	"govolve/internal/upt"
+)
+
+func main() {
+	tag := flag.String("tag", "old", "rename tag for old classes (vTAG_Name)")
+	dumpTransformers := flag.Bool("dump-transformers", false, "print the generated JvolveTransformers source")
+	dumpOldDefs := flag.Bool("dump-old-defs", false, "print the flattened renamed old-version classes")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: upt [flags] old.jva new.jva")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *tag, *dumpTransformers, *dumpOldDefs); err != nil {
+		fmt.Fprintf(os.Stderr, "upt: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath, tag string, dumpTransformers, dumpOldDefs bool) error {
+	oldSrc, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newSrc, err := os.ReadFile(newPath)
+	if err != nil {
+		return err
+	}
+	oldProg, err := govolve.Assemble(oldPath, string(oldSrc))
+	if err != nil {
+		return err
+	}
+	newProg, err := govolve.Assemble(newPath, string(newSrc))
+	if err != nil {
+		return err
+	}
+	spec, err := upt.Prepare(tag, oldProg, newProg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("update specification (%s -> %s, tag %s)\n", oldPath, newPath, tag)
+	printList := func(title string, items []string) {
+		if len(items) == 0 {
+			return
+		}
+		fmt.Printf("  %s:\n", title)
+		for _, it := range items {
+			fmt.Printf("    %s\n", it)
+		}
+	}
+	printList("added classes", spec.AddedClasses)
+	printList("deleted classes", spec.DeletedClasses)
+	printList("class updates (direct)", spec.DirectClassUpdates)
+	var transitive []string
+	for _, c := range spec.ClassUpdates {
+		direct := false
+		for _, d := range spec.DirectClassUpdates {
+			if c == d {
+				direct = true
+			}
+		}
+		if !direct {
+			transitive = append(transitive, c)
+		}
+	}
+	printList("class updates (transitively affected)", transitive)
+	if len(spec.MethodBodyUpdates) > 0 {
+		fmt.Println("  method body updates:")
+		for _, m := range spec.MethodBodyUpdates {
+			fmt.Printf("    %s\n", m)
+		}
+	}
+	if len(spec.IndirectMethods) > 0 {
+		fmt.Println("  indirect methods (category 2: unchanged bytecode, stale compiled code):")
+		for _, m := range spec.IndirectMethods {
+			fmt.Printf("    %s\n", m)
+		}
+	}
+	for name, d := range spec.Diffs {
+		fmt.Printf("  diff %s: fields +%d -%d ~%d, methods +%d -%d, bodies %d, signatures %d\n",
+			name, len(d.FieldsAdded), len(d.FieldsDeleted), len(d.FieldsChanged),
+			len(d.MethodsAdded), len(d.MethodsDeleted),
+			len(d.MethodsBodyChanged), len(d.MethodsSigChanged))
+	}
+
+	if dumpOldDefs {
+		fmt.Println("\n// --- flattened old-version classes ---")
+		for _, name := range spec.ClassUpdates {
+			if def := spec.OldFlatDefs[spec.RenamedName(name)]; def != nil {
+				fmt.Print(def.String())
+			}
+		}
+	}
+	if dumpTransformers {
+		fmt.Println("\n// --- generated default transformers ---")
+		fmt.Print(spec.Transformers.String())
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package govolve_test
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	"govolve"
+	"govolve/internal/core"
+)
+
+// Example applies a dynamic software update to a running program: version 2
+// renames a field's role (count keeps its value via the default
+// transformer) and changes the report wording, mid-loop, with the loop's
+// frame rewritten on stack.
+func Example() {
+	v1src := `
+class Counter {
+  field count I
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    return
+  }
+}
+class Main {
+  static field c LCounter;
+  static method main()V {
+    new Counter
+    dup
+    invokespecial Counter.<init>()V
+    putstatic Main.c LCounter;
+    const 0
+    store 0
+  loop:
+    load 0
+    const 10000
+    if_icmpge done
+    getstatic Main.c LCounter;
+    dup
+    getfield Counter.count I
+    const 1
+    add
+    putfield Counter.count I
+    load 0
+    const 1
+    add
+    store 0
+    goto loop
+  done:
+    invokestatic Main.report()V
+    return
+  }
+  static method report()V {
+    ldc "v1 total "
+    getstatic Main.c LCounter;
+    getfield Counter.count I
+    invokestatic String.fromInt(I)LString;
+    invokevirtual String.concat(LString;)LString;
+    invokestatic System.println(LString;)V
+    return
+  }
+}
+`
+	// v2: Counter gains an audit field and report() speaks for the new
+	// version. The count value must survive the update.
+	v2src := v1src
+	v2src = replace(v2src, "field count I", "field count I\n  field audited I")
+	v2src = replace(v2src, `ldc "v1 total "`, `ldc "v2 total "`)
+
+	v1, err := govolve.Assemble("v1.jva", v1src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v2, err := govolve.Assemble("v2.jva", v2src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	machine, err := govolve.NewVM(govolve.Options{Out: writerTo{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := machine.LoadProgram(v1); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := machine.SpawnMain("Main"); err != nil {
+		log.Fatal(err)
+	}
+	machine.Step(3) // run v1 partway into its loop
+
+	spec, err := govolve.PrepareUpdate("1", v1, v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := govolve.NewEngine(machine)
+	res, err := engine.ApplyNow(spec, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("update:", res.Outcome)
+	if err := machine.Run(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// update: applied
+	// v2 total 10000
+}
+
+// writerTo forwards VM output to the example's stdout.
+type writerTo struct{}
+
+func (writerTo) Write(p []byte) (int, error) { return fmt.Print(string(p)) }
+
+func replace(s, old, new_ string) string {
+	for i := 0; i+len(old) <= len(s); i++ {
+		if s[i:i+len(old)] == old {
+			return s[:i] + new_ + s[i+len(old):]
+		}
+	}
+	return s
+}
+
+var _ io.Writer = writerTo{}

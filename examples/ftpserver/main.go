@@ -1,0 +1,54 @@
+// FTP server example: reproduces the paper's CrossFTP 1.07→1.08 story.
+// That update changes RequestHandler.run() itself, so while sessions are
+// connected the changed method is always on some stack: the update aborts.
+// Once the sessions drain the same update applies immediately.
+//
+//	go run ./examples/ftpserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"govolve/internal/apps"
+	"govolve/internal/core"
+)
+
+func main() {
+	app := apps.FTPServer()
+	idx107 := 2 // 1.05, 1.06, 1.07, 1.08
+	s, err := apps.Launch(app, apps.LaunchOptions{HeapWords: 1 << 20, Version: idx107})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %s %s on simulated port %d\n", app.Name, s.Version().Name, app.Port)
+
+	fmt.Println("holding 3 active FTP sessions…")
+	held, err := s.HoldConnections(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.ApplyNext(core.Options{MaxAttempts: 40}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("update 1.07 -> 1.08 under load: %s (barriers=%d) — run() never leaves the stack\n",
+		res.Outcome, res.Stats.BarriersInstalled)
+	if res.Outcome != core.Aborted {
+		log.Fatalf("expected an abort under load, got %v", res.Outcome)
+	}
+
+	fmt.Println("disconnecting the sessions and retrying…")
+	s.ReleaseConnections(held)
+	res, err = s.ApplyNext(core.Options{MaxAttempts: 200}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("update 1.07 -> 1.08 when idle: %s (pause %v)\n", res.Outcome, res.Stats.PauseTotal)
+
+	line, err := s.Probe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  USER admin -> %s\n", line)
+}

@@ -1,0 +1,214 @@
+// Quickstart: assemble a small program, run it, and update it in place.
+//
+// Version 1 counts by 1; version 2 adds a `step` field to the Counter
+// class. A custom object transformer — exactly like the paper's Figure 3 —
+// preserves the live count and initializes the new field, so the program
+// finishes seamlessly on the new code.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"govolve"
+	"govolve/internal/asm"
+	"govolve/internal/core"
+)
+
+const v1 = `
+class Counter {
+  field count I
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    return
+  }
+  method tick()V {
+    load 0
+    load 0
+    getfield Counter.count I
+    const 1
+    add
+    putfield Counter.count I
+    return
+  }
+  method report()LString; {
+    ldc "v1 count="
+    load 0
+    getfield Counter.count I
+    invokestatic String.fromInt(I)LString;
+    invokevirtual String.concat(LString;)LString;
+    return
+  }
+}
+class Main {
+  static field c LCounter;
+  static method main()V {
+    new Counter
+    dup
+    invokespecial Counter.<init>()V
+    putstatic Main.c LCounter;
+    const 0
+    store 0
+  loop:
+    load 0
+    const 30000
+    if_icmpge done
+    getstatic Main.c LCounter;
+    invokevirtual Counter.tick()V
+    load 0
+    const 1
+    add
+    store 0
+    goto loop
+  done:
+    getstatic Main.c LCounter;
+    invokevirtual Counter.report()LString;
+    invokestatic System.println(LString;)V
+    return
+  }
+}
+`
+
+const v2 = `
+class Counter {
+  field count I
+  field step I
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    load 0
+    const 1
+    putfield Counter.step I
+    return
+  }
+  method tick()V {
+    load 0
+    load 0
+    getfield Counter.count I
+    load 0
+    getfield Counter.step I
+    add
+    putfield Counter.count I
+    return
+  }
+  method report()LString; {
+    ldc "v2 count="
+    load 0
+    getfield Counter.count I
+    invokestatic String.fromInt(I)LString;
+    invokevirtual String.concat(LString;)LString;
+    ldc " step="
+    load 0
+    getfield Counter.step I
+    invokestatic String.fromInt(I)LString;
+    invokevirtual String.concat(LString;)LString;
+    invokevirtual String.concat(LString;)LString;
+    return
+  }
+}
+class Main {
+  static field c LCounter;
+  static method main()V {
+    new Counter
+    dup
+    invokespecial Counter.<init>()V
+    putstatic Main.c LCounter;
+    const 0
+    store 0
+  loop:
+    load 0
+    const 30000
+    if_icmpge done
+    getstatic Main.c LCounter;
+    invokevirtual Counter.tick()V
+    load 0
+    const 1
+    add
+    store 0
+    goto loop
+  done:
+    getstatic Main.c LCounter;
+    invokevirtual Counter.report()LString;
+    invokestatic System.println(LString;)V
+    return
+  }
+}
+`
+
+// The UPT default transformer would zero the new step field (and v2 would
+// stop counting); the custom transformer initializes it — the paper's
+// "programmers may customize the default transformers".
+const transformers = `
+class JvolveTransformers {
+  static method jvolveObject(LCounter;Lvq_Counter;)V {
+    load 0
+    load 1
+    getfield vq_Counter.count I
+    putfield Counter.count I
+    load 0
+    const 1
+    putfield Counter.step I
+    return
+  }
+}
+`
+
+func main() {
+	oldProg, err := govolve.Assemble("v1.jva", v1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newProg, err := govolve.Assemble("v2.jva", v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	machine, err := govolve.NewVM(govolve.Options{Out: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := machine.LoadProgram(oldProg); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := machine.SpawnMain("Main"); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("running version 1…")
+	machine.Step(10) // mid-loop
+
+	spec, err := govolve.PrepareUpdate("q", oldProg, newProg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc, err := asm.Assemble("transformers.jva", transformers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range tc[0].Methods {
+		spec.OverrideTransformer(m)
+	}
+
+	engine := govolve.NewEngine(machine)
+	res, err := engine.ApplyNow(spec, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("update %s: attempts=%d barriers=%d osr=%d transformed=%d pause=%v\n",
+		res.Outcome, res.Stats.Attempts, res.Stats.BarriersInstalled,
+		res.Stats.OSRFrames, res.Stats.TransformedObjects, res.Stats.PauseTotal)
+
+	if err := machine.Run(); err != nil {
+		log.Fatal(err)
+	}
+	for _, th := range machine.Threads {
+		if th.Err != nil {
+			log.Fatalf("thread %s: %v", th.Name, th.Err)
+		}
+	}
+	fmt.Println("done — the count survived the update and finished on v2 code")
+}

@@ -1,0 +1,58 @@
+// Webserver example: boots the mini-jetty application at release 5.1.0,
+// serves traffic, and walks the live server through its whole release
+// stream — including the 5.1.2→5.1.3 update that can never be applied
+// because it edits the accept loop (the VM aborts it and the example
+// restarts the server, exactly what the paper's operators had to do).
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"govolve/internal/apps"
+	"govolve/internal/core"
+)
+
+func main() {
+	app := apps.Webserver()
+	s, err := apps.Launch(app, apps.LaunchOptions{HeapWords: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe := func() {
+		line, err := s.Probe()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  GET / -> %s\n", line)
+	}
+	fmt.Printf("serving %s %s on simulated port %d\n", app.Name, s.Version().Name, app.Port)
+	probe()
+
+	for i := 0; i < app.UpdateCount(); i++ {
+		target := app.Versions[i+1]
+		// Keep traffic flowing while updating.
+		if _, err := s.DoBatch(); err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.ApplyNext(core.Options{MaxAttempts: 100}, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("update %s -> %s: %s (barriers=%d osr=%d transformed=%d pause=%v)\n",
+			app.Versions[i].Name, target.Name, res.Outcome,
+			res.Stats.BarriersInstalled, res.Stats.OSRFrames,
+			res.Stats.TransformedObjects, res.Stats.PauseTotal)
+		if res.Outcome == core.Aborted {
+			fmt.Printf("  %s changes the accept loop, which never leaves the stack — restarting\n", target.Name)
+			s, err = apps.Launch(app, apps.LaunchOptions{HeapWords: 1 << 20, Version: i + 1})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		probe()
+	}
+	fmt.Println("reached", s.Version().Name, "with", s.Responses, "responses served along the way")
+}

@@ -1,0 +1,3 @@
+module govolve
+
+go 1.22

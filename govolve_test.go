@@ -1,0 +1,286 @@
+package govolve_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"govolve"
+)
+
+const helloV1 = `
+class Greeter {
+  field name LString;
+
+  method <init>(LString;)V {
+    load 0
+    invokespecial Object.<init>()V
+    load 0
+    load 1
+    putfield Greeter.name LString;
+    return
+  }
+
+  method greet()LString; {
+    ldc "Hello, "
+    load 0
+    getfield Greeter.name LString;
+    invokevirtual String.concat(LString;)LString;
+    return
+  }
+}
+
+class Main {
+  static method main()V {
+    new Greeter
+    dup
+    ldc "world"
+    invokespecial Greeter.<init>(LString;)V
+    invokevirtual Greeter.greet()LString;
+    invokestatic System.println(LString;)V
+    return
+  }
+}
+`
+
+func TestHelloWorldRuns(t *testing.T) {
+	prog, err := govolve.Assemble("hello.jva", helloV1)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	var out bytes.Buffer
+	machine, err := govolve.NewVM(govolve.Options{Out: &out})
+	if err != nil {
+		t.Fatalf("new vm: %v", err)
+	}
+	if err := machine.LoadProgram(prog); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := machine.SpawnMain("Main"); err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if err := machine.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, th := range machine.Threads {
+		if th.Err != nil {
+			t.Fatalf("thread error: %v", th.Err)
+		}
+	}
+	if got := out.String(); got != "Hello, world\n" {
+		t.Fatalf("output = %q, want %q", got, "Hello, world\n")
+	}
+}
+
+// counterV1/V2 exercise the full update path: a server-like loop whose
+// worker class gains a field and changes a method's behaviour between
+// versions, updated while the loop runs.
+const counterV1 = `
+class Counter {
+  field count I
+
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    return
+  }
+
+  method tick()I {
+    load 0
+    load 0
+    getfield Counter.count I
+    const 1
+    add
+    putfield Counter.count I
+    load 0
+    getfield Counter.count I
+    return
+  }
+
+  method label()LString; {
+    ldc "v1:"
+    load 0
+    getfield Counter.count I
+    invokestatic String.fromInt(I)LString;
+    invokevirtual String.concat(LString;)LString;
+    return
+  }
+}
+
+class App {
+  static field c LCounter;
+  static field spin I
+
+  static method main()V {
+    new Counter
+    dup
+    invokespecial Counter.<init>()V
+    putstatic App.c LCounter;
+  loop:
+    getstatic App.c LCounter;
+    invokevirtual Counter.tick()I
+    const 2000
+    if_icmpge done
+    goto loop
+  done:
+    getstatic App.c LCounter;
+    invokevirtual Counter.label()LString;
+    invokestatic System.println(LString;)V
+    return
+  }
+}
+`
+
+// Version 2: Counter gains a "step" field (a class update), tick() uses it,
+// and label() reports v2. App.main is an indirect method (bytecode
+// unchanged, references Counter).
+const counterV2 = `
+class Counter {
+  field count I
+  field step I
+
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    load 0
+    const 1
+    putfield Counter.step I
+    return
+  }
+
+  method tick()I {
+    load 0
+    load 0
+    getfield Counter.count I
+    load 0
+    getfield Counter.step I
+    add
+    putfield Counter.count I
+    load 0
+    getfield Counter.count I
+    return
+  }
+
+  method label()LString; {
+    ldc "v2:"
+    load 0
+    getfield Counter.count I
+    invokestatic String.fromInt(I)LString;
+    invokevirtual String.concat(LString;)LString;
+    ldc ":step="
+    load 0
+    getfield Counter.step I
+    invokestatic String.fromInt(I)LString;
+    invokevirtual String.concat(LString;)LString;
+    invokevirtual String.concat(LString;)LString;
+    return
+  }
+}
+
+class App {
+  static field c LCounter;
+  static field spin I
+
+  static method main()V {
+    new Counter
+    dup
+    invokespecial Counter.<init>()V
+    putstatic App.c LCounter;
+  loop:
+    getstatic App.c LCounter;
+    invokevirtual Counter.tick()I
+    const 2000
+    if_icmpge done
+    goto loop
+  done:
+    getstatic App.c LCounter;
+    invokevirtual Counter.label()LString;
+    invokestatic System.println(LString;)V
+    return
+  }
+}
+`
+
+func TestLiveUpdateAddsField(t *testing.T) {
+	v1, err := govolve.Assemble("v1.jva", counterV1)
+	if err != nil {
+		t.Fatalf("assemble v1: %v", err)
+	}
+	v2, err := govolve.Assemble("v2.jva", counterV2)
+	if err != nil {
+		t.Fatalf("assemble v2: %v", err)
+	}
+	var out bytes.Buffer
+	machine, err := govolve.NewVM(govolve.Options{Out: &out})
+	if err != nil {
+		t.Fatalf("new vm: %v", err)
+	}
+	if err := machine.LoadProgram(v1); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := machine.SpawnMain("App"); err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	// Let version 1 run a while (but well short of the 2000 ticks the
+	// loop needs), then update mid-loop.
+	machine.Step(3)
+
+	spec, err := govolve.PrepareUpdate("1", v1, v2)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	if !spec.IsClassUpdate("Counter") {
+		t.Fatalf("Counter should be a class update; spec: %+v", spec.ClassUpdates)
+	}
+
+	// The default transformer would zero the new step field and v2's
+	// tick() would stop making progress — the exact situation the paper's
+	// Figure 3 custom transformer exists for. Customize: preserve count,
+	// initialize step to 1.
+	custom := `
+class JvolveTransformers {
+  static method jvolveObject(LCounter;Lv1_Counter;)V {
+    load 0
+    load 1
+    getfield v1_Counter.count I
+    putfield Counter.count I
+    load 0
+    const 1
+    putfield Counter.step I
+    return
+  }
+}
+`
+	tc, err := govolve.Assemble("transformers.jva", custom)
+	if err != nil {
+		t.Fatalf("assemble transformer: %v", err)
+	}
+	for _, m := range tc.Classes["JvolveTransformers"].Methods {
+		spec.OverrideTransformer(m)
+	}
+
+	engine := govolve.NewEngine(machine)
+	res, err := engine.ApplyNow(spec, govolve.UpdateOptions{})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if res.Outcome != govolve.Applied {
+		t.Fatalf("outcome = %v, err = %v", res.Outcome, res.Err)
+	}
+	if res.Stats.TransformedObjects == 0 {
+		t.Fatalf("expected transformed objects, got 0 (stats %+v)", res.Stats)
+	}
+
+	if err := machine.Run(); err != nil {
+		t.Fatalf("run after update: %v", err)
+	}
+	for _, th := range machine.Threads {
+		if th.Err != nil {
+			t.Fatalf("thread error: %v\n%s", th.Err, th.Backtrace())
+		}
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "v2:2000:step=1") {
+		t.Fatalf("output = %q; want v2 label with preserved count 2000 and default-initialized step", got)
+	}
+}

@@ -1,0 +1,88 @@
+package apps
+
+import (
+	"fmt"
+
+	"govolve/internal/core"
+)
+
+// ApplyNextActive is ApplyNext with UPT-inferred active-method maps — the
+// UpStare-style extension. Updates that abort under the paper's model
+// because a changed method never leaves the stack (the webserver's accept
+// loop in 5.1.3, the email listeners in 1.3) become applicable: the live
+// frames are rewritten onto the new method bodies at aligned yield points.
+func (s *Server) ApplyNextActive(opts core.Options, underLoad bool) (*core.Result, error) {
+	spec, err := s.App.Spec(s.VersionIdx)
+	if err != nil {
+		return nil, err
+	}
+	spec.InferActiveUpdates()
+	pending, err := s.Engine.RequestUpdate(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	for !pending.Done() {
+		if underLoad {
+			if _, err := s.DoBatch(); err != nil {
+				return nil, err
+			}
+		}
+		s.VM.Step(10)
+	}
+	res := pending.Result()
+	if res.Outcome == core.Applied {
+		s.VersionIdx++
+	}
+	return res, nil
+}
+
+// RunActiveExperiment attempts exactly the updates that abort under the
+// plain model — first plainly (confirming the abort), then with inferred
+// active-method maps (confirming they now apply and the server still
+// serves). It returns one entry per such update.
+func RunActiveExperiment(app *App, heapWords int) ([]MatrixEntry, error) {
+	var entries []MatrixEntry
+	for i := 0; i < app.UpdateCount(); i++ {
+		target := app.Versions[i+1]
+		if !target.ExpectAbort {
+			continue
+		}
+		s, err := Launch(app, LaunchOptions{HeapWords: heapWords, Version: i})
+		if err != nil {
+			return nil, err
+		}
+		for b := 0; b < 2; b++ {
+			if _, err := s.DoBatch(); err != nil {
+				return nil, err
+			}
+		}
+		plain, err := s.ApplyNext(core.Options{MaxAttempts: 40}, true)
+		if err != nil {
+			return nil, err
+		}
+		if plain.Outcome != core.Aborted {
+			return nil, fmt.Errorf("apps: %s→%s should abort without active maps, got %v",
+				app.Versions[i].Name, target.Name, plain.Outcome)
+		}
+		active, err := s.ApplyNextActive(core.Options{MaxAttempts: 200}, true)
+		if err != nil {
+			return nil, err
+		}
+		entry := MatrixEntry{
+			App: app.Name, From: app.Versions[i].Name, To: target.Name,
+			Outcome: active.Outcome, Stats: active.Stats,
+			Note: fmt.Sprintf("active-method rewrite of %d frame(s) after plain abort", active.Stats.ActiveRewrites),
+		}
+		if active.Outcome == core.Applied {
+			if err := s.VerifyActive(); err != nil {
+				return nil, err
+			}
+			if _, err := s.DoBatch(); err != nil {
+				return nil, err
+			}
+			entry.ProbeOK = true
+		}
+		entries = append(entries, entry)
+	}
+	return entries, nil
+}

@@ -1,0 +1,42 @@
+package apps
+
+import (
+	"testing"
+
+	"govolve/internal/core"
+)
+
+// TestActiveMethodUpdates exercises the UpStare-style extension on exactly
+// the two updates the paper could not apply: the webserver accept-loop
+// change (5.1.2→5.1.3) and the email configuration rework (1.2.4→1.3).
+// Both abort under the plain model and apply with inferred yield-point
+// maps, after which the servers keep serving on the new version.
+func TestActiveMethodUpdates(t *testing.T) {
+	for _, app := range []*App{Webserver(), EmailServer()} {
+		entries, err := RunActiveExperiment(app, 1<<20)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if len(entries) != 1 {
+			t.Fatalf("%s: %d abort-expected updates, want 1", app.Name, len(entries))
+		}
+		e := entries[0]
+		if e.Outcome != core.Applied {
+			t.Fatalf("%s %s→%s with active maps: %v (%s)", e.App, e.From, e.To, e.Outcome, e.Note)
+		}
+		if e.Stats.ActiveRewrites == 0 {
+			t.Fatalf("%s %s→%s: applied without rewriting any active frame?", e.App, e.From, e.To)
+		}
+		if !e.ProbeOK {
+			t.Fatalf("%s %s→%s: server not serving after active update", e.App, e.From, e.To)
+		}
+	}
+	// The FTP app has no abort-expected updates; the experiment is empty.
+	entries, err := RunActiveExperiment(FTPServer(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("ftp active entries = %d", len(entries))
+	}
+}

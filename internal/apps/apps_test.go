@@ -1,0 +1,220 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"govolve/internal/asm"
+	"govolve/internal/classfile"
+	"govolve/internal/core"
+	"govolve/internal/verifier"
+	"govolve/internal/vm"
+)
+
+// bootEnv merges the VM bootstrap classes with a program for verification.
+type bootEnv struct {
+	boot map[string]*classfile.Class
+	p    *classfile.Program
+}
+
+func newBootEnv(t *testing.T, p *classfile.Program) bootEnv {
+	t.Helper()
+	classes, err := asm.Assemble("bootstrap.jva", vm.BootstrapSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := make(map[string]*classfile.Class, len(classes))
+	for _, c := range classes {
+		boot[c.Name] = c
+	}
+	return bootEnv{boot: boot, p: p}
+}
+
+func (e bootEnv) LookupClass(name string) *classfile.Class {
+	if c, ok := e.p.Classes[name]; ok {
+		return c
+	}
+	return e.boot[name]
+}
+
+func TestAllVersionsAssembleAndVerify(t *testing.T) {
+	for _, app := range All() {
+		for i, ver := range app.Versions {
+			p, err := app.Program(i)
+			if err != nil {
+				t.Fatalf("%s %s: %v", app.Name, ver.Name, err)
+			}
+			env := newBootEnv(t, p)
+			v := verifier.New(env, verifier.Strict)
+			for _, c := range p.Sorted() {
+				if err := v.VerifyClass(c); err != nil {
+					t.Errorf("%s %s: %v", app.Name, ver.Name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestAllSpecsPrepare(t *testing.T) {
+	for _, app := range All() {
+		for i := 0; i < app.UpdateCount(); i++ {
+			if _, err := app.Spec(i); err != nil {
+				t.Errorf("%s %s→%s: %v", app.Name, app.Versions[i].Name, app.Versions[i+1].Name, err)
+			}
+		}
+	}
+}
+
+func TestServersServeEveryVersion(t *testing.T) {
+	for _, app := range All() {
+		for i := range app.Versions {
+			s, err := Launch(app, LaunchOptions{Version: i, HeapWords: 1 << 18})
+			if err != nil {
+				t.Fatalf("%s %s: launch: %v", app.Name, app.Versions[i].Name, err)
+			}
+			if err := s.VerifyActive(); err != nil {
+				t.Fatalf("%s %s: %v", app.Name, app.Versions[i].Name, err)
+			}
+			n, err := s.DoBatch()
+			if err != nil {
+				t.Fatalf("%s %s: batch: %v", app.Name, app.Versions[i].Name, err)
+			}
+			if n == 0 {
+				t.Fatalf("%s %s: no responses", app.Name, app.Versions[i].Name)
+			}
+			for _, th := range s.VM.Threads {
+				if th.Err != nil {
+					t.Fatalf("%s %s: thread %s: %v\n%s", app.Name, app.Versions[i].Name, th.Name, th.Err, th.Backtrace())
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateMatrix is the §4 experience experiment in miniature: every
+// update of every app is applied to the live server. 20 of 22 must apply;
+// the two engineered always-on-stack changes must abort.
+func TestUpdateMatrix(t *testing.T) {
+	applied, aborted, total := 0, 0, 0
+	for _, app := range All() {
+		entries, err := RunMatrix(app, 1<<20)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if len(entries) != app.UpdateCount() {
+			t.Fatalf("%s: %d entries, want %d", app.Name, len(entries), app.UpdateCount())
+		}
+		for _, e := range entries {
+			total++
+			target := versionByName(t, app, e.To)
+			switch {
+			case target.ExpectAbort:
+				if e.Outcome != core.Aborted {
+					t.Errorf("%s %s→%s: outcome %v, want abort (method always on stack)",
+						e.App, e.From, e.To, e.Outcome)
+				}
+				aborted++
+			default:
+				if e.Outcome != core.Applied {
+					t.Errorf("%s %s→%s: outcome %v (%s), want applied",
+						e.App, e.From, e.To, e.Outcome, e.Note)
+					continue
+				}
+				applied++
+			}
+			if !e.ProbeOK {
+				t.Errorf("%s %s→%s: server not verified after update", e.App, e.From, e.To)
+			}
+			if target.NeedsQuiesce && !e.Quiesced {
+				t.Errorf("%s %s→%s: expected quiesce-then-apply behaviour", e.App, e.From, e.To)
+			}
+		}
+	}
+	if total != 22 {
+		t.Errorf("total updates = %d, want 22 (10 web + 9 email + 3 ftp)", total)
+	}
+	if applied != 20 || aborted != 2 {
+		t.Errorf("applied/aborted = %d/%d, want 20/2 (the paper's headline)", applied, aborted)
+	}
+	// Method-body-only DSU systems (HotSwap, edit-and-continue) support
+	// well under half of real releases — 7 of our 22 (the paper: 9 of 22).
+	bodyOnly := 0
+	for _, app := range All() {
+		for _, v := range app.Versions {
+			if v.BodyOnly {
+				bodyOnly++
+			}
+		}
+	}
+	if bodyOnly != 7 {
+		t.Errorf("body-only updates = %d, want 7", bodyOnly)
+	}
+}
+
+func versionByName(t *testing.T, app *App, name string) Version {
+	t.Helper()
+	for _, v := range app.Versions {
+		if v.Name == name {
+			return v
+		}
+	}
+	t.Fatalf("no version %s", name)
+	return Version{}
+}
+
+// TestEmailFigure3Update checks the paper's running example end to end:
+// after 1.3.1→1.3.2, alice's forwards — created as strings under the old
+// version — read back as formatted EmailAddress objects.
+func TestEmailFigure3Update(t *testing.T) {
+	app := EmailServer()
+	idx131 := -1
+	for i, v := range app.Versions {
+		if v.Name == "1.3.1" {
+			idx131 = i
+		}
+	}
+	if idx131 < 0 {
+		t.Fatal("no 1.3.1")
+	}
+	s, err := Launch(app, LaunchOptions{Version: idx131, HeapWords: 1 << 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := func() string {
+		conn, err := s.VM.Net.Connect(110)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.VM.Net.ClientClose(conn)
+		if err := s.VM.Net.ClientSend(conn, "FWD alice"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			s.VM.Step(5)
+			if line, ok := s.VM.Net.ClientRecv(conn); ok {
+				return line
+			}
+		}
+		t.Fatal("FWD timed out")
+		return ""
+	}
+	before := fwd()
+	if !strings.Contains(before, "alice@backup.example.com") {
+		t.Fatalf("pre-update forwards = %q", before)
+	}
+	res, err := s.ApplyNext(core.Options{MaxAttempts: 200}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != core.Applied {
+		t.Fatalf("1.3.2 outcome: %v (%v)", res.Outcome, res.Err)
+	}
+	after := fwd()
+	// The custom transformer split the strings at '@' into EmailAddress
+	// objects; format() reassembles them, so content survives the type
+	// change — the Figure 3 behaviour.
+	if !strings.Contains(after, "alice@backup.example.com") ||
+		!strings.Contains(after, "alice@phone.example.com") {
+		t.Fatalf("post-update forwards = %q; transformer lost data", after)
+	}
+}

@@ -1,0 +1,228 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"govolve/internal/core"
+)
+
+// request sends one line on a fresh connection to the given port and
+// returns the first response.
+func request(t *testing.T, s *Server, port int64, line string) string {
+	t.Helper()
+	conn, err := s.VM.Net.Connect(port)
+	if err != nil {
+		t.Fatalf("connect %d: %v", port, err)
+	}
+	defer s.VM.Net.ClientClose(conn)
+	if err := s.VM.Net.ClientSend(conn, line); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		s.VM.Step(5)
+		if resp, ok := s.VM.Net.ClientRecv(conn); ok {
+			return resp
+		}
+	}
+	t.Fatalf("request %q timed out", line)
+	return ""
+}
+
+func launchAt(t *testing.T, app *App, version string) *Server {
+	t.Helper()
+	for i, v := range app.Versions {
+		if v.Name == version {
+			s, err := Launch(app, LaunchOptions{Version: i, HeapWords: 1 << 19})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+	}
+	t.Fatalf("no version %s", version)
+	return nil
+}
+
+func TestWebserverVersionSpecificBehavior(t *testing.T) {
+	app := Webserver()
+
+	// /news does not exist in 5.1.0 and exists from 5.1.1 on.
+	s0 := launchAt(t, app, "5.1.0")
+	if got := request(t, s0, 8080, "GET /news"); !strings.HasPrefix(got, "404") {
+		t.Fatalf("5.1.0 /news = %q, want 404", got)
+	}
+	s1 := launchAt(t, app, "5.1.1")
+	if got := request(t, s1, 8080, "GET /news"); !strings.HasPrefix(got, "200") {
+		t.Fatalf("5.1.1 /news = %q, want 200", got)
+	}
+
+	// 5.1.2 adds mime types to the response.
+	s2 := launchAt(t, app, "5.1.2")
+	if got := request(t, s2, 8080, "GET /file.txt"); !strings.HasPrefix(got, "404") {
+		t.Fatalf("unknown .txt = %q", got)
+	}
+	if got := request(t, s2, 8080, "GET /"); !strings.Contains(got, "text/html") {
+		t.Fatalf("5.1.2 response lacks mime type: %q", got)
+	}
+
+	// 5.1.4's 404 includes the path.
+	s4 := launchAt(t, app, "5.1.4")
+	if got := request(t, s4, 8080, "GET /nope"); !strings.Contains(got, "/nope") {
+		t.Fatalf("5.1.4 404 = %q, want path echoed", got)
+	}
+
+	// /api appears in 5.1.6, changes body in 5.1.8; /status appears in 5.1.9.
+	s6 := launchAt(t, app, "5.1.6")
+	if got := request(t, s6, 8080, "GET /api"); !strings.Contains(got, "api root") {
+		t.Fatalf("5.1.6 /api = %q", got)
+	}
+	s8 := launchAt(t, app, "5.1.8")
+	if got := request(t, s8, 8080, "GET /api"); !strings.Contains(got, "api root v2") {
+		t.Fatalf("5.1.8 /api = %q", got)
+	}
+	s9 := launchAt(t, app, "5.1.9")
+	if got := request(t, s9, 8080, "GET /status"); !strings.Contains(got, "nominal") {
+		t.Fatalf("5.1.9 /status = %q", got)
+	}
+
+	// The parser fix in 5.1.1: a bare "GET " (empty path) serves the index.
+	if got := request(t, s1, 8080, "GET "); !strings.HasPrefix(got, "200") {
+		t.Fatalf("5.1.1 empty path = %q, want 200 via parser fix", got)
+	}
+}
+
+func TestWebserverStatsSurviveUpdates(t *testing.T) {
+	app := Webserver()
+	s := launchAt(t, app, "5.1.0")
+	for i := 0; i < 5; i++ {
+		if got := request(t, s, 8080, "GET /"); !strings.HasPrefix(got, "200") {
+			t.Fatalf("hit %d: %q", i, got)
+		}
+	}
+	// Update to 5.1.1 (Stats gains bytesSent; requests counter must carry).
+	res, err := s.ApplyNext(core.Options{MaxAttempts: 100}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != core.Applied {
+		t.Fatalf("update: %v (%v)", res.Outcome, res.Err)
+	}
+	// Read the counter through the VM (no stats endpoint in v1).
+	stats := s.VM.Reg.LookupClass("Stats")
+	slot := stats.StaticField("requests")
+	if slot == nil {
+		t.Fatal("no requests static")
+	}
+	if got := s.VM.Reg.JTOC[slot.Slot].Int(); got < 5 {
+		t.Fatalf("requests counter after update = %d, want >= 5 (default class transformer must copy it)", got)
+	}
+}
+
+func TestEmailServerProtocols(t *testing.T) {
+	app := EmailServer()
+	s := launchAt(t, app, "1.2.1")
+
+	if got := request(t, s, 25, "HELO me"); !strings.Contains(got, "JavaEmailServer/1.2.1") {
+		t.Fatalf("HELO = %q", got)
+	}
+	if got := request(t, s, 25, "DATA first message"); !strings.HasPrefix(got, "250") {
+		t.Fatalf("DATA = %q", got)
+	}
+	if got := request(t, s, 25, "NONSENSE"); !strings.HasPrefix(got, "500") {
+		t.Fatalf("unknown = %q", got)
+	}
+	if got := request(t, s, 110, "USER alice"); !strings.HasPrefix(got, "+OK") {
+		t.Fatalf("USER alice = %q", got)
+	}
+	if got := request(t, s, 110, "USER mallory"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("USER mallory = %q", got)
+	}
+	if got := request(t, s, 110, "STAT"); !strings.Contains(got, "1") {
+		t.Fatalf("STAT = %q", got)
+	}
+	if got := request(t, s, 110, "RETR 0"); !strings.Contains(got, "first message") {
+		t.Fatalf("RETR = %q", got)
+	}
+	if got := request(t, s, 110, "RETR 9"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("RETR 9 = %q", got)
+	}
+	if got := request(t, s, 110, "FWD alice"); !strings.Contains(got, "backup.example.com") {
+		t.Fatalf("FWD = %q", got)
+	}
+	if got := request(t, s, 110, "FWD bob"); !strings.Contains(got, "(none)") {
+		t.Fatalf("FWD bob = %q", got)
+	}
+}
+
+func TestMailSurvivesWholeVersionStream(t *testing.T) {
+	app := EmailServer()
+	s := launchAt(t, app, "1.3") // post-abort epoch: update through to 1.4
+	if got := request(t, s, 25, "DATA persistent mail"); !strings.HasPrefix(got, "250") {
+		t.Fatalf("DATA = %q", got)
+	}
+	for s.Version().Name != "1.4" {
+		res, err := s.ApplyNext(core.Options{MaxAttempts: 150}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != core.Applied {
+			t.Fatalf("update to %s: %v (%v)", s.App.Versions[s.VersionIdx+1].Name, res.Outcome, res.Err)
+		}
+	}
+	// The message delivered under 1.3 is still retrievable under 1.4,
+	// having crossed the Figure 2/3 type-change update on the way.
+	if got := request(t, s, 110, "RETR 0"); !strings.Contains(got, "persistent mail") {
+		t.Fatalf("RETR after stream = %q", got)
+	}
+	if got := request(t, s, 110, "FWD alice"); !strings.Contains(got, "alice@backup.example.com") {
+		t.Fatalf("FWD after stream = %q", got)
+	}
+}
+
+func TestFTPServerProtocol(t *testing.T) {
+	app := FTPServer()
+	s := launchAt(t, app, "1.05")
+	conn, err := s.VM.Net.Connect(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(line string) string {
+		t.Helper()
+		if err := s.VM.Net.ClientSend(conn, line); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3000; i++ {
+			s.VM.Step(5)
+			if resp, ok := s.VM.Net.ClientRecv(conn); ok {
+				return resp
+			}
+		}
+		t.Fatalf("%q timed out", line)
+		return ""
+	}
+	if got := send("PASS crossftp"); !strings.HasPrefix(got, "530") {
+		t.Fatalf("PASS before USER = %q", got)
+	}
+	if got := send("USER admin"); !strings.HasPrefix(got, "331") {
+		t.Fatalf("USER = %q", got)
+	}
+	if got := send("PASS wrong"); !strings.HasPrefix(got, "530") {
+		t.Fatalf("bad PASS = %q", got)
+	}
+	if got := send("PASS crossftp"); !strings.HasPrefix(got, "230") {
+		t.Fatalf("PASS = %q", got)
+	}
+	if got := send("LIST"); !strings.Contains(got, "readme.txt") || !strings.Contains(got, "motd") {
+		t.Fatalf("LIST = %q", got)
+	}
+	if got := send("RETR readme.txt"); !strings.Contains(got, "welcome to crossftp") {
+		t.Fatalf("RETR = %q", got)
+	}
+	if got := send("RETR nothere"); !strings.HasPrefix(got, "550") {
+		t.Fatalf("RETR missing = %q", got)
+	}
+	if got := send("QUIT"); !strings.HasPrefix(got, "221") {
+		t.Fatalf("QUIT = %q", got)
+	}
+}

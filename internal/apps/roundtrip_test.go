@@ -1,0 +1,52 @@
+package apps
+
+import (
+	"testing"
+
+	"govolve/internal/asm"
+	"govolve/internal/bytecode"
+)
+
+// TestAppCorpusPrinterRoundTrip renders every class of every release of
+// every application back to assembler text and re-assembles it, checking
+// structural identity — the printer and parser agree on the whole corpus
+// (over 20 program versions).
+func TestAppCorpusPrinterRoundTrip(t *testing.T) {
+	classes, methods := 0, 0
+	for _, app := range All() {
+		for i, ver := range app.Versions {
+			p, err := app.Program(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range p.Sorted() {
+				src := c.String()
+				back, err := asm.Assemble("rt.jva", src)
+				if err != nil {
+					t.Fatalf("%s %s %s: reassemble: %v\n%s", app.Name, ver.Name, c.Name, err, src)
+				}
+				b := back[0]
+				if b.Name != c.Name || b.Super != c.Super {
+					t.Fatalf("%s %s %s: header changed", app.Name, ver.Name, c.Name)
+				}
+				if len(b.Fields) != len(c.Fields) || len(b.Methods) != len(c.Methods) {
+					t.Fatalf("%s %s %s: member counts changed", app.Name, ver.Name, c.Name)
+				}
+				for j, m := range c.Methods {
+					if m.Native {
+						continue
+					}
+					if !bytecode.CodeEqual(m.Code, b.Methods[j].Code) {
+						t.Fatalf("%s %s %s.%s: code changed through print/parse",
+							app.Name, ver.Name, c.Name, m.Name)
+					}
+					methods++
+				}
+				classes++
+			}
+		}
+	}
+	if classes < 100 || methods < 300 {
+		t.Fatalf("corpus smaller than expected: %d classes, %d methods", classes, methods)
+	}
+}

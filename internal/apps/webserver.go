@@ -1,0 +1,860 @@
+package apps
+
+// The webserver stands in for Jetty 5.1.0–5.1.10 (paper Table 2): eleven
+// releases, ten updates. Structure: an accept loop in HttpServer.main
+// spawning one ConnectionHandler thread per connection; handlers loop on
+// recvLine and answer through Router → HttpParser/Content/Response/Stats.
+//
+// Code that must stay byte-identical across releases — the accept loop and
+// ConnectionHandler.run, which are always on some thread's stack — is a
+// shared fragment. The 5.1.2→5.1.3 update deliberately edits the accept
+// loop, reproducing the paper's only Jetty failure: the changed method
+// never leaves the stack, so no DSU safe point is ever reached and the
+// update aborts.
+
+// wsMainV1 is the accept loop for 5.1.0–5.1.2.
+const wsMainV1 = `
+class HttpServer {
+  static method main()V {
+    const 8080
+    invokestatic Net.listen(I)I
+    store 0
+  accept:
+    load 0
+    invokestatic Net.accept(I)I
+    store 1
+    new ConnectionHandler
+    dup
+    load 1
+    invokespecial ConnectionHandler.<init>(I)V
+    invokestatic Thread.spawn(LObject;)V
+    goto accept
+  }
+}
+`
+
+// wsMainV2 (5.1.3 onward) counts accepted connections — the change that
+// can never be applied dynamically because main never returns.
+const wsMainV2 = `
+class HttpServer {
+  static method main()V {
+    const 8080
+    invokestatic Net.listen(I)I
+    store 0
+  accept:
+    load 0
+    invokestatic Net.accept(I)I
+    store 1
+    invokestatic Stats.conn()V
+    new ConnectionHandler
+    dup
+    load 1
+    invokespecial ConnectionHandler.<init>(I)V
+    invokestatic Thread.spawn(LObject;)V
+    goto accept
+  }
+}
+`
+
+// wsHandler's run() is identical in every release; per-connection state
+// changes go through the constructor only.
+const wsHandlerRun = `
+  method run()V {
+  loop:
+    load 0
+    getfield ConnectionHandler.conn I
+    invokestatic Net.recvLine(I)LString;
+    store 1
+    load 1
+    ifnull closed
+    load 0
+    getfield ConnectionHandler.conn I
+    load 1
+    invokestatic Router.route(LString;)LString;
+    invokestatic Net.send(ILString;)V
+    goto loop
+  closed:
+    load 0
+    getfield ConnectionHandler.conn I
+    invokestatic Net.close(I)V
+    return
+  }
+`
+
+const wsHandlerV1 = `
+class ConnectionHandler {
+  field conn I
+  method <init>(I)V {
+    load 0
+    invokespecial Object.<init>()V
+    load 0
+    load 1
+    putfield ConnectionHandler.conn I
+    return
+  }
+` + wsHandlerRun + `
+}
+`
+
+// wsHandlerV2 (5.1.5 onward) records a per-connection id.
+const wsHandlerV2 = `
+class ConnectionHandler {
+  field conn I
+  field id I
+  method <init>(I)V {
+    load 0
+    invokespecial Object.<init>()V
+    load 0
+    load 1
+    putfield ConnectionHandler.conn I
+    getstatic Stats.conns I
+    store 2
+    load 0
+    load 2
+    putfield ConnectionHandler.id I
+    return
+  }
+` + wsHandlerRun + `
+}
+`
+
+// --- Stats variants --------------------------------------------------------
+
+const wsStats510 = `
+class Stats {
+  static field requests I
+  static field errors I
+  static method hit()V {
+    getstatic Stats.requests I
+    const 1
+    add
+    putstatic Stats.requests I
+    return
+  }
+  static method err()V {
+    getstatic Stats.errors I
+    const 1
+    add
+    putstatic Stats.errors I
+    return
+  }
+}
+`
+
+// 5.1.1 adds byte accounting (field + method addition: a class update).
+const wsStats511 = `
+class Stats {
+  static field requests I
+  static field errors I
+  static field bytesSent I
+  static method hit()V {
+    getstatic Stats.requests I
+    const 1
+    add
+    putstatic Stats.requests I
+    return
+  }
+  static method err()V {
+    getstatic Stats.errors I
+    const 1
+    add
+    putstatic Stats.errors I
+    return
+  }
+  static method sent(I)V {
+    getstatic Stats.bytesSent I
+    load 0
+    add
+    putstatic Stats.bytesSent I
+    return
+  }
+}
+`
+
+// 5.1.3 adds connection counting for the new accept loop.
+const wsStats513 = `
+class Stats {
+  static field requests I
+  static field errors I
+  static field bytesSent I
+  static field conns I
+  static method hit()V {
+    getstatic Stats.requests I
+    const 1
+    add
+    putstatic Stats.requests I
+    return
+  }
+  static method err()V {
+    getstatic Stats.errors I
+    const 1
+    add
+    putstatic Stats.errors I
+    return
+  }
+  static method sent(I)V {
+    getstatic Stats.bytesSent I
+    load 0
+    add
+    putstatic Stats.bytesSent I
+    return
+  }
+  static method conn()V {
+    getstatic Stats.conns I
+    const 1
+    add
+    putstatic Stats.conns I
+    return
+  }
+}
+`
+
+// 5.1.4 renames errors to failures (field delete + add; the custom class
+// transformer carries the old count over).
+const wsStats514 = `
+class Stats {
+  static field requests I
+  static field failures I
+  static field bytesSent I
+  static field conns I
+  static method hit()V {
+    getstatic Stats.requests I
+    const 1
+    add
+    putstatic Stats.requests I
+    return
+  }
+  static method err()V {
+    getstatic Stats.failures I
+    const 1
+    add
+    putstatic Stats.failures I
+    return
+  }
+  static method sent(I)V {
+    getstatic Stats.bytesSent I
+    load 0
+    add
+    putstatic Stats.bytesSent I
+    return
+  }
+  static method conn()V {
+    getstatic Stats.conns I
+    const 1
+    add
+    putstatic Stats.conns I
+    return
+  }
+}
+`
+
+// 5.1.5 adds a peak-tracking gauge.
+var wsStats515 = wsStats514[:len(wsStats514)-2] + `  static field peak I
+  static method track(I)V {
+    load 0
+    getstatic Stats.peak I
+    if_icmple done
+    load 0
+    putstatic Stats.peak I
+  done:
+    return
+  }
+}
+`
+
+// 5.1.6 drops the gauge again (field + method deletion) and adds served.
+var wsStats516 = wsStats514[:len(wsStats514)-2] + `  static field served I
+  static method serve()V {
+    getstatic Stats.served I
+    const 1
+    add
+    putstatic Stats.served I
+    return
+  }
+}
+`
+
+// --- Request / parser variants -----------------------------------------------
+
+const wsRequest510 = `
+class Request {
+  field verb LString;
+  field path LString;
+  method <init>(LString;LString;)V {
+    load 0
+    invokespecial Object.<init>()V
+    load 0
+    load 1
+    putfield Request.verb LString;
+    load 0
+    load 2
+    putfield Request.path LString;
+    return
+  }
+  method verb()LString; {
+    load 0
+    getfield Request.verb LString;
+    return
+  }
+  method path()LString; {
+    load 0
+    getfield Request.path LString;
+    return
+  }
+}
+`
+
+// 5.1.5 adds the query string.
+const wsRequest515 = `
+class Request {
+  field verb LString;
+  field path LString;
+  field query LString;
+  method <init>(LString;LString;)V {
+    load 0
+    invokespecial Object.<init>()V
+    load 0
+    load 1
+    putfield Request.verb LString;
+    load 0
+    load 2
+    putfield Request.path LString;
+    return
+  }
+  method verb()LString; {
+    load 0
+    getfield Request.verb LString;
+    return
+  }
+  method path()LString; {
+    load 0
+    getfield Request.path LString;
+    return
+  }
+  method query()LString; {
+    load 0
+    getfield Request.query LString;
+    return
+  }
+  method setQuery(LString;)V {
+    load 0
+    load 1
+    putfield Request.query LString;
+    return
+  }
+}
+`
+
+const wsParser510 = `
+class HttpParser {
+  static method parse(LString;)LRequest; {
+    load 0
+    const 32
+    invokevirtual String.split(C)[LString;
+    store 1
+    new Request
+    dup
+    load 1
+    const 0
+    aget
+    load 1
+    arraylen
+    const 2
+    if_icmplt short
+    load 1
+    const 1
+    aget
+    goto build
+  short:
+    ldc "/"
+  build:
+    invokespecial Request.<init>(LString;LString;)V
+    return
+  }
+}
+`
+
+// 5.1.1 fixes empty-path handling (a method body fix, like the paper's
+// loadUser bug fix).
+const wsParser511 = `
+class HttpParser {
+  static method parse(LString;)LRequest; {
+    load 0
+    const 32
+    invokevirtual String.split(C)[LString;
+    store 1
+    new Request
+    dup
+    load 1
+    const 0
+    aget
+    load 1
+    arraylen
+    const 2
+    if_icmplt short
+    load 1
+    const 1
+    aget
+    store 2
+    load 2
+    invokevirtual String.length()I
+    ifeq short
+    load 2
+    goto build
+  short:
+    ldc "/"
+  build:
+    invokespecial Request.<init>(LString;LString;)V
+    return
+  }
+}
+`
+
+// 5.1.5 splits off the query string into the new Request field.
+const wsParser515 = `
+class HttpParser {
+  static method parse(LString;)LRequest; {
+    load 0
+    const 32
+    invokevirtual String.split(C)[LString;
+    store 1
+    load 1
+    arraylen
+    const 2
+    if_icmplt short
+    load 1
+    const 1
+    aget
+    store 2
+    load 2
+    invokevirtual String.length()I
+    ifeq short
+    load 2
+    store 3
+    goto build
+  short:
+    ldc "/"
+    store 3
+  build:
+    load 3
+    const 63
+    const 0
+    invokevirtual String.indexOf(CI)I
+    store 4
+    new Request
+    dup
+    load 1
+    const 0
+    aget
+    load 4
+    iflt plain
+    load 3
+    const 0
+    load 4
+    invokevirtual String.substring(II)LString;
+    goto ctor
+  plain:
+    load 3
+  ctor:
+    invokespecial Request.<init>(LString;LString;)V
+    store 5
+    load 4
+    iflt noq
+    load 5
+    load 3
+    load 4
+    const 1
+    add
+    load 3
+    invokevirtual String.length()I
+    invokevirtual String.substring(II)LString;
+    invokevirtual Request.setQuery(LString;)V
+  noq:
+    load 5
+    return
+  }
+}
+`
+
+// --- Content variants ---------------------------------------------------------
+
+func wsContent(pages string) string {
+	return `
+class Content {
+  static method lookup(LString;)LString; {
+` + pages + `
+    null
+    return
+  }
+}
+`
+}
+
+func wsPage(path, body string) string {
+	return `    load 0
+    ldc "` + path + `"
+    invokevirtual String.equals(LString;)Z
+    ifeq skip_` + mangle(path) + `
+    ldc "` + body + `"
+    return
+  skip_` + mangle(path) + `:
+`
+}
+
+func mangle(path string) string {
+	out := make([]rune, 0, len(path))
+	for _, r := range path {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			out = append(out, r)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// --- MimeTypes (added in 5.1.2) ------------------------------------------------
+
+const wsMime512 = `
+class MimeTypes {
+  static method of(LString;)LString; {
+    load 0
+    ldc ".txt"
+    invokevirtual String.endsWith(LString;)Z
+    ifeq html
+    ldc "text/plain"
+    return
+  html:
+    ldc "text/html"
+    return
+  }
+}
+`
+
+// 5.1.7 changes the signature of MimeTypes.of to thread a default through.
+const wsMime517 = `
+class MimeTypes {
+  static method of(LString;LString;)LString; {
+    load 0
+    ldc ".txt"
+    invokevirtual String.endsWith(LString;)Z
+    ifeq fallback
+    ldc "text/plain"
+    return
+  fallback:
+    load 1
+    return
+  }
+}
+`
+
+// --- Response variants ------------------------------------------------------------
+
+// wsResponse510: ok(body), notFound(); the banner carries the version.
+func wsResponse510(ver string) string {
+	return `
+class Response {
+  static method banner()LString; {
+    ldc "mini-jetty/` + ver + `"
+    return
+  }
+  static method ok(LString;)LString; {
+    ldc "200 "
+    invokestatic Response.banner()LString;
+    invokevirtual String.concat(LString;)LString;
+    ldc " "
+    invokevirtual String.concat(LString;)LString;
+    load 0
+    invokevirtual String.concat(LString;)LString;
+    return
+  }
+  static method notFound()LString; {
+    ldc "404 "
+    invokestatic Response.banner()LString;
+    invokevirtual String.concat(LString;)LString;
+    ldc " not found"
+    invokevirtual String.concat(LString;)LString;
+    return
+  }
+}
+`
+}
+
+// wsResponse512: ok takes the mime type too (signature change).
+func wsResponse512(ver string) string {
+	return `
+class Response {
+  static method banner()LString; {
+    ldc "mini-jetty/` + ver + `"
+    return
+  }
+  static method ok(LString;LString;)LString; {
+    ldc "200 "
+    invokestatic Response.banner()LString;
+    invokevirtual String.concat(LString;)LString;
+    ldc " "
+    invokevirtual String.concat(LString;)LString;
+    load 1
+    invokevirtual String.concat(LString;)LString;
+    ldc " "
+    invokevirtual String.concat(LString;)LString;
+    load 0
+    invokevirtual String.concat(LString;)LString;
+    return
+  }
+  static method notFound()LString; {
+    ldc "404 "
+    invokestatic Response.banner()LString;
+    invokevirtual String.concat(LString;)LString;
+    ldc " not found"
+    invokevirtual String.concat(LString;)LString;
+    return
+  }
+}
+`
+}
+
+// wsResponse514: notFound reports the path (signature change).
+func wsResponse514(ver string) string {
+	return `
+class Response {
+  static method banner()LString; {
+    ldc "mini-jetty/` + ver + `"
+    return
+  }
+  static method ok(LString;LString;)LString; {
+    ldc "200 "
+    invokestatic Response.banner()LString;
+    invokevirtual String.concat(LString;)LString;
+    ldc " "
+    invokevirtual String.concat(LString;)LString;
+    load 1
+    invokevirtual String.concat(LString;)LString;
+    ldc " "
+    invokevirtual String.concat(LString;)LString;
+    load 0
+    invokevirtual String.concat(LString;)LString;
+    return
+  }
+  static method notFound(LString;)LString; {
+    ldc "404 "
+    invokestatic Response.banner()LString;
+    invokevirtual String.concat(LString;)LString;
+    ldc " no such path "
+    invokevirtual String.concat(LString;)LString;
+    load 0
+    invokevirtual String.concat(LString;)LString;
+    return
+  }
+}
+`
+}
+
+// --- Router variants -----------------------------------------------------------------
+
+// Router for 5.1.0–5.1.1: ok(body) form.
+const wsRouter510 = `
+class Router {
+  static method route(LString;)LString; {
+    load 0
+    invokestatic HttpParser.parse(LString;)LRequest;
+    store 1
+    load 1
+    invokevirtual Request.path()LString;
+    invokestatic Content.lookup(LString;)LString;
+    store 2
+    load 2
+    ifnull missing
+    invokestatic Stats.hit()V
+    load 2
+    invokestatic Response.ok(LString;)LString;
+    return
+  missing:
+    invokestatic Stats.err()V
+    invokestatic Response.notFound()LString;
+    return
+  }
+}
+`
+
+// Router for 5.1.2–5.1.3: mime-typed ok.
+const wsRouter512 = `
+class Router {
+  static method route(LString;)LString; {
+    load 0
+    invokestatic HttpParser.parse(LString;)LRequest;
+    store 1
+    load 1
+    invokevirtual Request.path()LString;
+    invokestatic Content.lookup(LString;)LString;
+    store 2
+    load 2
+    ifnull missing
+    invokestatic Stats.hit()V
+    load 2
+    load 1
+    invokevirtual Request.path()LString;
+    invokestatic MimeTypes.of(LString;)LString;
+    invokestatic Response.ok(LString;LString;)LString;
+    return
+  missing:
+    invokestatic Stats.err()V
+    invokestatic Response.notFound()LString;
+    return
+  }
+}
+`
+
+// Router for 5.1.4–5.1.6: notFound(path) form, byte accounting.
+const wsRouter514 = `
+class Router {
+  static method route(LString;)LString; {
+    load 0
+    invokestatic HttpParser.parse(LString;)LRequest;
+    store 1
+    load 1
+    invokevirtual Request.path()LString;
+    invokestatic Content.lookup(LString;)LString;
+    store 2
+    load 2
+    ifnull missing
+    invokestatic Stats.hit()V
+    load 2
+    invokevirtual String.length()I
+    invokestatic Stats.sent(I)V
+    load 2
+    load 1
+    invokevirtual Request.path()LString;
+    invokestatic MimeTypes.of(LString;)LString;
+    invokestatic Response.ok(LString;LString;)LString;
+    return
+  missing:
+    invokestatic Stats.err()V
+    load 1
+    invokevirtual Request.path()LString;
+    invokestatic Response.notFound(LString;)LString;
+    return
+  }
+}
+`
+
+// Router for 5.1.7+: two-argument MimeTypes.of.
+const wsRouter517 = `
+class Router {
+  static method route(LString;)LString; {
+    load 0
+    invokestatic HttpParser.parse(LString;)LRequest;
+    store 1
+    load 1
+    invokevirtual Request.path()LString;
+    invokestatic Content.lookup(LString;)LString;
+    store 2
+    load 2
+    ifnull missing
+    invokestatic Stats.hit()V
+    load 2
+    invokevirtual String.length()I
+    invokestatic Stats.sent(I)V
+    load 2
+    load 1
+    invokevirtual Request.path()LString;
+    ldc "text/html"
+    invokestatic MimeTypes.of(LString;LString;)LString;
+    invokestatic Response.ok(LString;LString;)LString;
+    return
+  missing:
+    invokestatic Stats.err()V
+    load 1
+    invokevirtual Request.path()LString;
+    invokestatic Response.notFound(LString;)LString;
+    return
+  }
+}
+`
+
+// Webserver builds the Jetty stand-in with its eleven releases.
+func Webserver() *App {
+	pages510 := wsPage("/", "welcome to mini-jetty") + wsPage("/about", "about mini-jetty")
+	pages511 := pages510 + wsPage("/news", "release notes")
+	pages516 := pages511 + wsPage("/api", "api root")
+	pages518 := pages511 + wsPage("/api", "api root v2")
+	pages519 := pages511 + wsPage("/api", "api root v2") + wsPage("/status", "all systems nominal")
+
+	v := func(name, tag string) Version { return Version{Name: name, Tag: tag} }
+
+	v510 := v("5.1.0", "510")
+	v510.Source = wsStats510 + wsRequest510 + wsParser510 + wsContent(pages510) +
+		wsResponse510("5.1.0") + wsRouter510 + wsHandlerV1 + wsMainV1
+
+	v511 := v("5.1.1", "511")
+	v511.Source = wsStats511 + wsRequest510 + wsParser511 + wsContent(pages511) +
+		wsResponse510("5.1.1") + wsRouter510 + wsHandlerV1 + wsMainV1
+
+	v512 := v("5.1.2", "512")
+	v512.Source = wsStats511 + wsRequest510 + wsParser511 + wsContent(pages511) +
+		wsMime512 + wsResponse512("5.1.2") + wsRouter512 + wsHandlerV1 + wsMainV1
+
+	v513 := v("5.1.3", "513")
+	v513.Source = wsStats513 + wsRequest510 + wsParser511 + wsContent(pages511) +
+		wsMime512 + wsResponse512("5.1.3") + wsRouter512 + wsHandlerV1 + wsMainV2
+	v513.ExpectAbort = true // the accept loop itself changed
+
+	v514 := v("5.1.4", "514")
+	v514.Source = wsStats514 + wsRequest510 + wsParser511 + wsContent(pages511) +
+		wsMime512 + wsResponse514("5.1.4") + wsRouter514 + wsHandlerV1 + wsMainV2
+	v514.Transformers = `
+class JvolveTransformers {
+  static method jvolveClass(LStats;)V {
+    getstatic v513_Stats.requests I
+    putstatic Stats.requests I
+    getstatic v513_Stats.bytesSent I
+    putstatic Stats.bytesSent I
+    getstatic v513_Stats.conns I
+    putstatic Stats.conns I
+    getstatic v513_Stats.errors I
+    putstatic Stats.failures I
+    return
+  }
+}
+`
+
+	v515 := v("5.1.5", "515")
+	v515.Source = wsStats515 + wsRequest515 + wsParser515 + wsContent(pages511) +
+		wsMime512 + wsResponse514("5.1.5") + wsRouter514 + wsHandlerV2 + wsMainV2
+
+	v516 := v("5.1.6", "516")
+	v516.Source = wsStats516 + wsRequest515 + wsParser515 + wsContent(pages516) +
+		wsMime512 + wsResponse514("5.1.6") + wsRouter514 + wsHandlerV2 + wsMainV2
+
+	v517 := v("5.1.7", "517")
+	v517.Source = wsStats516 + wsRequest515 + wsParser515 + wsContent(pages516) +
+		wsMime517 + wsResponse514("5.1.7") + wsRouter517 + wsHandlerV2 + wsMainV2
+
+	v518 := v("5.1.8", "518")
+	v518.Source = wsStats516 + wsRequest515 + wsParser515 + wsContent(pages518) +
+		wsMime517 + wsResponse514("5.1.8") + wsRouter517 + wsHandlerV2 + wsMainV2
+	v518.BodyOnly = true
+
+	v519 := v("5.1.9", "519")
+	v519.Source = wsStats516 + wsRequest515 + wsParser515 + wsContent(pages519) +
+		wsMime517 + wsResponse514("5.1.9") + wsRouter517 + wsHandlerV2 + wsMainV2
+	v519.BodyOnly = true
+
+	v5110 := v("5.1.10", "5110")
+	v5110.Source = wsStats516 + wsRequest515 + wsParser515 + wsContent(pages519) +
+		wsMime517 + wsResponse514("5.1.10") + wsRouter517 + wsHandlerV2 + wsMainV2
+	v5110.BodyOnly = true
+
+	return &App{
+		Name:         "webserver",
+		Port:         8080,
+		MainClass:    "HttpServer",
+		ProbeRequest: "GET /",
+		Workloads: []Workload{{Port: 8080, Lines: []string{
+			"GET /", "GET /about", "GET /news", "GET /missing", "GET /",
+		}}},
+		Versions: []Version{
+			v510, v511, v512, v513, v514, v515, v516, v517, v518, v519, v5110,
+		},
+	}
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"govolve/internal/apps"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.Median != 3 || s.Min != 1 || s.Max != 5 || s.N != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("quartiles = %v, %v", s.Q1, s.Q3)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Fatal("empty sample")
+	}
+	one := Summarize([]float64{7})
+	if one.Median != 7 || one.Q1 != 7 || one.Q3 != 7 {
+		t.Fatalf("singleton = %+v", one)
+	}
+}
+
+func TestRunMicroCountsAndShape(t *testing.T) {
+	// Small grid; checks the invariants the paper's Table 1 exhibits:
+	// transformer time ≈ 0 at fraction 0 and grows with the fraction,
+	// and total ≥ GC + transform parts.
+	r0, err := RunMicro(MicroConfig{Objects: 20000, FracUpdated: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Transformed != 0 {
+		t.Fatalf("fraction 0 transformed %d objects", r0.Transformed)
+	}
+	r100, err := RunMicro(MicroConfig{Objects: 20000, FracUpdated: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r100.Transformed != 20000 {
+		t.Fatalf("fraction 1 transformed %d objects", r100.Transformed)
+	}
+	if r100.Transform <= r0.Transform {
+		t.Fatalf("transform time did not grow: %v vs %v", r0.Transform, r100.Transform)
+	}
+	if r100.Total < r100.GC || r100.Total < r100.Transform {
+		t.Fatalf("total %v below components (%v gc, %v tr)", r100.Total, r100.GC, r100.Transform)
+	}
+}
+
+func TestRunMicroValidation(t *testing.T) {
+	if _, err := RunMicro(MicroConfig{Objects: 0}); err == nil {
+		t.Fatal("zero objects accepted")
+	}
+	if _, err := RunMicro(MicroConfig{Objects: 10, FracUpdated: 2}); err == nil {
+		t.Fatal("fraction 2 accepted")
+	}
+}
+
+func TestRunSweepSmall(t *testing.T) {
+	cells, err := RunSweep(MicroSweep{
+		Sizes:     []MicroConfig{{Objects: 5000, HeapLabel: "tiny"}},
+		Fractions: []float64{0, 0.5, 1},
+		Runs:      1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("%d cells", len(cells))
+	}
+	// Monotone-ish: the 100% cell must cost more than the 0% cell.
+	if !(cells[2].Total.Median > cells[0].Total.Median) {
+		t.Fatalf("pause not increasing with fraction: %v vs %v",
+			cells[0].Total.Median, cells[2].Total.Median)
+	}
+	PrintTable1(io.Discard, []MicroConfig{{Objects: 5000, HeapLabel: "tiny"}},
+		[]float64{0, 0.5, 1}, cells)
+	PrintFig6(io.Discard, []MicroConfig{{Objects: 5000, HeapLabel: "tiny"}},
+		[]float64{0, 0.5, 1}, cells)
+}
+
+func TestSummarizeTables(t *testing.T) {
+	for _, app := range apps.All() {
+		rows, err := SummarizeApp(app)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if len(rows) != app.UpdateCount() {
+			t.Fatalf("%s: %d rows", app.Name, len(rows))
+		}
+		PrintTable(io.Discard, app, rows)
+	}
+	// Spot-check the Figure 2 release: 1.3.2 adds EmailAddress and
+	// changes User signatures.
+	email := apps.EmailServer()
+	rows, err := SummarizeApp(email)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r132 *TableRow
+	for i := range rows {
+		if rows[i].Version == "1.3.2" {
+			r132 = &rows[i]
+		}
+	}
+	if r132 == nil {
+		t.Fatal("no 1.3.2 row")
+	}
+	if r132.ClassesAdded != 1 {
+		t.Fatalf("1.3.2 classes added = %d, want 1 (EmailAddress)", r132.ClassesAdded)
+	}
+	if r132.MethodsSig < 2 {
+		t.Fatalf("1.3.2 signature changes = %d, want ≥2 (get/setForwardedAddresses)", r132.MethodsSig)
+	}
+	if r132.FieldsChg < 1 {
+		t.Fatalf("1.3.2 field type changes = %d, want ≥1 (forwardAddresses)", r132.FieldsChg)
+	}
+}
+
+func TestFig5Tiny(t *testing.T) {
+	app := apps.Webserver()
+	results, err := RunFig5(app, DefaultFig5Configs(app),
+		Fig5Options{Runs: 2, Duration: 40 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d configs", len(results))
+	}
+	for _, r := range results {
+		if r.Throughput.Median <= 0 {
+			t.Fatalf("%s: zero throughput", r.Config.Label)
+		}
+		if math.IsNaN(r.Latency.Median) || r.Latency.Median <= 0 {
+			t.Fatalf("%s: bad latency", r.Config.Label)
+		}
+	}
+	PrintFig5(io.Discard, results)
+}
+
+func TestAblationTiny(t *testing.T) {
+	res, err := RunAblation(apps.Webserver(), 2, 40*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Indirections == 0 {
+		t.Fatal("lazy run recorded no indirections")
+	}
+	PrintAblation(io.Discard, res)
+}

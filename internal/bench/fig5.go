@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"govolve/internal/apps"
+	"govolve/internal/core"
+)
+
+// Figure 5: steady-state throughput and latency of the webserver under
+// three configurations, mirroring the paper's Jetty experiment:
+//
+//	stock       — the VM without a DSU engine attached
+//	dsu         — the VM with the DSU engine attached but no update applied
+//	dsu-updated — started one release back and dynamically updated first
+//
+// The paper's claim is relative: all three perform essentially identically,
+// because JVOLVE adds no steady-state work — no indirection, no read
+// barriers, nothing on the hot path. The same is true here by construction,
+// and the ablation (ablation.go) shows what the alternative costs.
+
+// Fig5Config selects one configuration.
+type Fig5Config struct {
+	Label string
+	// Engine attaches a DSU engine (all configs run the same VM).
+	Engine bool
+	// UpdateFrom, if >= 0, starts at that version index and updates to
+	// the measurement version before the run.
+	UpdateFrom int
+	// MeasureVersion is the version index measured.
+	MeasureVersion int
+}
+
+// Fig5Result is one configuration's summary over runs.
+type Fig5Result struct {
+	Config     Fig5Config
+	Throughput Summary // responses per wall second
+	Latency    Summary // ms per request (mean within each run)
+}
+
+// Fig5Options sizes the experiment.
+type Fig5Options struct {
+	Runs     int           // paper: 21
+	Duration time.Duration // measurement window per run (paper: 60 s)
+	Heap     int
+}
+
+// DefaultFig5Configs mirrors the paper's three rows, measured on the last
+// webserver release that has a predecessor (5.1.6 updated from 5.1.5).
+func DefaultFig5Configs(app *apps.App) []Fig5Config {
+	measure := 6 // 5.1.6
+	return []Fig5Config{
+		{Label: "stock VM (no DSU engine)", Engine: false, UpdateFrom: -1, MeasureVersion: measure},
+		{Label: "govolve (DSU engine idle)", Engine: true, UpdateFrom: -1, MeasureVersion: measure},
+		{Label: "govolve, updated 5.1.5→5.1.6", Engine: true, UpdateFrom: measure - 1, MeasureVersion: measure},
+	}
+}
+
+// RunFig5 measures all configurations.
+func RunFig5(app *apps.App, configs []Fig5Config, opts Fig5Options, progress io.Writer) ([]Fig5Result, error) {
+	if opts.Runs <= 0 {
+		opts.Runs = 5
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 300 * time.Millisecond
+	}
+	if opts.Heap <= 0 {
+		opts.Heap = 1 << 20
+	}
+	var results []Fig5Result
+	for _, cfg := range configs {
+		var thr, lat []float64
+		for r := 0; r < opts.Runs; r++ {
+			t, l, err := runFig5Once(app, cfg, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig5 %q run %d: %w", cfg.Label, r, err)
+			}
+			thr = append(thr, t)
+			lat = append(lat, l)
+			if progress != nil {
+				fmt.Fprintf(progress, ".")
+			}
+		}
+		if progress != nil {
+			fmt.Fprintln(progress)
+		}
+		results = append(results, Fig5Result{
+			Config:     cfg,
+			Throughput: Summarize(thr),
+			Latency:    Summarize(lat),
+		})
+	}
+	return results, nil
+}
+
+func runFig5Once(app *apps.App, cfg Fig5Config, opts Fig5Options) (throughput, latencyMs float64, err error) {
+	start := cfg.MeasureVersion
+	if cfg.UpdateFrom >= 0 {
+		start = cfg.UpdateFrom
+	}
+	s, err := apps.Launch(app, apps.LaunchOptions{Version: start, HeapWords: opts.Heap})
+	if err != nil {
+		return 0, 0, err
+	}
+	if !cfg.Engine {
+		// Detach the engine: a stock VM has no update handler.
+		s.VM.UpdateHandler = nil
+	}
+	if cfg.UpdateFrom >= 0 {
+		res, err := s.ApplyNext(core.Options{MaxAttempts: 500}, true)
+		if err != nil {
+			return 0, 0, err
+		}
+		if res.Outcome != core.Applied {
+			return 0, 0, fmt.Errorf("pre-measurement update: %v (%v)", res.Outcome, res.Err)
+		}
+	}
+	if err := s.VerifyActive(); err != nil {
+		return 0, 0, err
+	}
+	// Warmup lets the adaptive compiler reach steady state.
+	for i := 0; i < 10; i++ {
+		if _, err := s.DoBatch(); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	requests := 0
+	var latTotal time.Duration
+	t0 := time.Now()
+	for time.Since(t0) < opts.Duration {
+		w := app.Workloads[0]
+		conn, err := s.VM.Net.Connect(w.Port)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, line := range w.Lines {
+			q0 := time.Now()
+			if err := s.VM.Net.ClientSend(conn, line); err != nil {
+				break
+			}
+			ok := false
+			for i := 0; i < 5000; i++ {
+				s.VM.Step(2)
+				if _, got := s.VM.Net.ClientRecv(conn); got {
+					ok = true
+					break
+				}
+				if s.VM.Net.ClientClosed(conn) {
+					break
+				}
+			}
+			if !ok {
+				return 0, 0, fmt.Errorf("request %q timed out", line)
+			}
+			latTotal += time.Since(q0)
+			requests++
+		}
+		s.VM.Net.ClientClose(conn)
+		s.VM.Step(5)
+	}
+	elapsed := time.Since(t0)
+	if requests == 0 {
+		return 0, 0, fmt.Errorf("no requests completed")
+	}
+	return float64(requests) / elapsed.Seconds(),
+		Millis(latTotal) / float64(requests), nil
+}
+
+// PrintFig5 renders the three-row comparison.
+func PrintFig5(w io.Writer, results []Fig5Result) {
+	fmt.Fprintf(w, "Figure 5: steady-state webserver performance\n")
+	fmt.Fprintf(w, "%-34s %22s %22s\n", "Configuration", "Throughput (req/s)", "Latency (ms/req)")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-34s %10.0f (%0.0f–%0.0f) %12.4f (%0.4f–%0.4f)\n",
+			r.Config.Label,
+			r.Throughput.Median, r.Throughput.Q1, r.Throughput.Q3,
+			r.Latency.Median, r.Latency.Q1, r.Latency.Q3)
+	}
+}

@@ -1,0 +1,60 @@
+// Package bench implements the paper's evaluation harness: the update-pause
+// microbenchmark behind Table 1 and Figure 6, the steady-state
+// throughput/latency experiment behind Figure 5, the UPT summary tables
+// behind Tables 2–4, the §4 update-applicability matrix, and the
+// indirection-overhead ablation motivated by §5's comparison with
+// JDrums/DVM.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Summary reports a sample's median and quartiles — the paper reports
+// medians and inter-quartile ranges over 21 runs ("With 21 runs, the range
+// between the quartiles serves as a 98% confidence interval").
+type Summary struct {
+	N        int
+	Median   float64
+	Q1, Q3   float64
+	Min, Max float64
+}
+
+// Summarize computes the five-number-ish summary of a sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		pos := p * float64(len(s)-1)
+		lo := int(pos)
+		hi := lo
+		if lo+1 < len(s) {
+			hi = lo + 1
+		}
+		frac := pos - float64(lo)
+		return s[lo]*(1-frac) + s[hi]*frac
+	}
+	return Summary{
+		N:      len(s),
+		Median: q(0.5),
+		Q1:     q(0.25),
+		Q3:     q(0.75),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+	}
+}
+
+// IQR returns the inter-quartile range.
+func (s Summary) IQR() float64 { return s.Q3 - s.Q1 }
+
+func (s Summary) String() string {
+	return fmt.Sprintf("median %.3f (q1 %.3f, q3 %.3f, n=%d)", s.Median, s.Q1, s.Q3, s.N)
+}
+
+// Millis converts a duration to float milliseconds.
+func Millis(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"govolve/internal/apps"
+	"govolve/internal/core"
+	"govolve/internal/upt"
+)
+
+// Tables 2–4: per-release update summaries produced by the Update
+// Preparation Tool over each application's version stream — the analog of
+// the paper's "Summary of updates to Jetty / JavaEmailServer / CrossFTP".
+
+// TableRow summarizes one release's diff.
+type TableRow struct {
+	Version      string
+	ExpectAbort  bool
+	ClassesAdded int
+	ClassesDel   int
+	ClassesChg   int // classes with any change (the paper's "# changed classes")
+	MethodsAdded int
+	MethodsDel   int
+	MethodsBody  int // changed body only (the paper's x in x/y)
+	MethodsSig   int // changed signature too (the paper's y)
+	FieldsAdded  int
+	FieldsDel    int
+	FieldsChg    int
+	Indirect     int // category-(2) methods (unchanged bytecode, stale code)
+	BodyOnly     bool
+}
+
+// SummarizeApp runs UPT across the app's releases.
+func SummarizeApp(app *apps.App) ([]TableRow, error) {
+	var rows []TableRow
+	for i := 0; i < app.UpdateCount(); i++ {
+		spec, err := app.Spec(i)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rowFromSpec(app.Versions[i+1], spec))
+	}
+	return rows, nil
+}
+
+func rowFromSpec(target apps.Version, spec *upt.Spec) TableRow {
+	row := TableRow{
+		Version:      target.Name,
+		ExpectAbort:  target.ExpectAbort,
+		ClassesAdded: len(spec.AddedClasses),
+		ClassesDel:   len(spec.DeletedClasses),
+		ClassesChg:   len(spec.Diffs),
+		Indirect:     len(spec.IndirectMethods),
+		BodyOnly:     target.BodyOnly,
+	}
+	for _, d := range spec.Diffs {
+		row.MethodsAdded += len(d.MethodsAdded)
+		row.MethodsDel += len(d.MethodsDeleted)
+		row.MethodsBody += len(d.MethodsBodyChanged)
+		row.MethodsSig += len(d.MethodsSigChanged)
+		row.FieldsAdded += len(d.FieldsAdded)
+		row.FieldsDel += len(d.FieldsDeleted)
+		row.FieldsChg += len(d.FieldsChanged)
+	}
+	return row
+}
+
+// PrintTable renders one app's summary in the paper's column style (the
+// "x/y" method notation means x body-only changes, y signature changes).
+func PrintTable(w io.Writer, app *apps.App, rows []TableRow) {
+	fmt.Fprintf(w, "Summary of updates to %s\n", app.Name)
+	fmt.Fprintf(w, "%-9s %7s %7s %7s | %7s %7s %9s | %7s %7s %7s | %8s\n",
+		"Ver.", "cls+", "cls-", "cls~", "mth+", "mth-", "mth~(x/y)", "fld+", "fld-", "fld~", "indirect")
+	for _, r := range rows {
+		name := r.Version
+		if r.ExpectAbort {
+			name += "*"
+		}
+		fmt.Fprintf(w, "%-9s %7d %7d %7d | %7d %7d %6d/%-2d | %7d %7d %7d | %8d\n",
+			name, r.ClassesAdded, r.ClassesDel, r.ClassesChg,
+			r.MethodsAdded, r.MethodsDel, r.MethodsBody, r.MethodsSig,
+			r.FieldsAdded, r.FieldsDel, r.FieldsChg, r.Indirect)
+	}
+	fmt.Fprintln(w, "(* = update cannot be applied dynamically: a changed method never leaves the stack)")
+	fmt.Fprintln(w)
+}
+
+// PrintMatrix renders the §4 update-applicability experiment.
+func PrintMatrix(w io.Writer, entries []apps.MatrixEntry) {
+	fmt.Fprintf(w, "%-12s %-9s %-9s %-8s %5s %4s %6s  %s\n",
+		"App", "From", "To", "Outcome", "barr", "OSR", "pause", "Note")
+	applied, aborted, bodyOnly := 0, 0, 0
+	for _, e := range entries {
+		fmt.Fprintf(w, "%-12s %-9s %-9s %-8s %5d %4d %5.1fms  %s\n",
+			e.App, e.From, e.To, e.Outcome,
+			e.Stats.BarriersInstalled, e.Stats.OSRFrames,
+			Millis(e.Stats.PauseTotal), e.Note)
+		switch e.Outcome {
+		case core.Applied:
+			applied++
+		case core.Aborted:
+			aborted++
+		}
+		if e.BodyOnly {
+			bodyOnly++
+		}
+	}
+	fmt.Fprintf(w, "\napplied %d of %d updates (%d aborted: changed methods always on stack)\n",
+		applied, len(entries), aborted)
+	fmt.Fprintf(w, "a method-body-only DSU system could support %d of %d\n", bodyOnly, len(entries))
+}

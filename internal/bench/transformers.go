@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Transformer-strategy experiment: the paper observes (§4.1) that "the cost
+// of running transformers is higher than the extra copying cost incurred
+// during GC … a naively compiled field-by-field copy is much slower than
+// the collector's highly-optimized copying loop", and sketches optimizing
+// it. This experiment quantifies that remark by running the Table 1
+// microbenchmark at 100% updated objects with the interpreted default
+// transformers (the paper's configuration) and with the native bulk-copy
+// fast path.
+type TransformerStrategyResult struct {
+	Objects          int
+	InterpretedMs    Summary // transformer phase, interpreted defaults
+	NativeMs         Summary // transformer phase, bulk-copy fast path
+	InterpretedTotal Summary // total pause
+	NativeTotal      Summary
+	Speedup          float64 // interpreted / native (transformer phase medians)
+}
+
+// RunTransformerStrategy measures both strategies.
+func RunTransformerStrategy(objects, runs int, progress io.Writer) (*TransformerStrategyResult, error) {
+	if runs <= 0 {
+		runs = 3
+	}
+	measure := func(fast bool) (tr, tot []float64, err error) {
+		for r := 0; r < runs; r++ {
+			res, err := RunMicro(MicroConfig{
+				Objects: objects, FracUpdated: 1, FastDefaults: fast,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			tr = append(tr, Millis(res.Transform))
+			tot = append(tot, Millis(res.Total))
+			if progress != nil {
+				fmt.Fprintf(progress, ".")
+			}
+		}
+		return tr, tot, nil
+	}
+	itr, itot, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	ntr, ntot, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	if progress != nil {
+		fmt.Fprintln(progress)
+	}
+	res := &TransformerStrategyResult{
+		Objects:          objects,
+		InterpretedMs:    Summarize(itr),
+		NativeMs:         Summarize(ntr),
+		InterpretedTotal: Summarize(itot),
+		NativeTotal:      Summarize(ntot),
+	}
+	if res.NativeMs.Median > 0 {
+		res.Speedup = res.InterpretedMs.Median / res.NativeMs.Median
+	}
+	return res, nil
+}
+
+// PrintTransformerStrategy renders the comparison.
+func PrintTransformerStrategy(w io.Writer, r *TransformerStrategyResult) {
+	fmt.Fprintf(w, "Transformer execution strategy (%d objects, 100%% updated)\n", r.Objects)
+	fmt.Fprintf(w, "%-36s %14s %14s\n", "strategy", "transform (ms)", "total pause (ms)")
+	fmt.Fprintf(w, "%-36s %14.1f %14.1f\n", "interpreted defaults (paper's setup)",
+		r.InterpretedMs.Median, r.InterpretedTotal.Median)
+	fmt.Fprintf(w, "%-36s %14.1f %14.1f\n", "native bulk copy (§4.1 optimization)",
+		r.NativeMs.Median, r.NativeTotal.Median)
+	fmt.Fprintf(w, "transformer-phase speedup: %.1fx\n", r.Speedup)
+}

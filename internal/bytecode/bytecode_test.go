@@ -1,0 +1,72 @@
+package bytecode
+
+import "testing"
+
+func TestOpNamesRoundTrip(t *testing.T) {
+	for name, op := range OpByName {
+		if op.String() != name {
+			t.Errorf("op %q round trips to %q", name, op.String())
+		}
+		if op.IsResolved() {
+			t.Errorf("resolved op %q exposed to the assembler", name)
+		}
+	}
+	if _, ok := OpByName["getfield_r"]; ok {
+		t.Error("resolved opcode reachable by name")
+	}
+}
+
+func TestBranchPredicates(t *testing.T) {
+	if !GOTO.IsBranch() || GOTO.IsConditional() {
+		t.Error("GOTO classification wrong")
+	}
+	if !IFEQ.IsBranch() || !IFEQ.IsConditional() {
+		t.Error("IFEQ classification wrong")
+	}
+	if RETURN.IsBranch() || ADD.IsBranch() {
+		t.Error("non-branches classified as branches")
+	}
+	if !GETFIELD_R.IsResolved() || GETFIELD.IsResolved() {
+		t.Error("IsResolved wrong")
+	}
+}
+
+func TestSymSplitting(t *testing.T) {
+	i := Ins{Sym: "User.name"}
+	if i.SymClass() != "User" || i.SymMember() != "name" {
+		t.Errorf("split = %q, %q", i.SymClass(), i.SymMember())
+	}
+	bare := Ins{Sym: "User"}
+	if bare.SymClass() != "User" || bare.SymMember() != "" {
+		t.Errorf("bare split = %q, %q", bare.SymClass(), bare.SymMember())
+	}
+}
+
+func TestCodeEqual(t *testing.T) {
+	a := []Ins{{Op: CONST, A: 1}, {Op: RETURN}}
+	b := []Ins{{Op: CONST, A: 1}, {Op: RETURN}}
+	c := []Ins{{Op: CONST, A: 2}, {Op: RETURN}}
+	if !CodeEqual(a, b) || CodeEqual(a, c) || CodeEqual(a, a[:1]) {
+		t.Error("CodeEqual wrong")
+	}
+}
+
+func TestReferencedClasses(t *testing.T) {
+	code := []Ins{
+		{Op: NEW, Sym: "A"},
+		{Op: GETFIELD, Sym: "B.x"},
+		{Op: INVOKEVIRTUAL, Sym: "C.m"},
+		{Op: CONST, A: 1},
+		{Op: GETSTATIC, Sym: "D.s"},
+		{Op: INSTANCEOF, Sym: "E"},
+	}
+	refs := ReferencedClasses(code)
+	for _, want := range []string{"A", "B", "C", "D", "E"} {
+		if !refs[want] {
+			t.Errorf("missing ref %s", want)
+		}
+	}
+	if len(refs) != 5 {
+		t.Errorf("refs = %v", refs)
+	}
+}

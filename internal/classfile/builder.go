@@ -1,0 +1,235 @@
+package classfile
+
+import (
+	"fmt"
+
+	"govolve/internal/bytecode"
+)
+
+// ClassBuilder assembles a Class programmatically. The microbenchmarks and
+// UPT's default-transformer generator use it; applications are usually
+// written in assembler text (internal/asm) instead.
+type ClassBuilder struct {
+	c   *Class
+	err error
+}
+
+// NewClass starts a builder for the named class extending super.
+func NewClass(name, super string) *ClassBuilder {
+	return &ClassBuilder{c: &Class{Name: name, Super: super}}
+}
+
+// Field adds a public instance field.
+func (b *ClassBuilder) Field(name string, d Desc) *ClassBuilder {
+	return b.FieldSpec(Field{Name: name, Desc: d})
+}
+
+// StaticField adds a public static field.
+func (b *ClassBuilder) StaticField(name string, d Desc) *ClassBuilder {
+	return b.FieldSpec(Field{Name: name, Desc: d, Static: true})
+}
+
+// FieldSpec adds a fully specified field.
+func (b *ClassBuilder) FieldSpec(f Field) *ClassBuilder {
+	if b.err == nil && b.c.Field(f.Name) != nil {
+		b.err = fmt.Errorf("classfile: duplicate field %s.%s", b.c.Name, f.Name)
+	}
+	b.c.Fields = append(b.c.Fields, f)
+	return b
+}
+
+// Method starts a method body builder for a public instance method.
+func (b *ClassBuilder) Method(name string, sig Sig) *MethodBuilder {
+	return b.methodSpec(&Method{Name: name, Sig: sig})
+}
+
+// StaticMethod starts a body builder for a public static method.
+func (b *ClassBuilder) StaticMethod(name string, sig Sig) *MethodBuilder {
+	return b.methodSpec(&Method{Name: name, Sig: sig, Static: true})
+}
+
+// NativeMethod declares a native method whose body the VM supplies.
+func (b *ClassBuilder) NativeMethod(name string, sig Sig, static bool) *ClassBuilder {
+	b.c.Methods = append(b.c.Methods, &Method{
+		Name: name, Sig: sig, Static: static, Native: true,
+	})
+	return b
+}
+
+func (b *ClassBuilder) methodSpec(m *Method) *MethodBuilder {
+	if b.err == nil && b.c.Method(m.Name, m.Sig) != nil {
+		b.err = fmt.Errorf("classfile: duplicate method %s.%s%s", b.c.Name, m.Name, m.Sig)
+	}
+	b.c.Methods = append(b.c.Methods, m)
+	nargs := m.Sig.NumArgs()
+	if nargs < 0 {
+		nargs = 0
+		if b.err == nil {
+			b.err = fmt.Errorf("classfile: bad signature %s.%s%s", b.c.Name, m.Name, m.Sig)
+		}
+	}
+	locals := nargs
+	if !m.Static {
+		locals++
+	}
+	return &MethodBuilder{class: b, m: m, maxLocal: locals - 1}
+}
+
+// Build finalizes the class, validating it.
+func (b *ClassBuilder) Build() (*Class, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.c.Validate(); err != nil {
+		return nil, err
+	}
+	return b.c, nil
+}
+
+// MustBuild finalizes the class and panics on error; for tests and
+// statically-known-correct construction (bootstrap classes).
+func (b *ClassBuilder) MustBuild() *Class {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MethodBuilder emits instructions into a method body. Labels are small
+// integers declared with Label and referenced by branch emitters; Done
+// resolves them to instruction indexes.
+type MethodBuilder struct {
+	class    *ClassBuilder
+	m        *Method
+	labels   map[string]int // label -> instruction index
+	fixups   map[int]string // instruction index -> label
+	maxLocal int
+}
+
+func (mb *MethodBuilder) emit(ins bytecode.Ins) *MethodBuilder {
+	mb.m.Code = append(mb.m.Code, ins)
+	return mb
+}
+
+// Op emits a no-operand instruction.
+func (mb *MethodBuilder) Op(op bytecode.Op) *MethodBuilder {
+	return mb.emit(bytecode.Ins{Op: op})
+}
+
+// Const pushes an integer constant.
+func (mb *MethodBuilder) Const(v int64) *MethodBuilder {
+	return mb.emit(bytecode.Ins{Op: bytecode.CONST, A: v})
+}
+
+// Null pushes the null reference.
+func (mb *MethodBuilder) Null() *MethodBuilder { return mb.Op(bytecode.NULL) }
+
+// Ldc pushes an interned string.
+func (mb *MethodBuilder) Ldc(s string) *MethodBuilder {
+	return mb.emit(bytecode.Ins{Op: bytecode.LDC, Str: s})
+}
+
+// Load pushes local slot i.
+func (mb *MethodBuilder) Load(i int) *MethodBuilder {
+	if i > mb.maxLocal {
+		mb.maxLocal = i
+	}
+	return mb.emit(bytecode.Ins{Op: bytecode.LOAD, A: int64(i)})
+}
+
+// Store pops into local slot i.
+func (mb *MethodBuilder) Store(i int) *MethodBuilder {
+	if i > mb.maxLocal {
+		mb.maxLocal = i
+	}
+	return mb.emit(bytecode.Ins{Op: bytecode.STORE, A: int64(i)})
+}
+
+// New allocates an instance of the named class.
+func (mb *MethodBuilder) New(class string) *MethodBuilder {
+	return mb.emit(bytecode.Ins{Op: bytecode.NEW, Sym: class})
+}
+
+// GetField reads an instance field.
+func (mb *MethodBuilder) GetField(class, field string, d Desc) *MethodBuilder {
+	return mb.emit(bytecode.Ins{Op: bytecode.GETFIELD, Sym: class + "." + field, Desc: string(d)})
+}
+
+// PutField writes an instance field.
+func (mb *MethodBuilder) PutField(class, field string, d Desc) *MethodBuilder {
+	return mb.emit(bytecode.Ins{Op: bytecode.PUTFIELD, Sym: class + "." + field, Desc: string(d)})
+}
+
+// GetStatic reads a static field.
+func (mb *MethodBuilder) GetStatic(class, field string, d Desc) *MethodBuilder {
+	return mb.emit(bytecode.Ins{Op: bytecode.GETSTATIC, Sym: class + "." + field, Desc: string(d)})
+}
+
+// PutStatic writes a static field.
+func (mb *MethodBuilder) PutStatic(class, field string, d Desc) *MethodBuilder {
+	return mb.emit(bytecode.Ins{Op: bytecode.PUTSTATIC, Sym: class + "." + field, Desc: string(d)})
+}
+
+// NewArray allocates an array with the element descriptor.
+func (mb *MethodBuilder) NewArray(elem Desc) *MethodBuilder {
+	return mb.emit(bytecode.Ins{Op: bytecode.NEWARRAY, Desc: string(elem)})
+}
+
+// Invoke emits a call of the given dispatch kind.
+func (mb *MethodBuilder) Invoke(op bytecode.Op, class, name string, sig Sig) *MethodBuilder {
+	return mb.emit(bytecode.Ins{Op: op, Sym: class + "." + name, Desc: string(sig)})
+}
+
+// Virtual emits invokevirtual.
+func (mb *MethodBuilder) Virtual(class, name string, sig Sig) *MethodBuilder {
+	return mb.Invoke(bytecode.INVOKEVIRTUAL, class, name, sig)
+}
+
+// Static emits invokestatic.
+func (mb *MethodBuilder) Static(class, name string, sig Sig) *MethodBuilder {
+	return mb.Invoke(bytecode.INVOKESTATIC, class, name, sig)
+}
+
+// Special emits invokespecial (constructors, super calls).
+func (mb *MethodBuilder) Special(class, name string, sig Sig) *MethodBuilder {
+	return mb.Invoke(bytecode.INVOKESPECIAL, class, name, sig)
+}
+
+// Label declares a label at the next instruction index.
+func (mb *MethodBuilder) Label(name string) *MethodBuilder {
+	if mb.labels == nil {
+		mb.labels = make(map[string]int)
+	}
+	mb.labels[name] = len(mb.m.Code)
+	return mb
+}
+
+// Branch emits a branch to the named label (forward references allowed).
+func (mb *MethodBuilder) Branch(op bytecode.Op, label string) *MethodBuilder {
+	if mb.fixups == nil {
+		mb.fixups = make(map[int]string)
+	}
+	mb.fixups[len(mb.m.Code)] = label
+	return mb.emit(bytecode.Ins{Op: op})
+}
+
+// Ret emits a return.
+func (mb *MethodBuilder) Ret() *MethodBuilder { return mb.Op(bytecode.RETURN) }
+
+// Done resolves labels and returns to the class builder.
+func (mb *MethodBuilder) Done() *ClassBuilder {
+	for idx, label := range mb.fixups {
+		target, ok := mb.labels[label]
+		if !ok {
+			if mb.class.err == nil {
+				mb.class.err = fmt.Errorf("classfile: %s.%s: undefined label %q",
+					mb.class.c.Name, mb.m.Name, label)
+			}
+			continue
+		}
+		mb.m.Code[idx].A = int64(target)
+	}
+	mb.m.MaxLocals = mb.maxLocal + 1
+	return mb.class
+}

@@ -1,0 +1,166 @@
+package classfile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"govolve/internal/bytecode"
+)
+
+type bytecodeIns = bytecode.Ins
+
+const (
+	gotoOp = bytecode.GOTO
+	popOp  = bytecode.POP
+)
+
+func TestDescKinds(t *testing.T) {
+	cases := []struct {
+		d    Desc
+		kind Kind
+		ref  bool
+	}{
+		{"I", KInt, false},
+		{"Z", KBool, false},
+		{"C", KChar, false},
+		{"V", KVoid, false},
+		{"LUser;", KRef, true},
+		{"LObject;", KRef, true},
+		{"[I", KArray, true},
+		{"[[I", KArray, true},
+		{"[LUser;", KArray, true},
+		{"", KInvalid, false},
+		{"L;", KInvalid, false},
+		{"LUser", KInvalid, false},
+		{"X", KInvalid, false},
+		{"[V", KInvalid, false},
+		{"II", KInvalid, false},
+	}
+	for _, c := range cases {
+		if got := c.d.Kind(); got != c.kind {
+			t.Errorf("Kind(%q) = %v, want %v", c.d, got, c.kind)
+		}
+		if got := c.d.IsRef(); got != c.ref {
+			t.Errorf("IsRef(%q) = %v, want %v", c.d, got, c.ref)
+		}
+	}
+}
+
+func TestDescAccessors(t *testing.T) {
+	if got := Desc("LUser;").ClassName(); got != "User" {
+		t.Errorf("ClassName = %q", got)
+	}
+	if got := Desc("[LUser;").Elem(); got != "LUser;" {
+		t.Errorf("Elem = %q", got)
+	}
+	if got := RefOf("User"); got != "LUser;" {
+		t.Errorf("RefOf = %q", got)
+	}
+	if got := ArrayOf("I"); got != "[I" {
+		t.Errorf("ArrayOf = %q", got)
+	}
+}
+
+func TestParseSig(t *testing.T) {
+	cases := []struct {
+		sig  Sig
+		args int
+		ret  Desc
+		ok   bool
+	}{
+		{"()V", 0, "V", true},
+		{"(I)I", 1, "I", true},
+		{"(ILString;)V", 2, "V", true},
+		{"(LString;LString;)Z", 2, "Z", true},
+		{"([I[LUser;)[C", 2, "[C", true},
+		{"(II", 0, "", false},
+		{"I)V", 0, "", false},
+		{"()", 0, "", false},
+		{"(X)V", 0, "", false},
+		{"(LFoo)V", 0, "", false},
+	}
+	for _, c := range cases {
+		args, ret, err := ParseSig(c.sig)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseSig(%q) err = %v, want ok=%v", c.sig, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if len(args) != c.args || ret != c.ret {
+			t.Errorf("ParseSig(%q) = %v, %q; want %d args, ret %q", c.sig, args, ret, c.args, c.ret)
+		}
+	}
+}
+
+// Property: any signature built from valid descriptors parses back to the
+// same components.
+func TestSigRoundTripProperty(t *testing.T) {
+	descs := []Desc{"I", "Z", "C", "LUser;", "LString;", "[I", "[LUser;", "[[C"}
+	f := func(picks []uint8, retPick uint8) bool {
+		if len(picks) > 6 {
+			picks = picks[:6]
+		}
+		sig := "("
+		var want []Desc
+		for _, p := range picks {
+			d := descs[int(p)%len(descs)]
+			want = append(want, d)
+			sig += string(d)
+		}
+		ret := descs[int(retPick)%len(descs)]
+		sig += ")" + string(ret)
+		args, r, err := ParseSig(Sig(sig))
+		if err != nil || r != ret || len(args) != len(want) {
+			return false
+		}
+		for i := range want {
+			if args[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassValidate(t *testing.T) {
+	good := NewClass("A", "Object").
+		Field("x", "I").
+		Method("get()", "()I").Load(0).GetField("A", "x", "I").Ret().Done().
+		MustBuild()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid class rejected: %v", err)
+	}
+
+	dupField := &Class{Name: "B", Fields: []Field{{Name: "x", Desc: "I"}, {Name: "x", Desc: "I"}}}
+	if err := dupField.Validate(); err == nil {
+		t.Error("duplicate field accepted")
+	}
+	badDesc := &Class{Name: "C", Fields: []Field{{Name: "x", Desc: "Q"}}}
+	if err := badDesc.Validate(); err == nil {
+		t.Error("bad descriptor accepted")
+	}
+	badBranch := &Class{Name: "D", Methods: []*Method{{
+		Name: "m", Sig: "()V", Code: []bytecodeIns{{Op: gotoOp, A: 99}},
+	}}}
+	if err := badBranch.Validate(); err == nil {
+		t.Error("out-of-range branch accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := NewClass("A", "Object").
+		Field("x", "I").
+		Method("m", "()V").Const(1).Op(popOp).Ret().Done().
+		MustBuild()
+	d := c.Clone()
+	d.Fields[0].Name = "y"
+	d.Methods[0].Code[0].A = 42
+	if c.Fields[0].Name != "x" || c.Methods[0].Code[0].A != 1 {
+		t.Fatal("Clone shares state with original")
+	}
+}

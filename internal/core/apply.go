@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"govolve/internal/classfile"
+	"govolve/internal/gc"
+	"govolve/internal/rt"
+	"govolve/internal/upt"
+)
+
+// apply commits the update at a DSU safe point. Order (paper §3.3–3.4):
+// install modified classes and metadata → OSR category-(2) frames (and
+// active-method rewrites) → DSU garbage collection → class transformers →
+// object transformers → class initializers of brand-new classes → resume.
+func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *Result {
+	spec := p.Spec
+	reg := e.VM.Reg
+	totalStart := time.Now()
+	fail := func(err error) *Result {
+		return &Result{Outcome: Failed, Err: err}
+	}
+
+	// --- Install -----------------------------------------------------------
+	tInstall := time.Now()
+
+	for _, name := range spec.DeletedClasses {
+		if cls := reg.LookupClass(name); cls != nil {
+			reg.DetachSubclass(cls)
+			reg.Unregister(cls)
+		}
+	}
+
+	// Rename all old versions first so their names are free, then load the
+	// new versions superclass-first; RVMClass metadata, TIBs and fresh
+	// JTOC slots are built by the registry's linker.
+	type renamed struct {
+		old  *rt.Class
+		name string
+	}
+	var renames []renamed
+	for _, name := range spec.ClassUpdates {
+		old := reg.LookupClass(name)
+		if old == nil {
+			continue
+		}
+		rn := spec.RenamedName(name)
+		reg.DetachSubclass(old)
+		if err := reg.RenameClass(old, rn, spec.OldFlatDefs[rn]); err != nil {
+			return fail(fmt.Errorf("core: install: %w", err))
+		}
+		renames = append(renames, renamed{old, name})
+	}
+
+	toLoad, err := classfile.NewProgram()
+	if err != nil {
+		return fail(err)
+	}
+	for _, name := range spec.ClassUpdates {
+		if def, ok := spec.New.Classes[name]; ok {
+			if err := toLoad.Add(def); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	for _, name := range spec.AddedClasses {
+		if err := toLoad.Add(spec.New.Classes[name]); err != nil {
+			return fail(err)
+		}
+	}
+	order, err := rt.SuperFirst(toLoad)
+	if err != nil {
+		return fail(fmt.Errorf("core: install: %w", err))
+	}
+	for _, def := range order {
+		if _, err := reg.Load(def); err != nil {
+			return fail(fmt.Errorf("core: install %s: %w", def.Name, err))
+		}
+	}
+	for _, r := range renames {
+		newCls := reg.LookupClass(r.name)
+		if newCls == nil {
+			return fail(fmt.Errorf("core: install: new version of %s missing", r.name))
+		}
+		r.old.UpdatedTo = newCls
+	}
+
+	// Method-body updates: swap the bytecode behind existing method
+	// identities and invalidate their compiled code; the JIT recompiles on
+	// next invocation and the adaptive system re-optimizes over time.
+	for _, ref := range spec.MethodBodyUpdates {
+		cls := reg.LookupClass(ref.Class)
+		ndef := spec.New.Classes[ref.Class]
+		if cls == nil || ndef == nil {
+			continue
+		}
+		m := cls.Method(ref.Name, ref.Sig)
+		nm := ndef.Method(ref.Name, ref.Sig)
+		if m == nil || nm == nil {
+			return fail(fmt.Errorf("core: method body update %s: method missing", ref))
+		}
+		m.Def = nm
+		if m.Compiled != nil {
+			m.Compiled.Invalid = true
+			m.Compiled = nil
+		}
+		m.Invocations = 0 // profiles are invalidated (paper §3.3)
+		p.stats.InvalidatedMethods++
+	}
+	// Refresh whole definitions of body-updated classes so later diffs and
+	// verification see current code.
+	seen := map[string]bool{}
+	for _, ref := range spec.MethodBodyUpdates {
+		if seen[ref.Class] {
+			continue
+		}
+		seen[ref.Class] = true
+		if cls := reg.LookupClass(ref.Class); cls != nil {
+			if ndef := spec.New.Classes[ref.Class]; ndef != nil {
+				cls.Def = ndef
+			}
+		}
+	}
+
+	// Invalidate every compiled method whose code bakes in an updated
+	// class's layout or inlines an updated method — they recompile against
+	// the new metadata on next call (category (2), the "indirect" set).
+	updatedOldSet := make(map[*rt.Class]bool, len(renames))
+	for _, r := range renames {
+		updatedOldSet[r.old] = true
+	}
+	for _, m := range reg.Methods() {
+		cm := m.Compiled
+		if cm == nil || cm.Invalid {
+			continue
+		}
+		stale := cm.InlinedAny(cat1)
+		if !stale {
+			for dep := range cm.LayoutDeps {
+				if updatedOldSet[dep] {
+					stale = true
+					break
+				}
+			}
+		}
+		if stale {
+			cm.Invalid = true
+			m.Compiled = nil
+			p.stats.InvalidatedMethods++
+		}
+	}
+
+	// Load the transformer class (replacing any leftover from a previous
+	// update; the VM may delete it after transformation).
+	if old := reg.LookupClass(upt.TransformersClassName); old != nil {
+		reg.Unregister(old)
+	}
+	transformers, err := reg.Load(spec.Transformers)
+	if err != nil {
+		return fail(fmt.Errorf("core: loading transformers: %w", err))
+	}
+	p.stats.PauseInstall = time.Since(tInstall)
+
+	// --- OSR ---------------------------------------------------------------
+	for _, job := range osrJobs {
+		f := job.frame
+		m := f.CM.Method
+		target := m
+		if m.Class.Renamed && m.Class.UpdatedTo != nil {
+			// The class was replaced; continue in the new version's
+			// method of the same identity. (For body-only updates the
+			// same rt.Method now carries the new bytecode.)
+			target = m.Class.UpdatedTo.Method(m.Def.Name, m.Def.Sig)
+			if target == nil {
+				return fail(fmt.Errorf("core: OSR: %s has no counterpart in new version", m.FullName()))
+			}
+		}
+		cm, err := e.VM.JIT.Compile(target, rt.Base)
+		if err != nil {
+			return fail(fmt.Errorf("core: OSR compile %s: %w", target.FullName(), err))
+		}
+		if target.Compiled == nil {
+			target.Compiled = cm
+		}
+		if job.active != nil {
+			newPC, ok := job.active.PC[f.PC]
+			if !ok {
+				return fail(fmt.Errorf("core: active-method update: pc %d of %s not in yield-point map", f.PC, m.FullName()))
+			}
+			if err := e.VM.OSRRewrite(f, cm, newPC, job.active.Locals); err != nil {
+				return fail(fmt.Errorf("core: active-method update: %w", err))
+			}
+			p.stats.ActiveRewrites++
+		} else if err := e.VM.OSRReplace(f, cm); err != nil {
+			return fail(fmt.Errorf("core: OSR: %w", err))
+		}
+		p.stats.OSRFrames++
+	}
+
+	// --- DSU garbage collection ---------------------------------------------
+	tGC := time.Now()
+	gcRes, err := e.VM.GC.Collect(e.VM, true)
+	if err != nil {
+		return fail(fmt.Errorf("core: DSU collection: %w", err))
+	}
+	p.stats.PauseGC = time.Since(tGC)
+	p.stats.CopiedObjects = gcRes.CopiedObjects
+	p.stats.CopiedWords = gcRes.CopiedWords
+	p.stats.ScratchWords = gcRes.ScratchWords
+
+	// --- Transformers --------------------------------------------------------
+	tTr := time.Now()
+	if err := e.runTransformers(p, spec, transformers, gcRes); err != nil {
+		return fail(err)
+	}
+	p.stats.PauseTransform = time.Since(tTr)
+	p.stats.TransformedObjects = len(gcRes.Log)
+	if gcRes.ScratchWords > 0 {
+		// Old copies lived in the scratch region; reclaim it immediately
+		// (§3.5: "reclaim it when the collection completes") instead of
+		// waiting for the next collection to sweep them from to-space.
+		e.VM.Heap.ResetScratch()
+	}
+
+	// --- Class initializers of brand-new classes -----------------------------
+	for _, name := range spec.AddedClasses {
+		if cls := reg.LookupClass(name); cls != nil {
+			if err := e.VM.RunClinit(cls); err != nil {
+				return fail(fmt.Errorf("core: <clinit> of added class %s: %w", name, err))
+			}
+		}
+	}
+
+	// --- Cleanup --------------------------------------------------------------
+	// The old class versions and the transformer class have done their
+	// job; unregistering them lets the next collection reclaim everything
+	// (the update log is dropped with gcRes).
+	for _, r := range renames {
+		r.old.UpdatedTo = nil
+		reg.Unregister(r.old)
+	}
+	reg.Unregister(transformers)
+
+	p.stats.PauseTotal = time.Since(totalStart)
+	return &Result{Outcome: Applied}
+}
+
+// runTransformers executes class transformers for every updated class, then
+// object transformers over the update log. Transformers run on synchronous
+// VM threads with collection disabled (the log holds raw addresses). The
+// Jvolve.forceTransform native lets a transformer eagerly transform an
+// object it must dereference; cycles abort the update (paper §3.4).
+func (e *Engine) runTransformers(p *Pending, spec *upt.Spec, transformers *rt.Class, gcRes *gc.Result) error {
+	v := e.VM
+	v.GCDisabled = true
+	defer func() { v.GCDisabled = false }()
+
+	const (
+		stNone = iota
+		stInProgress
+		stDone
+	)
+	status := make(map[rt.Addr]int, len(gcRes.Log))
+
+	var transform func(newAddr rt.Addr) error
+	transform = func(newAddr rt.Addr) error {
+		if newAddr == rt.Null {
+			return nil
+		}
+		switch status[newAddr] {
+		case stDone:
+			return nil
+		case stInProgress:
+			return fmt.Errorf("core: transformer cycle detected at object @%d; aborting update", newAddr)
+		}
+		oldCopy, updated := gcRes.OldForNew[newAddr]
+		if !updated {
+			return nil // not an updated object: nothing to do
+		}
+		status[newAddr] = stInProgress
+		newCls := v.Reg.ClassByID(v.Heap.ClassID(newAddr))
+		oldCls := v.Reg.ClassByID(v.Heap.ClassID(oldCopy))
+		if newCls == nil || oldCls == nil {
+			return fmt.Errorf("core: transformer: unknown class for pair @%d/@%d", newAddr, oldCopy)
+		}
+		if p.Opts.FastDefaults && spec.DefaultObjectTransformers[newCls.Name] {
+			// A generated default is a pure copy of unchanged fields;
+			// run it as a bulk copy, skipping interpretation entirely.
+			nativeObjectTransform(v, newCls, oldCls, newAddr, oldCopy)
+			status[newAddr] = stDone
+			return nil
+		}
+		sig := classfile.Sig("(L" + newCls.Name + ";L" + oldCls.Name + ";)V")
+		tm := transformers.Method("jvolveObject", sig)
+		if tm == nil {
+			return fmt.Errorf("core: no object transformer jvolveObject%s", sig)
+		}
+		if err := v.RunSynchronous("jvolveObject:"+newCls.Name, tm,
+			[]rt.Value{rt.RefVal(newAddr), rt.RefVal(oldCopy)}); err != nil {
+			return fmt.Errorf("core: object transformer for %s: %w", newCls.Name, err)
+		}
+		status[newAddr] = stDone
+		return nil
+	}
+
+	v.DSUForceTransform = transform
+	defer func() { v.DSUForceTransform = nil }()
+
+	// Class transformers first, then objects (paper §3.4).
+	for _, name := range spec.ClassUpdates {
+		cls := v.Reg.LookupClass(name)
+		if cls == nil {
+			continue
+		}
+		if p.Opts.FastDefaults && spec.DefaultClassTransformers[name] {
+			oldCls := v.Reg.LookupClass(spec.RenamedName(name))
+			if oldCls != nil {
+				nativeClassTransform(v, cls, oldCls)
+			}
+			continue
+		}
+		sig := classfile.Sig("(L" + name + ";)V")
+		tm := transformers.Method("jvolveClass", sig)
+		if tm == nil {
+			continue // class never loaded old-side or no statics to carry
+		}
+		if err := v.RunSynchronous("jvolveClass:"+name, tm, []rt.Value{rt.NullVal}); err != nil {
+			return fmt.Errorf("core: class transformer for %s: %w", name, err)
+		}
+	}
+	for _, pair := range gcRes.Log {
+		if err := transform(pair.New); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"govolve/internal/core"
+	"govolve/internal/upt"
+	"govolve/internal/vm"
+)
+
+// TestDeletedClassInstancesSurviveGC: an update deletes a class while an
+// instance is still reachable through an Object-typed slot. New code can no
+// longer name the class, but the instance must stay structurally intact
+// across the DSU collection and subsequent ones.
+func TestDeletedClassInstancesSurviveGC(t *testing.T) {
+	f := newFixture(t, 1<<16)
+	v1 := f.load(`
+class Relic {
+  field tag I
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    load 0
+    const 77
+    putfield Relic.tag I
+    return
+  }
+}
+class Keeper {
+  static field held LObject;
+  static method stash()V {
+    new Relic
+    dup
+    invokespecial Relic.<init>()V
+    putstatic Keeper.held LObject;
+    return
+  }
+  static method check()I {
+    getstatic Keeper.held LObject;
+    ifnull gone
+    const 1
+    return
+  gone:
+    const 0
+    return
+  }
+}
+class App {
+  static method main()V {
+    invokestatic Keeper.stash()V
+    const 0
+    store 0
+  loop:
+    load 0
+    const 60000
+    if_icmpge done
+    load 0
+    const 1
+    add
+    store 0
+    goto loop
+  done:
+    invokestatic Keeper.check()I
+    invokestatic System.printInt(I)V
+    return
+  }
+}
+`)
+	// v2 deletes Relic; Keeper keeps holding the instance as an Object.
+	v2 := f.prog(`
+class Keeper {
+  static field held LObject;
+  static method stash()V {
+    return
+  }
+  static method check()I {
+    getstatic Keeper.held LObject;
+    ifnull gone
+    const 1
+    return
+  gone:
+    const 0
+    return
+  }
+}
+class App {
+  static method main()V {
+    invokestatic Keeper.stash()V
+    const 0
+    store 0
+  loop:
+    load 0
+    const 60000
+    if_icmpge done
+    load 0
+    const 1
+    add
+    store 0
+    goto loop
+  done:
+    invokestatic Keeper.check()I
+    invokestatic System.printInt(I)V
+    return
+  }
+}
+`)
+	f.spawn("App")
+	f.vm.Step(2)
+	res := f.mustApply("1", v1, v2, "")
+	_ = res
+	if f.vm.Reg.LookupClass("Relic") != nil {
+		t.Fatal("deleted class still named")
+	}
+	// An extra collection after the update must still trace the orphan.
+	if _, err := f.vm.CollectGarbage(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(f.finish()); got != "1" {
+		t.Fatalf("held = %q, want 1 (instance of deleted class survived)", got)
+	}
+}
+
+// TestConcurrentUpdateRejected: a second RequestUpdate while one is in
+// flight must fail without disturbing the first.
+func TestConcurrentUpdateRejected(t *testing.T) {
+	f := newFixture(t, 1<<16)
+	v1 := f.load(foreverV1)
+	v2 := f.prog(strings.Replace(foreverV1, "const 1\n    ifne top", "const 2\n    ifne top", 1))
+	f.spawn("App")
+	f.vm.Step(2)
+	spec1, err := upt.Prepare("1", v1, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := f.engine.RequestUpdate(spec1, core.Options{MaxAttempts: 1000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.engine.RequestUpdate(spec1, core.Options{}); err == nil {
+		t.Fatal("second in-flight update accepted")
+	}
+	_ = p1
+}
+
+// TestNoOpUpdate: updating to an identical program applies trivially and
+// changes nothing observable.
+func TestNoOpUpdate(t *testing.T) {
+	f := newFixture(t, 1<<16)
+	v1 := f.load(bodyV1)
+	f.spawn("App")
+	f.vm.Step(1)
+	res := f.mustApply("1", v1, f.prog(bodyV1), "")
+	if res.Stats.TransformedObjects != 0 || res.Stats.InvalidatedMethods != 0 {
+		t.Fatalf("no-op update did work: %+v", res.Stats)
+	}
+	if got := strings.TrimSpace(f.finish()); got != "1" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+// TestUpdateWithNoThreads: updates apply on an idle VM (all threads dead).
+func TestUpdateWithNoThreads(t *testing.T) {
+	f := newFixture(t, 1<<16)
+	v1 := f.load(shapeV1)
+	f.spawn("App")
+	if err := f.vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res := f.mustApply("1", v1, f.prog(shapeV2), "")
+	// The App.b static still holds a Box; it must be transformed even
+	// though no thread is alive.
+	if res.Stats.TransformedObjects != 1 {
+		t.Fatalf("transformed %d, want 1 (static-held object)", res.Stats.TransformedObjects)
+	}
+}
+
+// TestUpdateWaitThreadStacksAreScanned: a thread parked on a fired return
+// barrier still has live frames; the DSU collection must treat them as
+// roots (a missed root here would corrupt the resumed frame).
+func TestUpdateWaitThreadStacksAreScanned(t *testing.T) {
+	f := newFixture(t, 1<<16)
+	v1 := f.load(barrierV1)
+	v2 := f.prog(strings.Replace(barrierV1, "const 10\n    return", "const 20\n    return", 1))
+	f.spawn("App")
+	f.vm.Step(2)
+	onStack := false
+	for _, fr := range f.vm.Threads[0].Frames {
+		if strings.Contains(fr.Method().FullName(), "work") {
+			onStack = true
+		}
+	}
+	if !onStack {
+		t.Skip("did not land inside work()")
+	}
+	res := f.mustApply("1", v1, v2, "")
+	if res.Stats.BarriersInstalled == 0 {
+		t.Skip("no barrier fired this run")
+	}
+	if got := strings.TrimSpace(f.finish()); got != "20" {
+		t.Fatalf("result = %q", got)
+	}
+	for _, th := range f.vm.Threads {
+		if th.State == vm.UpdateWait {
+			t.Fatal("thread left in UpdateWait after update")
+		}
+	}
+}

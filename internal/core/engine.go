@@ -1,0 +1,420 @@
+// Package core is the JVOLVE DSU engine — the paper's contribution. It
+// coordinates the VM services the rest of the repository provides:
+//
+//  1. The user signals the VM with an update specification (upt.Spec).
+//  2. The engine sets the yield flag; threads stop at VM safe points.
+//  3. It checks every stack for restricted methods: category (1) methods
+//     whose bytecode changed, category (2) methods whose compiled code
+//     bakes in stale offsets, and category (3) user-blacklisted methods.
+//     Category-(2) base-compiled frames are OSR-able and do not block.
+//  4. Blocking frames get return barriers on the topmost restricted frame
+//     of each thread; when one fires the attempt restarts. A timeout
+//     aborts the update (15 s by default, as in the paper).
+//  5. At a DSU safe point it installs the update: renames old classes,
+//     loads new ones, replaces method bodies, invalidates stale compiled
+//     code, loads the transformer class, OSRs category-(2) frames.
+//  6. It runs a DSU garbage collection that pairs every instance of an
+//     updated class with a fresh new-class object, then executes class
+//     transformers and object transformers over the update log (with
+//     recursive force-transform and cycle detection).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"govolve/internal/bytecode"
+	"govolve/internal/classfile"
+	"govolve/internal/rt"
+	"govolve/internal/upt"
+	"govolve/internal/verifier"
+	"govolve/internal/vm"
+)
+
+// Outcome classifies how an update attempt finished.
+type Outcome int
+
+const (
+	// Applied means the update committed and the program resumed on the
+	// new version.
+	Applied Outcome = iota
+	// Aborted means no DSU safe point was reached before the timeout; the
+	// program continues on the old version, unharmed.
+	Aborted
+	// Failed means the update errored mid-flight (verification passed but
+	// e.g. a transformer trapped or cycled); the VM state is suspect.
+	Failed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Applied:
+		return "applied"
+	case Aborted:
+		return "aborted"
+	default:
+		return "failed"
+	}
+}
+
+// Stats reports the measurable behaviour of one update — the quantities
+// behind the paper's Table 1 and the §4 experience narrative.
+type Stats struct {
+	Attempts           int
+	BarriersInstalled  int
+	OSRFrames          int
+	ActiveRewrites     int  // UpStare-style rewrites of changed on-stack methods
+	Immediate          bool // safe point reached on the first attempt
+	InvalidatedMethods int
+	TransformedObjects int
+	CopiedObjects      int
+	// CopiedWords counts words copied into to-space; ScratchWords counts
+	// old-copy words diverted to the scratch region (§3.5 alternative).
+	CopiedWords  int
+	ScratchWords int
+
+	SafePointDelay time.Duration // request → DSU safe point
+	PauseInstall   time.Duration
+	PauseGC        time.Duration
+	PauseTransform time.Duration
+	PauseTotal     time.Duration
+}
+
+// Result is the terminal state of an update request.
+type Result struct {
+	Outcome Outcome
+	Err     error
+	Stats   Stats
+}
+
+// Options tunes one update request.
+type Options struct {
+	// Timeout aborts the update if no DSU safe point is reached. The
+	// paper uses 15 seconds; zero means that default.
+	Timeout time.Duration
+	// MaxAttempts, if positive, bounds safe-point attempts — a
+	// deterministic alternative to the wall-clock timeout for tests.
+	MaxAttempts int
+	// FastDefaults runs UPT-generated default transformers as native bulk
+	// field copies instead of interpreted bytecode — the optimization the
+	// paper sketches in §4.1 (interpreted field-by-field copy is much
+	// slower than the collector's copying loop). Custom transformers
+	// always run as bytecode.
+	FastDefaults bool
+	// OSROpt extends on-stack replacement to opt-compiled category-(2)
+	// frames whose pc lies outside any inlined region (the paper's "we
+	// plan to support OSR on opt-compiled methods as well").
+	OSROpt bool
+}
+
+// Pending tracks an in-flight update request.
+type Pending struct {
+	Spec    *upt.Spec
+	Opts    Options
+	start   time.Time
+	result  *Result
+	stats   Stats
+	barrier map[*vm.Frame]bool
+}
+
+// Done reports whether the request has finished.
+func (p *Pending) Done() bool { return p.result != nil }
+
+// Result returns the terminal result, or nil while in flight.
+func (p *Pending) Result() *Result { return p.result }
+
+// Engine drives updates against one VM.
+type Engine struct {
+	VM *vm.VM
+
+	pending *Pending
+	// Updates records every finished update, in order.
+	Updates []*Result
+}
+
+// NewEngine attaches a DSU engine to a VM.
+func NewEngine(v *vm.VM) *Engine {
+	e := &Engine{VM: v}
+	v.UpdateHandler = e.handle
+	return e
+}
+
+// RequestUpdate verifies the new code and transformers, then arms the VM:
+// the scheduler will attempt the update at the next safe point. It fails
+// fast (before stopping anything) if the updated program does not verify —
+// the type-safety gate the paper gets from bytecode verification.
+func (e *Engine) RequestUpdate(spec *upt.Spec, opts Options) (*Pending, error) {
+	if e.pending != nil && !e.pending.Done() {
+		return nil, fmt.Errorf("core: an update is already in flight")
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 15 * time.Second
+	}
+	if err := e.verifyUpdate(spec); err != nil {
+		return nil, err
+	}
+	p := &Pending{Spec: spec, Opts: opts, start: time.Now(), barrier: make(map[*vm.Frame]bool)}
+	e.pending = p
+	e.VM.SetUpdatePending(true)
+	e.VM.RequestStop()
+	return p, nil
+}
+
+// ApplyNow requests the update and drives the scheduler until it resolves.
+// Convenience for tests, examples and the benchmark harness; servers under
+// load instead keep calling VM.Step and poll Pending.Done.
+func (e *Engine) ApplyNow(spec *upt.Spec, opts Options) (*Result, error) {
+	p, err := e.RequestUpdate(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	for !p.Done() {
+		e.VM.Step(1)
+	}
+	return p.Result(), nil
+}
+
+// updateEnv resolves classes for update-time verification: new program
+// classes shadow loaded ones, flattened old versions are visible for
+// transformer code, and deleted classes are gone.
+type updateEnv struct {
+	reg  *rt.Registry
+	spec *upt.Spec
+}
+
+func (u updateEnv) LookupClass(name string) *classfile.Class {
+	if def, ok := u.spec.New.Classes[name]; ok {
+		return def
+	}
+	if def, ok := u.spec.OldFlatDefs[name]; ok {
+		return def
+	}
+	for _, d := range u.spec.DeletedClasses {
+		if d == name {
+			return nil
+		}
+	}
+	if name == upt.TransformersClassName {
+		return u.spec.Transformers
+	}
+	return u.reg.LookupDef(name)
+}
+
+// verifyUpdate statically type-checks the whole new version and the
+// transformer class (the latter in relaxed mode — the JastAdd special case).
+func (e *Engine) verifyUpdate(spec *upt.Spec) error {
+	env := updateEnv{e.VM.Reg, spec}
+	strict := verifier.New(env, verifier.Strict)
+	for _, def := range spec.New.Sorted() {
+		if err := def.Validate(); err != nil {
+			return fmt.Errorf("core: update rejected: %w", err)
+		}
+		if err := strict.VerifyClass(def); err != nil {
+			return fmt.Errorf("core: update rejected: %w", err)
+		}
+	}
+	relaxed := verifier.New(env, verifier.Relaxed)
+	if err := spec.Transformers.Validate(); err != nil {
+		return fmt.Errorf("core: transformers rejected: %w", err)
+	}
+	if err := relaxed.VerifyClass(spec.Transformers); err != nil {
+		return fmt.Errorf("core: transformers rejected: %w", err)
+	}
+	return nil
+}
+
+// restriction is the DSU-safe-point classification of one frame.
+type restriction int
+
+const (
+	frameFree restriction = iota
+	frameOSR              // category (2), base-compiled: replace on stack
+	frameBlocking
+)
+
+// restrictedSets computes the method sets driving the safe-point check.
+func (e *Engine) restrictedSets(spec *upt.Spec) (cat1 map[*rt.Method]bool, updatedOld map[*rt.Class]bool) {
+	reg := e.VM.Reg
+	cat1 = make(map[*rt.Method]bool)
+	updatedOld = make(map[*rt.Class]bool)
+
+	for _, name := range spec.ClassUpdates {
+		cls := reg.LookupClass(name)
+		if cls == nil {
+			continue // never loaded: nothing on stack, nothing in heap
+		}
+		updatedOld[cls] = true
+		ndef := spec.New.Classes[name]
+		for _, m := range cls.DeclaredMethods() {
+			nm := ndef.Method(m.Def.Name, m.Def.Sig)
+			unchanged := nm != nil && nm.Static == m.Def.Static &&
+				nm.Native == m.Def.Native &&
+				bytecode.CodeEqual(nm.Code, m.Def.Code)
+			if !unchanged {
+				cat1[m] = true
+			}
+		}
+	}
+	for _, ref := range spec.MethodBodyUpdates {
+		if cls := reg.LookupClass(ref.Class); cls != nil {
+			if m := cls.Method(ref.Name, ref.Sig); m != nil {
+				cat1[m] = true
+			}
+		}
+	}
+	for _, name := range spec.DeletedClasses {
+		if cls := reg.LookupClass(name); cls != nil {
+			for _, m := range cls.DeclaredMethods() {
+				cat1[m] = true
+			}
+		}
+	}
+	for _, ref := range spec.Blacklist {
+		if cls := reg.LookupClass(ref.Class); cls != nil {
+			if m := cls.Method(ref.Name, ref.Sig); m != nil {
+				cat1[m] = true
+			}
+		}
+	}
+	return cat1, updatedOld
+}
+
+// activeMaps resolves the spec's active-method (UpStare-style) yield-point
+// maps against live methods.
+func (e *Engine) activeMaps(spec *upt.Spec) map[*rt.Method]upt.ActivePCMap {
+	if len(spec.ActiveUpdates) == 0 {
+		return nil
+	}
+	out := make(map[*rt.Method]upt.ActivePCMap, len(spec.ActiveUpdates))
+	for ref, m := range spec.ActiveUpdates {
+		if cls := e.VM.Reg.LookupClass(ref.Class); cls != nil {
+			if rm := cls.Method(ref.Name, ref.Sig); rm != nil {
+				out[rm] = m
+			}
+		}
+	}
+	return out
+}
+
+// osrJob is one frame to rewrite at the DSU safe point. A nil active map is
+// ordinary category-(2) OSR; otherwise it is an active-method update and
+// newPC comes from the user's yield-point map.
+type osrJob struct {
+	frame  *vm.Frame
+	active *upt.ActivePCMap
+}
+
+// classify determines a frame's restriction. With osrOpt, opt-compiled
+// stale frames parked at a mappable pc are OSR-able too (the extension the
+// paper leaves as future work); frames inside inlined regions still block.
+func classify(f *vm.Frame, cat1 map[*rt.Method]bool, updatedOld map[*rt.Class]bool, osrOpt bool) restriction {
+	cm := f.CM
+	if cat1[cm.Method] {
+		return frameBlocking
+	}
+	if cm.InlinedAny(cat1) {
+		// An updated method is inlined here; the old body would keep
+		// running after the update (paper: "we should also restrict n").
+		return frameBlocking
+	}
+	stale := false
+	for dep := range cm.LayoutDeps {
+		if updatedOld[dep] {
+			stale = true
+			break
+		}
+	}
+	if !stale {
+		return frameFree
+	}
+	if cm.Level == rt.Base {
+		return frameOSR
+	}
+	if osrOpt && vm.OSRMappable(f) {
+		return frameOSR
+	}
+	return frameBlocking
+}
+
+// handle is the VM's update hook: one safe-point attempt. All application
+// threads are stopped at VM safe points when it runs. It returns true when
+// the request is finished (applied, aborted, or failed).
+func (e *Engine) handle() bool {
+	p := e.pending
+	if p == nil || p.Done() {
+		return true
+	}
+	p.stats.Attempts++
+
+	cat1, updatedOld := e.restrictedSets(p.Spec)
+	active := e.activeMaps(p.Spec)
+	var osrJobs []osrJob
+	blocked := false
+	for _, t := range e.VM.Threads {
+		if t.State == vm.Dead {
+			continue
+		}
+		var topBlocking *vm.Frame
+		for i := len(t.Frames) - 1; i >= 0; i-- {
+			f := t.Frames[i]
+			switch classify(f, cat1, updatedOld, p.Opts.OSROpt) {
+			case frameBlocking:
+				// A changed method with a user-provided yield-point map
+				// can be rewritten on stack (the UpStare extension)
+				// instead of blocking — if the frame sits at a mapped pc.
+				if am, ok := active[f.CM.Method]; ok && f.CM.Level == rt.Base {
+					if _, mapped := am.PC[f.PC]; mapped {
+						amCopy := am
+						osrJobs = append(osrJobs, osrJob{frame: f, active: &amCopy})
+						continue
+					}
+				}
+				if topBlocking == nil {
+					topBlocking = f
+				}
+			case frameOSR:
+				osrJobs = append(osrJobs, osrJob{frame: f})
+			}
+		}
+		if topBlocking != nil {
+			blocked = true
+			if !topBlocking.Barrier {
+				topBlocking.Barrier = true
+				p.barrier[topBlocking] = true
+				p.stats.BarriersInstalled++
+				e.VM.ReleaseUpdateWaiters() // let other threads run on
+			}
+		}
+	}
+
+	if blocked {
+		timedOut := time.Since(p.start) > p.Opts.Timeout ||
+			(p.Opts.MaxAttempts > 0 && p.stats.Attempts >= p.Opts.MaxAttempts)
+		if timedOut {
+			e.finish(p, &Result{Outcome: Aborted,
+				Err: fmt.Errorf("core: no DSU safe point within %v (%d attempts)",
+					p.Opts.Timeout, p.stats.Attempts)})
+			return true
+		}
+		return false // keep running; barriers or the next attempt will retry
+	}
+
+	// DSU safe point reached.
+	p.stats.Immediate = p.stats.Attempts == 1 && p.stats.BarriersInstalled == 0
+	p.stats.SafePointDelay = time.Since(p.start)
+	res := e.apply(p, osrJobs, cat1)
+	e.finish(p, res)
+	return true
+}
+
+// finish seals the request, clears barriers, and releases parked threads.
+func (e *Engine) finish(p *Pending, res *Result) {
+	for f := range p.barrier {
+		f.Barrier = false
+	}
+	res.Stats = p.stats
+	p.result = res
+	e.Updates = append(e.Updates, res)
+	e.VM.ReleaseUpdateWaiters()
+	e.VM.SetUpdatePending(false)
+}

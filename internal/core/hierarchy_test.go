@@ -1,0 +1,218 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuperclassFieldAdditionPropagatesToSubclasses: the paper's "changes
+// may occur at any level of the class hierarchy... programmers may delete a
+// field from a parent class and this change will propagate correctly to the
+// class's descendants". Here the parent gains a field, shifting every
+// subclass's layout; subclass instances must be transformed with their own
+// fields preserved and virtual dispatch intact.
+const hierV1 = `
+class Vehicle {
+  field wheels I
+  method <init>(I)V {
+    load 0
+    invokespecial Object.<init>()V
+    load 0
+    load 1
+    putfield Vehicle.wheels I
+    return
+  }
+  method describe()I {
+    load 0
+    getfield Vehicle.wheels I
+    return
+  }
+}
+class Truck extends Vehicle {
+  field payload I
+  method <init>(II)V {
+    load 0
+    load 1
+    invokespecial Vehicle.<init>(I)V
+    load 0
+    load 2
+    putfield Truck.payload I
+    return
+  }
+  method describe()I {
+    load 0
+    getfield Vehicle.wheels I
+    const 1000
+    mul
+    load 0
+    getfield Truck.payload I
+    add
+    return
+  }
+}
+class FireTruck extends Truck {
+  field ladders I
+  method <init>()V {
+    load 0
+    const 6
+    const 20
+    invokespecial Truck.<init>(II)V
+    load 0
+    const 2
+    putfield FireTruck.ladders I
+    return
+  }
+  method describe()I {
+    load 0
+    invokespecial Truck.describe()I
+    load 0
+    getfield FireTruck.ladders I
+    add
+    return
+  }
+}
+class App {
+  static field v LVehicle;
+  static method main()V {
+    new FireTruck
+    dup
+    invokespecial FireTruck.<init>()V
+    putstatic App.v LVehicle;
+    const 0
+    store 0
+  loop:
+    load 0
+    const 60000
+    if_icmpge done
+    load 0
+    const 1
+    add
+    store 0
+    goto loop
+  done:
+    getstatic App.v LVehicle;
+    invokevirtual Vehicle.describe()I
+    invokestatic System.printInt(I)V
+    return
+  }
+}
+`
+
+func TestSuperclassFieldAdditionPropagatesToSubclasses(t *testing.T) {
+	f := newFixture(t, 1<<17)
+	v1 := f.load(hierV1)
+	// v2 adds a field at the ROOT of the hierarchy, before wheels.
+	v2 := f.prog(strings.Replace(hierV1,
+		"class Vehicle {\n  field wheels I",
+		"class Vehicle {\n  field vin LString;\n  field wheels I", 1))
+	f.spawn("App")
+	f.vm.Step(2)
+	spec, err := f.updateSpec("1", v1, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truck and FireTruck never changed, but their layouts shift: UPT
+	// must mark them transitively affected.
+	for _, want := range []string{"Vehicle", "Truck", "FireTruck"} {
+		if !spec.IsClassUpdate(want) {
+			t.Fatalf("%s not a class update: %v", want, spec.ClassUpdates)
+		}
+	}
+	res, err := f.engine.ApplyNow(spec, updateOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.String() != "applied" {
+		t.Fatalf("outcome %v (%v)", res.Outcome, res.Err)
+	}
+	if res.Stats.TransformedObjects != 1 {
+		t.Fatalf("transformed %d, want 1 (the FireTruck)", res.Stats.TransformedObjects)
+	}
+	// 6 wheels × 1000 + 20 payload + 2 ladders = 6022: all three levels'
+	// fields survived the layout shift, and dispatch still reaches
+	// FireTruck.describe through the Vehicle-typed reference.
+	if got := strings.TrimSpace(f.finish()); got != "6022" {
+		t.Fatalf("describe = %q, want 6022", got)
+	}
+}
+
+// TestAccessModifierChangeIsClassUpdate: the paper lists changing access
+// modifiers among supported class signature changes; a private→public field
+// must produce a class update (its metadata changes), with the value
+// carried by the default transformer.
+func TestAccessModifierChangeIsClassUpdate(t *testing.T) {
+	f := newFixture(t, 1<<16)
+	src := `
+class Secretive {
+  private field hidden I
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    load 0
+    const 41
+    putfield Secretive.hidden I
+    return
+  }
+  method reveal()I {
+    load 0
+    getfield Secretive.hidden I
+    return
+  }
+}
+class App {
+  static field s LSecretive;
+  static method main()V {
+    new Secretive
+    dup
+    invokespecial Secretive.<init>()V
+    putstatic App.s LSecretive;
+    const 0
+    store 0
+  loop:
+    load 0
+    const 60000
+    if_icmpge done
+    load 0
+    const 1
+    add
+    store 0
+    goto loop
+  done:
+    invokestatic App.report()V
+    return
+  }
+  static method report()V {
+    getstatic App.s LSecretive;
+    invokevirtual Secretive.reveal()I
+    invokestatic System.printInt(I)V
+    return
+  }
+}
+`
+	v1 := f.load(src)
+	// v2: hidden becomes public and report() reads it directly.
+	v2src := strings.Replace(src, "private field hidden I", "field hidden I", 1)
+	v2src = strings.Replace(v2src,
+		"getstatic App.s LSecretive;\n    invokevirtual Secretive.reveal()I",
+		"getstatic App.s LSecretive;\n    getfield Secretive.hidden I", 1)
+	v2 := f.prog(v2src)
+	f.spawn("App")
+	f.vm.Step(2)
+	spec, err := f.updateSpec("1", v1, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.IsClassUpdate("Secretive") {
+		t.Fatalf("modifier change not a class update: %+v", spec.Diffs["Secretive"])
+	}
+	res, err := f.engine.ApplyNow(spec, updateOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.String() != "applied" {
+		t.Fatalf("outcome %v (%v)", res.Outcome, res.Err)
+	}
+	if got := strings.TrimSpace(f.finish()); got != "41" {
+		t.Fatalf("hidden = %q, want 41 (value carried across modifier change)", got)
+	}
+}

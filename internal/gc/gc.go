@@ -1,0 +1,214 @@
+// Package gc implements the semi-space copying collector and its DSU
+// extension (JVOLVE paper §3.4). A normal collection copies reachable
+// objects to to-space and forwards references. In DSU mode, when the
+// collector first encounters an instance of an updated class it allocates
+// *two* objects in to-space — a copy of the old object (old layout, old
+// class ID) and an uninitialized shell of the new class — installs the
+// forwarding pointer to the shell, and records the pair in the update log.
+// After the collection the DSU engine runs object transformers over the log;
+// dropping the log then makes the old copies unreachable, so the next
+// collection reclaims them.
+package gc
+
+import (
+	"fmt"
+	"time"
+
+	"govolve/internal/heap"
+	"govolve/internal/rt"
+)
+
+// Roots enumerates the VM's root set: thread stacks, JTOC reference slots,
+// intern-table entries, and native handles. The callback may rewrite each
+// value in place (that is how forwarding reaches the roots).
+type Roots interface {
+	ForEachRoot(fn func(*rt.Value))
+}
+
+// RootsFunc adapts a function to Roots.
+type RootsFunc func(fn func(*rt.Value))
+
+// ForEachRoot implements Roots.
+func (f RootsFunc) ForEachRoot(fn func(*rt.Value)) { f(fn) }
+
+// Pair is one update-log entry: the to-space copy of the old object and the
+// uninitialized new-class object.
+type Pair struct {
+	OldCopy rt.Addr
+	New     rt.Addr
+}
+
+// Result reports one collection.
+type Result struct {
+	// Log is the update log (empty for non-DSU collections), in
+	// first-encounter order.
+	Log []Pair
+	// OldForNew caches the old copy for each new object, so a transformer
+	// that dereferences a not-yet-transformed object can locate its old
+	// version without scanning the log (paper §3.4: "we instead cache a
+	// pointer to the old version in the new version").
+	OldForNew map[rt.Addr]rt.Addr
+
+	CopiedObjects int
+	CopiedWords   int
+	Transformed   int
+	// ScratchWords counts old-copy words placed in the scratch region
+	// (zero when the heap has none and old copies burn to-space instead).
+	ScratchWords int
+	Duration     time.Duration
+}
+
+// Collector is the collection machinery bound to one heap and registry.
+type Collector struct {
+	Heap *heap.Heap
+	Reg  *rt.Registry
+
+	// Collections counts completed collections.
+	Collections int
+}
+
+// New builds a collector.
+func New(h *heap.Heap, reg *rt.Registry) *Collector {
+	return &Collector{Heap: h, Reg: reg}
+}
+
+// Collect runs a full collection. With dsu set, instances of classes whose
+// UpdatedTo field is non-nil are transformed as described in the package
+// comment. A collection failure (to-space exhausted) is returned as an
+// error and leaves the heap unusable — the VM treats it as fatal OOM.
+func (c *Collector) Collect(roots Roots, dsu bool) (*Result, error) {
+	start := time.Now()
+	h := c.Heap
+	res := &Result{}
+	if dsu {
+		res.OldForNew = make(map[rt.Addr]rt.Addr)
+	}
+	h.Flip()
+
+	// With a scratch region configured, DSU old copies go there instead of
+	// to-space and are reclaimed right after the transformer phase — the
+	// paper's §3.5 alternative ("copy the old versions to a special block
+	// of memory and reclaim it when the collection completes"). Without
+	// one, old copies live in to-space until the next collection, as in
+	// the paper's implementation.
+	useScratch := dsu && h.HasScratch()
+	var scratchObjs []rt.Addr
+
+	var gcErr error
+	forward := func(v *rt.Value) {
+		if gcErr != nil || !v.IsRef || v.Bits == 0 {
+			return
+		}
+		a := v.Ref()
+		if h.InCurrentSpace(a) || h.InScratch(a) {
+			return // already copied (to-space object, shell, or old copy)
+		}
+		if to, ok := h.Forwarded(a); ok {
+			v.Bits = uint64(to)
+			return
+		}
+		size := h.ObjectSize(a, c.Reg.ClassByID)
+		if dsu && !h.IsArray(a) {
+			cls := c.Reg.ClassByID(h.ClassID(a))
+			if cls != nil && cls.UpdatedTo != nil {
+				newCls := cls.UpdatedTo
+				shell, ok1 := h.AllocObject(newCls)
+				var oldCopy rt.Addr
+				var ok2 bool
+				if useScratch {
+					oldCopy, ok2 = h.ScratchCopy(a, size)
+					if ok2 {
+						scratchObjs = append(scratchObjs, oldCopy)
+						res.ScratchWords += size
+					}
+				} else {
+					oldCopy, ok2 = h.Copy(a, size)
+				}
+				if !ok1 || !ok2 {
+					gcErr = fmt.Errorf("gc: space exhausted during DSU copy")
+					return
+				}
+				h.SetForward(a, shell)
+				res.Log = append(res.Log, Pair{OldCopy: oldCopy, New: shell})
+				res.OldForNew[shell] = oldCopy
+				res.CopiedObjects += 2
+				res.CopiedWords += size + newCls.Size
+				res.Transformed++
+				v.Bits = uint64(shell)
+				return
+			}
+		}
+		to, ok := h.Copy(a, size)
+		if !ok {
+			gcErr = fmt.Errorf("gc: to-space exhausted")
+			return
+		}
+		h.SetForward(a, to)
+		res.CopiedObjects++
+		res.CopiedWords += size
+		v.Bits = uint64(to)
+	}
+
+	// scanObj forwards every reference inside one object.
+	scanObj := func(a rt.Addr) error {
+		if h.IsArray(a) {
+			if h.ArrayElemIsRef(a) {
+				for i := 0; i < h.ArrayLen(a); i++ {
+					v := h.Elem(a, i)
+					forward(&v)
+					h.SetElem(a, i, v)
+				}
+			}
+			return nil
+		}
+		cls := c.Reg.ClassByID(h.ClassID(a))
+		if cls == nil {
+			return fmt.Errorf("gc: object @%d with unknown class id %d", a, h.ClassID(a))
+		}
+		for i, isRef := range cls.RefMap {
+			if !isRef {
+				continue
+			}
+			v := h.FieldValue(a, rt.HeaderWords+i, true)
+			forward(&v)
+			h.SetFieldValue(a, rt.HeaderWords+i, v)
+		}
+		return nil
+	}
+
+	// Roots first, then a Cheney scan of to-space interleaved with the
+	// scratch old copies. Old copies are scanned like ordinary objects —
+	// that is what lets transformers dereference an old object's fields
+	// and see transformed referents. New shells scan trivially (all
+	// fields are zero).
+	scan := h.ScanStart()
+	scratchCursor := 0
+	roots.ForEachRoot(forward)
+	for gcErr == nil {
+		progressed := false
+		for scan < h.AllocPointer() && gcErr == nil {
+			size := h.ObjectSize(scan, c.Reg.ClassByID)
+			if err := scanObj(scan); err != nil {
+				return nil, err
+			}
+			scan += rt.Addr(size)
+			progressed = true
+		}
+		for scratchCursor < len(scratchObjs) && gcErr == nil {
+			if err := scanObj(scratchObjs[scratchCursor]); err != nil {
+				return nil, err
+			}
+			scratchCursor++
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	if gcErr != nil {
+		return nil, gcErr
+	}
+	c.Collections++
+	res.Duration = time.Since(start)
+	return res, nil
+}

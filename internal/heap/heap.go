@@ -1,0 +1,270 @@
+// Package heap implements the VM's word-addressed semi-space heap. Objects
+// are contiguous word sequences with a two-word header; addresses are word
+// indexes; address 0 is null. The collector (internal/gc) copies objects
+// between the two semispaces and installs forwarding pointers in the header,
+// exactly the structure JVOLVE's modified semi-space collector relies on.
+package heap
+
+import (
+	"fmt"
+
+	"govolve/internal/rt"
+)
+
+// Header word 0 layout:
+//
+//	bits 0..31   class ID (0 for arrays)
+//	bit 61       array-of-references flag
+//	bit 62       array flag
+//	bit 63       forwarded flag; bits 0..60 then hold the forwarding address
+const (
+	forwardBit  = uint64(1) << 63
+	arrayBit    = uint64(1) << 62
+	arrayRefBit = uint64(1) << 61
+	classIDMask = uint64(1)<<32 - 1
+	forwardMask = uint64(1)<<61 - 1
+)
+
+// Heap is a semi-space heap, optionally with a scratch region appended
+// after the two semispaces. The scratch region implements the paper's §3.5
+// alternative for DSU old copies: "copy the old versions to a special block
+// of memory and reclaim it when the collection completes" — old copies live
+// there only for the duration of the transformer phase, so they never
+// consume to-space. Not safe for concurrent use; the VM scheduler
+// serializes all access (the VM is a green-thread machine).
+type Heap struct {
+	words []uint64
+	semi  rt.Addr // words per semispace
+	cur   int     // current allocation space, 0 or 1
+	alloc rt.Addr // next free word (absolute)
+
+	scratchSize  rt.Addr
+	scratchAlloc rt.Addr // next free scratch word (absolute), 0 when absent
+
+	// Allocs and AllocWords count allocations since construction, for the
+	// benchmark harness.
+	Allocs     int64
+	AllocWords int64
+}
+
+// New creates a heap with the given number of words per semispace.
+// Word 0 is reserved so that address 0 means null.
+func New(semiWords int) *Heap {
+	return NewWithScratch(semiWords, 0)
+}
+
+// NewWithScratch additionally reserves a scratch region for DSU old copies.
+func NewWithScratch(semiWords, scratchWords int) *Heap {
+	if semiWords < 16 {
+		semiWords = 16
+	}
+	h := &Heap{
+		words:       make([]uint64, 1+2*semiWords+scratchWords),
+		semi:        rt.Addr(semiWords),
+		scratchSize: rt.Addr(scratchWords),
+	}
+	h.alloc = h.base(0)
+	h.ResetScratch()
+	return h
+}
+
+// scratchBase returns the first scratch address.
+func (h *Heap) scratchBase() rt.Addr { return 1 + 2*h.semi }
+
+// HasScratch reports whether a scratch region exists.
+func (h *Heap) HasScratch() bool { return h.scratchSize > 0 }
+
+// ScratchCopy copies an object into the scratch region, returning its new
+// address, or (0, false) if no scratch exists or it is full.
+func (h *Heap) ScratchCopy(src rt.Addr, size int) (rt.Addr, bool) {
+	if h.scratchSize == 0 || h.scratchAlloc+rt.Addr(size) > h.scratchBase()+h.scratchSize {
+		return 0, false
+	}
+	a := h.scratchAlloc
+	h.scratchAlloc += rt.Addr(size)
+	copy(h.words[a:a+rt.Addr(size)], h.words[src:src+rt.Addr(size)])
+	return a, true
+}
+
+// ResetScratch discards the scratch region's contents (the DSU engine calls
+// it after the transformer phase — the paper's "reclaim it when the
+// collection completes").
+func (h *Heap) ResetScratch() { h.scratchAlloc = h.scratchBase() }
+
+// InScratch reports whether an address lies in the scratch region.
+func (h *Heap) InScratch(a rt.Addr) bool {
+	return h.scratchSize > 0 && a >= h.scratchBase() && a < h.scratchBase()+h.scratchSize
+}
+
+// ScratchUsed returns the words currently allocated in the scratch region.
+func (h *Heap) ScratchUsed() int { return int(h.scratchAlloc - h.scratchBase()) }
+
+// base returns the first address of semispace s.
+func (h *Heap) base(s int) rt.Addr {
+	if s == 0 {
+		return 1
+	}
+	return 1 + h.semi
+}
+
+// limit returns one past the last address of semispace s.
+func (h *Heap) limit(s int) rt.Addr { return h.base(s) + h.semi }
+
+// SemiWords returns the size of one semispace in words.
+func (h *Heap) SemiWords() int { return int(h.semi) }
+
+// UsedWords returns the words allocated in the current space.
+func (h *Heap) UsedWords() int { return int(h.alloc - h.base(h.cur)) }
+
+// FreeWords returns the words remaining in the current space.
+func (h *Heap) FreeWords() int { return int(h.limit(h.cur) - h.alloc) }
+
+// Alloc reserves size words, zeroed, returning the base address, or
+// (0, false) if the current space is full — the caller (VM) then triggers a
+// collection and retries.
+func (h *Heap) Alloc(size int) (rt.Addr, bool) {
+	if size < rt.HeaderWords {
+		size = rt.HeaderWords
+	}
+	if h.alloc+rt.Addr(size) > h.limit(h.cur) {
+		return 0, false
+	}
+	a := h.alloc
+	h.alloc += rt.Addr(size)
+	for i := a; i < h.alloc; i++ {
+		h.words[i] = 0
+	}
+	h.Allocs++
+	h.AllocWords += int64(size)
+	return a, true
+}
+
+// AllocObject allocates a zeroed instance of the class and writes its header.
+func (h *Heap) AllocObject(c *rt.Class) (rt.Addr, bool) {
+	a, ok := h.Alloc(c.Size)
+	if !ok {
+		return 0, false
+	}
+	h.words[a] = uint64(c.ID)
+	return a, true
+}
+
+// AllocArray allocates a zeroed array of the given length.
+func (h *Heap) AllocArray(elemIsRef bool, length int) (rt.Addr, bool) {
+	a, ok := h.Alloc(rt.HeaderWords + length)
+	if !ok {
+		return 0, false
+	}
+	hdr := arrayBit
+	if elemIsRef {
+		hdr |= arrayRefBit
+	}
+	h.words[a] = hdr
+	h.words[a+1] = uint64(length)
+	return a, true
+}
+
+// Word reads a raw word.
+func (h *Heap) Word(a rt.Addr) uint64 { return h.words[a] }
+
+// SetWord writes a raw word.
+func (h *Heap) SetWord(a rt.Addr, v uint64) { h.words[a] = v }
+
+// ClassID returns the object's class ID (0 for arrays).
+func (h *Heap) ClassID(a rt.Addr) int {
+	return int(h.words[a] & classIDMask)
+}
+
+// SetClassID rewrites the object's class ID — the DSU collector points
+// transformed objects at their new class ("initializes the new object to
+// point to the TIB of the new type").
+func (h *Heap) SetClassID(a rt.Addr, id int) {
+	h.words[a] = (h.words[a] &^ classIDMask) | uint64(id)
+}
+
+// IsArray reports whether the object is an array.
+func (h *Heap) IsArray(a rt.Addr) bool { return h.words[a]&arrayBit != 0 }
+
+// ArrayElemIsRef reports whether the array's elements are references.
+func (h *Heap) ArrayElemIsRef(a rt.Addr) bool { return h.words[a]&arrayRefBit != 0 }
+
+// ArrayLen returns the array length.
+func (h *Heap) ArrayLen(a rt.Addr) int { return int(h.words[a+1]) }
+
+// ObjectSize returns the object's total size in words, using the class
+// registry for scalar objects.
+func (h *Heap) ObjectSize(a rt.Addr, classByID func(int) *rt.Class) int {
+	if h.IsArray(a) {
+		return rt.HeaderWords + h.ArrayLen(a)
+	}
+	c := classByID(h.ClassID(a))
+	if c == nil {
+		panic(fmt.Sprintf("heap: object @%d has unknown class id %d", a, h.ClassID(a)))
+	}
+	return c.Size
+}
+
+// Forwarded returns the forwarding target if the object has been moved by
+// the current collection.
+func (h *Heap) Forwarded(a rt.Addr) (rt.Addr, bool) {
+	w := h.words[a]
+	if w&forwardBit == 0 {
+		return 0, false
+	}
+	return rt.Addr(w & forwardMask), true
+}
+
+// SetForward installs a forwarding pointer in the header, destroying it.
+func (h *Heap) SetForward(a, to rt.Addr) {
+	h.words[a] = forwardBit | uint64(to)
+}
+
+// InCurrentSpace reports whether the address lies in the current
+// (allocation) space. During a collection the current space is to-space.
+func (h *Heap) InCurrentSpace(a rt.Addr) bool {
+	return a >= h.base(h.cur) && a < h.limit(h.cur)
+}
+
+// Flip switches allocation to the other semispace. The collector calls it
+// at the start of a collection; everything subsequently allocated (the
+// copies) lands in to-space, and the old space becomes garbage wholesale.
+func (h *Heap) Flip() {
+	h.cur ^= 1
+	h.alloc = h.base(h.cur)
+}
+
+// Copy block-copies size words from src to a fresh allocation, returning
+// the new address. Used by the collector's scan/copy loop ("the GC uses
+// memcopy, which is highly optimized" — ours is a Go copy).
+func (h *Heap) Copy(src rt.Addr, size int) (rt.Addr, bool) {
+	if h.alloc+rt.Addr(size) > h.limit(h.cur) {
+		return 0, false
+	}
+	a := h.alloc
+	h.alloc += rt.Addr(size)
+	copy(h.words[a:a+rt.Addr(size)], h.words[src:src+rt.Addr(size)])
+	h.Allocs++
+	h.AllocWords += int64(size)
+	return a, true
+}
+
+// FieldValue reads a tagged field value given the offset and ref-ness that
+// compiled code baked in.
+func (h *Heap) FieldValue(a rt.Addr, offset int, isRef bool) rt.Value {
+	return rt.Value{Bits: h.words[a+rt.Addr(offset)], IsRef: isRef}
+}
+
+// SetFieldValue writes a field word.
+func (h *Heap) SetFieldValue(a rt.Addr, offset int, v rt.Value) {
+	h.words[a+rt.Addr(offset)] = v.Bits
+}
+
+// Elem reads array element i.
+func (h *Heap) Elem(a rt.Addr, i int) rt.Value {
+	return rt.Value{Bits: h.words[a+rt.HeaderWords+rt.Addr(i)], IsRef: h.ArrayElemIsRef(a)}
+}
+
+// SetElem writes array element i.
+func (h *Heap) SetElem(a rt.Addr, i int, v rt.Value) {
+	h.words[a+rt.HeaderWords+rt.Addr(i)] = v.Bits
+}

@@ -1,0 +1,11 @@
+package heap
+
+import "govolve/internal/rt"
+
+// ScanStart returns the first address of the current space — where a
+// Cheney-style scan begins after Flip.
+func (h *Heap) ScanStart() rt.Addr { return h.base(h.cur) }
+
+// AllocPointer returns the bump pointer: one past the last allocated word
+// in the current space.
+func (h *Heap) AllocPointer() rt.Addr { return h.alloc }

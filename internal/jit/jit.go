@@ -1,0 +1,348 @@
+// Package jit is the simulated just-in-time compiler. "Compilation" here
+// means resolving symbolic bytecode against the live class registry into an
+// executable instruction array with hard-coded field offsets, JTOC slots,
+// and TIB slots — the property that makes JVOLVE's category-(2) "indirect"
+// methods real: when a class's layout changes, code that baked in its
+// offsets is stale and must be recompiled (or OSRed if on stack).
+//
+// Two tiers mirror Jikes RVM: the base compiler is a strict 1:1 translation
+// of bytecode (so the OSR pc-map is the identity), and the opt compiler adds
+// constant folding and inlining of small static/special calls, recording
+// what it inlined so the DSU engine can restrict inlining callers of
+// updated methods.
+package jit
+
+import (
+	"fmt"
+
+	"govolve/internal/bytecode"
+	"govolve/internal/classfile"
+	"govolve/internal/rt"
+)
+
+// Compiler resolves methods against a registry.
+type Compiler struct {
+	Reg *rt.Registry
+
+	// OptThreshold is the invocation count at which the adaptive system
+	// recompiles a base-compiled method at the opt level.
+	OptThreshold int
+	// InlineMaxCode is the largest callee body (in instructions) the opt
+	// compiler inlines.
+	InlineMaxCode int
+
+	// Counters for the benchmark harness.
+	BaseCompiles int
+	OptCompiles  int
+}
+
+// New builds a compiler with Jikes-flavoured defaults.
+func New(reg *rt.Registry) *Compiler {
+	return &Compiler{Reg: reg, OptThreshold: 50, InlineMaxCode: 16}
+}
+
+// Compile produces executable code for the method at the given level. It
+// never mutates the method; the caller installs the result.
+func (c *Compiler) Compile(m *rt.Method, level rt.OptLevel) (*rt.CompiledMethod, error) {
+	if m.Def.Native {
+		return nil, fmt.Errorf("jit: cannot compile native method %s", m.FullName())
+	}
+	cm, err := c.baseCompile(m)
+	if err != nil {
+		return nil, err
+	}
+	c.BaseCompiles++
+	if level == rt.Opt {
+		cm = c.optimize(cm)
+		c.OptCompiles++
+	}
+	return cm, nil
+}
+
+// baseCompile is the 1:1 resolution pass.
+func (c *Compiler) baseCompile(m *rt.Method) (*rt.CompiledMethod, error) {
+	def := m.Def
+	cm := &rt.CompiledMethod{
+		Method:     m,
+		Level:      rt.Base,
+		Code:       make([]rt.Ins, len(def.Code)),
+		MaxLocals:  def.MaxLocals,
+		LayoutDeps: make(map[*rt.Class]bool),
+	}
+	fail := func(pc int, format string, args ...any) error {
+		return fmt.Errorf("jit: %s pc=%d: %s", m.FullName(), pc, fmt.Sprintf(format, args...))
+	}
+	for pc, ins := range def.Code {
+		out := rt.Ins{Op: ins.Op, A: ins.A, Str: ins.Str}
+		switch ins.Op {
+		case bytecode.LDC:
+			out.Op = bytecode.LDC_R
+			out.A = int64(c.Reg.InternIndex(ins.Str))
+		case bytecode.GETFIELD, bytecode.PUTFIELD:
+			named := c.Reg.LookupClass(ins.SymClass())
+			if named == nil {
+				return nil, fail(pc, "unknown class %s", ins.SymClass())
+			}
+			f := named.Field(ins.SymMember())
+			if f == nil {
+				return nil, fail(pc, "unknown field %s", ins.Sym)
+			}
+			if ins.Op == bytecode.GETFIELD {
+				out.Op = bytecode.GETFIELD_R
+			} else {
+				out.Op = bytecode.PUTFIELD_R
+			}
+			out.A = int64(f.Offset)
+			if f.Desc.IsRef() {
+				out.B = 1
+			}
+			cm.LayoutDeps[named] = true
+		case bytecode.GETSTATIC, bytecode.PUTSTATIC:
+			named := c.Reg.LookupClass(ins.SymClass())
+			if named == nil {
+				return nil, fail(pc, "unknown class %s", ins.SymClass())
+			}
+			s := named.StaticField(ins.SymMember())
+			if s == nil {
+				return nil, fail(pc, "unknown static field %s", ins.Sym)
+			}
+			if ins.Op == bytecode.GETSTATIC {
+				out.Op = bytecode.GETSTATIC_R
+			} else {
+				out.Op = bytecode.PUTSTATIC_R
+			}
+			out.A = int64(s.Slot)
+			if s.Desc.IsRef() {
+				out.B = 1
+			}
+			cm.LayoutDeps[named] = true
+		case bytecode.NEW:
+			cls := c.Reg.LookupClass(ins.Sym)
+			if cls == nil {
+				return nil, fail(pc, "unknown class %s", ins.Sym)
+			}
+			out.Op, out.Cls = bytecode.NEW_R, cls
+			cm.LayoutDeps[cls] = true
+		case bytecode.INSTANCEOF:
+			cls := c.Reg.LookupClass(ins.Sym)
+			if cls == nil {
+				return nil, fail(pc, "unknown class %s", ins.Sym)
+			}
+			out.Op, out.Cls = bytecode.INSTOF_R, cls
+			cm.LayoutDeps[cls] = true
+		case bytecode.CHECKCAST:
+			cls := c.Reg.LookupClass(ins.Sym)
+			if cls == nil {
+				return nil, fail(pc, "unknown class %s", ins.Sym)
+			}
+			out.Op, out.Cls = bytecode.CHECKCAST_R, cls
+			cm.LayoutDeps[cls] = true
+		case bytecode.NEWARRAY:
+			out.Op = bytecode.NEWARRAY_R
+			if classfile.Desc(ins.Desc).IsRef() {
+				out.B = 1
+			}
+		case bytecode.INVOKEVIRTUAL:
+			named := c.Reg.LookupClass(ins.SymClass())
+			if named == nil {
+				return nil, fail(pc, "unknown class %s", ins.SymClass())
+			}
+			sig := classfile.Sig(ins.Desc)
+			target := named.Method(ins.SymMember(), sig)
+			if target == nil || !target.IsVirtual() {
+				return nil, fail(pc, "no virtual method %s%s in %s", ins.SymMember(), sig, named.Name)
+			}
+			out.Op = bytecode.INVOKEVIRT_R
+			out.A = int64(target.TIBSlot)
+			out.B = int32(sig.NumArgs()) + 1
+			out.Ref = target
+			out.RetVoid = sig.Ret() == "V"
+			cm.LayoutDeps[named] = true
+		case bytecode.INVOKESTATIC, bytecode.INVOKESPECIAL:
+			named := c.Reg.LookupClass(ins.SymClass())
+			if named == nil {
+				return nil, fail(pc, "unknown class %s", ins.SymClass())
+			}
+			sig := classfile.Sig(ins.Desc)
+			target := named.Method(ins.SymMember(), sig)
+			if target == nil {
+				return nil, fail(pc, "no method %s%s in %s", ins.SymMember(), sig, named.Name)
+			}
+			nargs := int32(sig.NumArgs())
+			if ins.Op == bytecode.INVOKESPECIAL {
+				nargs++ // receiver
+				out.Op = bytecode.INVOKESPEC_R
+			} else {
+				out.Op = bytecode.INVOKESTAT_R
+			}
+			if target.Def.Native {
+				out.Op = bytecode.INVOKENAT_R
+			}
+			out.B = nargs
+			out.Ref = target
+			out.RetVoid = sig.Ret() == "V"
+			cm.LayoutDeps[named] = true
+		case bytecode.RETURN:
+			out.RetVoid = m.Def.Sig.Ret() == "V"
+		}
+		cm.Code[pc] = out
+	}
+	return cm, nil
+}
+
+// optimize applies constant folding and inlining to base code, producing
+// opt-level code. The input is consumed.
+func (c *Compiler) optimize(cm *rt.CompiledMethod) *rt.CompiledMethod {
+	out := c.inline(cm)
+	out.Code = foldConstants(out.Code)
+	out.Level = rt.Opt
+	return out
+}
+
+// inlinable reports whether a resolved call site can be inlined: direct
+// dispatch, small, non-native, non-recursive, and compilable.
+func (c *Compiler) inlinable(caller *rt.Method, ins rt.Ins) bool {
+	if ins.Op != bytecode.INVOKESTAT_R && ins.Op != bytecode.INVOKESPEC_R {
+		return false
+	}
+	callee := ins.Ref
+	if callee == caller || callee.Def.Native {
+		return false
+	}
+	return len(callee.Def.Code) <= c.InlineMaxCode
+}
+
+// inline splices small direct callees into the caller. Inlined locals live
+// above the caller's own locals; callee returns become jumps to the splice
+// end (a value-returning callee leaves its result on the operand stack,
+// which is exactly where the call would have put it).
+func (c *Compiler) inline(cm *rt.CompiledMethod) *rt.CompiledMethod {
+	var newCode []rt.Ins
+	var pcMap []int                      // new pc -> original pc (-1 inside inlined regions)
+	remap := make([]int, len(cm.Code)+1) // old pc -> new pc
+	maxLocals := cm.MaxLocals
+
+	type pendingBranch struct {
+		newIdx  int
+		oldTarg int
+	}
+	var fixups []pendingBranch
+
+	emit := func(ins rt.Ins, origPC int) {
+		newCode = append(newCode, ins)
+		pcMap = append(pcMap, origPC)
+	}
+
+	for pc, ins := range cm.Code {
+		remap[pc] = len(newCode)
+		if !c.inlinable(cm.Method, ins) {
+			if ins.Op.IsBranch() {
+				fixups = append(fixups, pendingBranch{len(newCode), int(ins.A)})
+			}
+			emit(ins, pc)
+			continue
+		}
+		callee := ins.Ref
+		calleeCM, err := c.baseCompile(callee)
+		if err != nil {
+			// Unresolvable callee (e.g. refers to classes not yet
+			// loaded): leave the call site alone.
+			if ins.Op.IsBranch() {
+				fixups = append(fixups, pendingBranch{len(newCode), int(ins.A)})
+			}
+			emit(ins, pc)
+			continue
+		}
+		base := maxLocals
+		if base+calleeCM.MaxLocals > maxLocals {
+			maxLocals = base + calleeCM.MaxLocals
+		}
+		// Prologue: pop the B arguments into callee locals [base, base+B).
+		// At the prologue the operand stack holds exactly the call's
+		// arguments, matching base execution at the call site, so the
+		// prologue maps to the original call pc.
+		emit(rt.Ins{Op: bytecode.ENTERINL_R, A: int64(base), B: ins.B, Ref: callee}, pc)
+		spliceStart := len(newCode)
+		// Record where callee RETURNs must jump; patched after splicing.
+		var retJumps []int
+		for _, cins := range calleeCM.Code {
+			ci := cins
+			switch {
+			case ci.Op == bytecode.LOAD || ci.Op == bytecode.STORE:
+				ci.A += int64(base)
+			case ci.Op.IsBranch():
+				ci.A += int64(spliceStart) // callee-local target, shifted
+			case ci.Op == bytecode.RETURN:
+				retJumps = append(retJumps, len(newCode))
+				ci = rt.Ins{Op: bytecode.GOTO}
+			}
+			emit(ci, -1)
+		}
+		spliceEnd := len(newCode)
+		for _, rj := range retJumps {
+			newCode[rj].A = int64(spliceEnd)
+		}
+		// At the epilogue the stack holds the return value (if any),
+		// matching base execution just past the call.
+		emit(rt.Ins{Op: bytecode.LEAVEINL_R, Ref: callee}, pc+1)
+		for dep := range calleeCM.LayoutDeps {
+			cm.LayoutDeps[dep] = true
+		}
+		cm.Inlined = append(cm.Inlined, callee)
+		cm.Inlined = append(cm.Inlined, calleeCM.Inlined...)
+	}
+	remap[len(cm.Code)] = len(newCode)
+	for _, f := range fixups {
+		newCode[f.newIdx].A = int64(remap[f.oldTarg])
+	}
+	cm.Code = newCode
+	cm.PCMap = pcMap
+	cm.MaxLocals = maxLocals
+	return cm
+}
+
+// foldConstants rewrites CONST/CONST/arith triples into single constants.
+// It only folds when neither constant is a branch target, to keep branch
+// indexes valid without remapping.
+func foldConstants(code []rt.Ins) []rt.Ins {
+	targets := make(map[int]bool)
+	for _, ins := range code {
+		if ins.Op.IsBranch() {
+			targets[int(ins.A)] = true
+		}
+	}
+	isConst := func(i rt.Ins) bool {
+		return i.Op == bytecode.CONST || i.Op == bytecode.CONST_R
+	}
+	for i := 0; i+2 < len(code); i++ {
+		a, b, op := code[i], code[i+1], code[i+2]
+		if !isConst(a) || !isConst(b) {
+			continue
+		}
+		if targets[i+1] || targets[i+2] {
+			continue
+		}
+		var v int64
+		switch op.Op {
+		case bytecode.ADD:
+			v = a.A + b.A
+		case bytecode.SUB:
+			v = a.A - b.A
+		case bytecode.MUL:
+			v = a.A * b.A
+		case bytecode.AND:
+			v = a.A & b.A
+		case bytecode.OR:
+			v = a.A | b.A
+		case bytecode.XOR:
+			v = a.A ^ b.A
+		default:
+			continue
+		}
+		// Replace the triple with NOP/NOP/CONST so indexes stay stable.
+		code[i] = rt.Ins{Op: bytecode.NOP}
+		code[i+1] = rt.Ins{Op: bytecode.NOP}
+		code[i+2] = rt.Ins{Op: bytecode.CONST_R, A: v}
+	}
+	return code
+}

@@ -1,0 +1,100 @@
+package jit
+
+import (
+	"testing"
+
+	"govolve/internal/bytecode"
+	"govolve/internal/rt"
+)
+
+func TestOptPCMapShape(t *testing.T) {
+	reg, c := setup(t)
+	m := method(t, reg, "Caller", "addTiny", "(LPair;)I")
+	cm, err := c.Compile(m, rt.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.PCMap == nil || len(cm.PCMap) != len(cm.Code) {
+		t.Fatalf("PCMap len %d, code len %d", len(cm.PCMap), len(cm.Code))
+	}
+	inInline := false
+	sawNeg := false
+	for pc, ins := range cm.Code {
+		orig := cm.PCMap[pc]
+		switch ins.Op {
+		case bytecode.ENTERINL_R:
+			if orig < 0 || orig >= len(m.Def.Code) {
+				t.Fatalf("ENTERINL maps to %d", orig)
+			}
+			// The prologue maps to the original call site.
+			if m.Def.Code[orig].Op != bytecode.INVOKESPECIAL {
+				t.Fatalf("ENTERINL maps to %v, want the call", m.Def.Code[orig].Op)
+			}
+			inInline = true
+		case bytecode.LEAVEINL_R:
+			inInline = false
+			if orig < 0 {
+				t.Fatal("LEAVEINL unmapped")
+			}
+		default:
+			if inInline {
+				if orig != -1 {
+					t.Fatalf("pc %d inside inline region maps to %d, want -1", pc, orig)
+				}
+				sawNeg = true
+			} else if orig < 0 || orig >= len(m.Def.Code) {
+				t.Fatalf("pc %d outside inline maps to %d", pc, orig)
+			}
+		}
+	}
+	if !sawNeg {
+		t.Fatal("no inlined region found in opt code")
+	}
+	// Mapped instructions outside inline regions must equal the original
+	// instruction's opcode (modulo resolution and folding NOPs).
+	for pc, orig := range cm.PCMap {
+		if orig < 0 {
+			continue
+		}
+		op := cm.Code[pc].Op
+		if op == bytecode.ENTERINL_R || op == bytecode.LEAVEINL_R ||
+			op == bytecode.NOP || op == bytecode.CONST_R {
+			continue // markers and folded constants
+		}
+		oop := m.Def.Code[orig].Op
+		resolvedPairs := map[bytecode.Op]bytecode.Op{
+			bytecode.GETFIELD_R:   bytecode.GETFIELD,
+			bytecode.PUTFIELD_R:   bytecode.PUTFIELD,
+			bytecode.GETSTATIC_R:  bytecode.GETSTATIC,
+			bytecode.PUTSTATIC_R:  bytecode.PUTSTATIC,
+			bytecode.NEW_R:        bytecode.NEW,
+			bytecode.LDC_R:        bytecode.LDC,
+			bytecode.INVOKEVIRT_R: bytecode.INVOKEVIRTUAL,
+			bytecode.INVOKESTAT_R: bytecode.INVOKESTATIC,
+			bytecode.INVOKESPEC_R: bytecode.INVOKESPECIAL,
+			bytecode.INVOKENAT_R:  bytecode.INVOKESTATIC,
+			bytecode.NEWARRAY_R:   bytecode.NEWARRAY,
+			bytecode.INSTOF_R:     bytecode.INSTANCEOF,
+			bytecode.CHECKCAST_R:  bytecode.CHECKCAST,
+		}
+		if want, ok := resolvedPairs[op]; ok {
+			if oop != want {
+				t.Fatalf("pc %d: opt %v maps to original %v", pc, op, oop)
+			}
+		} else if op != oop {
+			t.Fatalf("pc %d: opt %v maps to original %v", pc, op, oop)
+		}
+	}
+}
+
+func TestBaseHasNoPCMap(t *testing.T) {
+	reg, c := setup(t)
+	m := method(t, reg, "Pair", "sum", "()I")
+	cm, err := c.Compile(m, rt.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.PCMap != nil {
+		t.Fatal("base code carries a PCMap")
+	}
+}

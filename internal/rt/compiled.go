@@ -1,0 +1,114 @@
+package rt
+
+import (
+	"fmt"
+
+	"govolve/internal/bytecode"
+)
+
+// OptLevel is a compilation tier.
+type OptLevel int
+
+const (
+	// Base is the baseline compiler: a 1:1 resolution of bytecode with
+	// offsets and slots baked in. Because it is 1:1, the OSR pc-map from
+	// a base frame to a recompiled base frame is the identity — which is
+	// why, like JVOLVE, the DSU engine only OSRs base-compiled frames.
+	Base OptLevel = iota
+	// Opt adds inlining of small static/special calls and constant
+	// folding. Opt code records what it inlined so the DSU engine can
+	// restrict inlining callers of updated methods.
+	Opt
+)
+
+func (l OptLevel) String() string {
+	if l == Opt {
+		return "opt"
+	}
+	return "base"
+}
+
+// Ins is one resolved (executable) instruction. Operand use by opcode:
+//
+//	GETFIELD_R/PUTFIELD_R    A = word offset, B = 1 if reference
+//	GETSTATIC_R/PUTSTATIC_R  A = JTOC slot, B = 1 if reference
+//	NEW_R/INSTOF_R/CHECKCAST_R  Cls
+//	NEWARRAY_R               B = 1 if reference elements
+//	LDC_R                    A = intern-table index
+//	INVOKEVIRT_R             A = TIB slot, B = arg count incl receiver,
+//	                         Ref = statically resolved target (diagnostics)
+//	INVOKESTAT_R/INVOKESPEC_R/INVOKENAT_R  Ref = target, B = arg count
+//	CONST_R                  A = constant
+//	LOAD/STORE               A = local slot (unchanged from bytecode)
+//	branches                 A = resolved-code target index
+//	ENTERINL_R/LEAVEINL_R    Ref = inlined callee, A = saved-locals base
+type Ins struct {
+	Op      bytecode.Op
+	A       int64
+	B       int32
+	Cls     *Class
+	Ref     *Method
+	Str     string // TRAP message
+	RetVoid bool
+}
+
+func (i Ins) String() string {
+	switch {
+	case i.Ref != nil:
+		return fmt.Sprintf("%s %s (A=%d B=%d)", i.Op, i.Ref.FullName(), i.A, i.B)
+	case i.Cls != nil:
+		return fmt.Sprintf("%s %s", i.Op, i.Cls.Name)
+	default:
+		return fmt.Sprintf("%s A=%d B=%d", i.Op, i.A, i.B)
+	}
+}
+
+// CompiledMethod is the executable form of a method — the analog of a
+// Jikes RVM compiled-method body with hard-coded offsets.
+type CompiledMethod struct {
+	Method *Method
+	Level  OptLevel
+	Code   []Ins
+
+	// MaxLocals covers the method's own locals plus, for opt code, the
+	// locals of inlined callees appended after them.
+	MaxLocals int
+
+	// LayoutDeps are the classes whose field offsets, JTOC slots, or TIB
+	// slots are baked into Code. If any of them is updated, this code is
+	// stale — the method becomes one of the paper's category-(2)
+	// "indirect" methods.
+	LayoutDeps map[*Class]bool
+
+	// Inlined lists methods whose bodies were inlined (opt level only).
+	// If any of them changes, this code must be restricted and
+	// invalidated even though this method's own bytecode is unchanged.
+	Inlined []*Method
+
+	// PCMap maps opt-code indexes back to the original bytecode index, or
+	// -1 inside inlined regions (opt level only; base code is 1:1 and
+	// needs no map). It exists for OSR of opt-compiled category-(2)
+	// frames: a frame parked at a mappable pc can be rewritten to freshly
+	// compiled base code of the new class version. Frames only rest at
+	// yield points and call boundaries, where the operand stack contents
+	// agree with base execution, so the mapping is sound there.
+	PCMap []int
+
+	// Invalid marks code invalidated by the DSU engine; the interpreter
+	// never runs invalid code (invocation recompiles first).
+	Invalid bool
+}
+
+// DependsOn reports whether the compiled code bakes in the given class's
+// layout or dispatch table.
+func (cm *CompiledMethod) DependsOn(c *Class) bool { return cm.LayoutDeps[c] }
+
+// InlinedAny reports whether any of the given methods is inlined here.
+func (cm *CompiledMethod) InlinedAny(set map[*Method]bool) bool {
+	for _, m := range cm.Inlined {
+		if set[m] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+// Package rt holds the VM's runtime metadata: the RVMClass analog (resolved
+// classes with field offsets and static slots), the TIB analog (virtual
+// method tables), the JTOC analog (the global statics table), the global
+// method table, and the representation of JIT-compiled code. Every other
+// runtime package — heap, gc, jit, vm, and the DSU engine — builds on rt.
+package rt
+
+import "fmt"
+
+// Addr is a heap address: a word index into the heap, 0 meaning null.
+type Addr uint32
+
+// Null is the null reference.
+const Null Addr = 0
+
+// Value is one tagged machine word. The interpreter's locals and operand
+// stacks carry tags so the garbage collector has exact stack maps without
+// static map computation (Jikes RVM computes maps at safe points; dynamic
+// tagging is our simulation-friendly equivalent with the same guarantee:
+// every root is enumerable at every yield point).
+type Value struct {
+	Bits  uint64
+	IsRef bool
+}
+
+// IntVal makes an integer word.
+func IntVal(v int64) Value { return Value{Bits: uint64(v)} }
+
+// BoolVal makes a boolean word (0 or 1).
+func BoolVal(b bool) Value {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+// RefVal makes a reference word.
+func RefVal(a Addr) Value { return Value{Bits: uint64(a), IsRef: true} }
+
+// NullVal is the null reference value.
+var NullVal = RefVal(Null)
+
+// Int extracts the integer.
+func (v Value) Int() int64 { return int64(v.Bits) }
+
+// Ref extracts the address.
+func (v Value) Ref() Addr { return Addr(v.Bits) }
+
+// IsNull reports a null reference.
+func (v Value) IsNull() bool { return v.IsRef && v.Bits == 0 }
+
+func (v Value) String() string {
+	if v.IsRef {
+		if v.Bits == 0 {
+			return "null"
+		}
+		return fmt.Sprintf("@%d", v.Bits)
+	}
+	return fmt.Sprintf("%d", int64(v.Bits))
+}

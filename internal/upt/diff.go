@@ -1,0 +1,293 @@
+// Package upt implements the Update Preparation Tool (JVOLVE paper §3.1):
+// it diffs an old and a new program version, classifies every change into
+// the paper's three categories (class updates, method body updates, and
+// indirect methods), propagates transitive effects down the class
+// hierarchy, and generates the update specification plus default class and
+// object transformers.
+package upt
+
+import (
+	"fmt"
+	"sort"
+
+	"govolve/internal/bytecode"
+	"govolve/internal/classfile"
+)
+
+// MethodRef names one method.
+type MethodRef struct {
+	Class string
+	Name  string
+	Sig   classfile.Sig
+}
+
+func (m MethodRef) String() string { return m.Class + "." + m.Name + string(m.Sig) }
+
+// ID returns the method's name+sig identity within its class.
+func (m MethodRef) ID() string { return m.Name + string(m.Sig) }
+
+// ClassDiff describes how one class changed between versions.
+type ClassDiff struct {
+	Name string
+
+	// Signature-level changes (any of these makes the class a "class
+	// update" requiring metadata replacement and object transformation).
+	FieldsAdded    []string
+	FieldsDeleted  []string
+	FieldsChanged  []string // same name, different type/static-ness
+	MethodsAdded   []MethodRef
+	MethodsDeleted []MethodRef
+	// MethodsSigChanged pairs old and new signatures for methods whose
+	// name survives but whose signature changed.
+	MethodsSigChanged [][2]MethodRef
+	SuperChanged      bool
+
+	// MethodsBodyChanged lists methods present in both versions whose
+	// signatures match but whose bytecode differs.
+	MethodsBodyChanged []MethodRef
+}
+
+// IsClassUpdate reports whether the diff requires a class update (layout or
+// method-table change) as opposed to method-body-only replacement.
+func (d *ClassDiff) IsClassUpdate() bool {
+	return len(d.FieldsAdded) > 0 || len(d.FieldsDeleted) > 0 ||
+		len(d.FieldsChanged) > 0 || len(d.MethodsAdded) > 0 ||
+		len(d.MethodsDeleted) > 0 || len(d.MethodsSigChanged) > 0 ||
+		d.SuperChanged
+}
+
+// IsEmpty reports an unchanged class.
+func (d *ClassDiff) IsEmpty() bool {
+	return !d.IsClassUpdate() && len(d.MethodsBodyChanged) == 0
+}
+
+// DiffClass compares two versions of one class.
+func DiffClass(old, new_ *classfile.Class) *ClassDiff {
+	d := &ClassDiff{Name: new_.Name, SuperChanged: old.Super != new_.Super}
+
+	oldFields := make(map[string]classfile.Field)
+	for _, f := range old.Fields {
+		oldFields[f.Name] = f
+	}
+	newFields := make(map[string]classfile.Field)
+	for _, f := range new_.Fields {
+		newFields[f.Name] = f
+		of, ok := oldFields[f.Name]
+		switch {
+		case !ok:
+			d.FieldsAdded = append(d.FieldsAdded, f.Name)
+		case of.Key() != f.Key():
+			d.FieldsChanged = append(d.FieldsChanged, f.Name)
+		}
+	}
+	for _, f := range old.Fields {
+		if _, ok := newFields[f.Name]; !ok {
+			d.FieldsDeleted = append(d.FieldsDeleted, f.Name)
+		}
+	}
+
+	oldMethods := make(map[string]*classfile.Method)
+	for _, m := range old.Methods {
+		oldMethods[m.ID()] = m
+	}
+	newMethods := make(map[string]*classfile.Method)
+	var added, deleted []MethodRef
+	for _, m := range new_.Methods {
+		newMethods[m.ID()] = m
+		om, ok := oldMethods[m.ID()]
+		if !ok {
+			added = append(added, MethodRef{new_.Name, m.Name, m.Sig})
+			continue
+		}
+		if om.Static != m.Static || om.Native != m.Native || om.Access != m.Access {
+			// Dispatch-kind change (static vs instance, native vs
+			// bytecode, or an access change — private methods dispatch
+			// directly, public ones through the TIB): treat as
+			// delete+add, forcing a class update.
+			deleted = append(deleted, MethodRef{new_.Name, om.Name, om.Sig})
+			added = append(added, MethodRef{new_.Name, m.Name, m.Sig})
+			continue
+		}
+		if !bytecode.CodeEqual(om.Code, m.Code) {
+			d.MethodsBodyChanged = append(d.MethodsBodyChanged,
+				MethodRef{new_.Name, m.Name, m.Sig})
+		}
+	}
+	for _, m := range old.Methods {
+		if _, ok := newMethods[m.ID()]; !ok {
+			deleted = append(deleted, MethodRef{new_.Name, m.Name, m.Sig})
+		}
+	}
+
+	// Pair deleted/added methods with the same name as signature changes —
+	// the paper's "y methods changed their type signature as well".
+	usedAdd := make([]bool, len(added))
+	for _, del := range deleted {
+		paired := false
+		for i, add := range added {
+			if !usedAdd[i] && add.Name == del.Name {
+				d.MethodsSigChanged = append(d.MethodsSigChanged, [2]MethodRef{del, add})
+				usedAdd[i] = true
+				paired = true
+				break
+			}
+		}
+		if !paired {
+			d.MethodsDeleted = append(d.MethodsDeleted, del)
+		}
+	}
+	for i, add := range added {
+		if !usedAdd[i] {
+			d.MethodsAdded = append(d.MethodsAdded, add)
+		}
+	}
+	return d
+}
+
+// Diff compares two program versions, returning per-class diffs plus the
+// lists of added and deleted classes.
+func Diff(old, new_ *classfile.Program) (diffs map[string]*ClassDiff, addedClasses, deletedClasses []string) {
+	diffs = make(map[string]*ClassDiff)
+	for _, name := range new_.Names() {
+		if oc, ok := old.Classes[name]; ok {
+			d := DiffClass(oc, new_.Classes[name])
+			if !d.IsEmpty() {
+				diffs[name] = d
+			}
+		} else {
+			addedClasses = append(addedClasses, name)
+		}
+	}
+	for _, name := range old.Names() {
+		if _, ok := new_.Classes[name]; !ok {
+			deletedClasses = append(deletedClasses, name)
+		}
+	}
+	sort.Strings(addedClasses)
+	sort.Strings(deletedClasses)
+	return diffs, addedClasses, deletedClasses
+}
+
+// transitiveClassUpdates expands the set of directly-updated classes with
+// every descendant in the new program: a subclass's instance layout embeds
+// its superclass's, so a superclass layout change shifts subclass offsets,
+// and the subclass needs new metadata and object transformation too (the
+// paper's "changed and transitively-affected classes").
+func transitiveClassUpdates(new_ *classfile.Program, direct map[string]bool) map[string]bool {
+	all := make(map[string]bool, len(direct))
+	for k := range direct {
+		all[k] = true
+	}
+	var affected func(name string) bool
+	memo := make(map[string]bool)
+	var seen map[string]bool
+	affected = func(name string) bool {
+		if v, ok := memo[name]; ok {
+			return v
+		}
+		if all[name] {
+			memo[name] = true
+			return true
+		}
+		if seen[name] {
+			return false // hierarchy cycle; validation rejects it elsewhere
+		}
+		seen[name] = true
+		def, ok := new_.Classes[name]
+		res := false
+		if ok && def.Super != "" {
+			res = affected(def.Super)
+		}
+		memo[name] = res
+		return res
+	}
+	for _, name := range new_.Names() {
+		seen = make(map[string]bool)
+		if affected(name) {
+			all[name] = true
+		}
+	}
+	return all
+}
+
+// indirectMethods finds methods whose bytecode is unchanged between
+// versions but which reference a class-updated class — the paper's category
+// (2): their compiled representation bakes in offsets that the update
+// changes. The DSU engine re-derives the on-stack subset dynamically from
+// compiled-code dependencies; this static list feeds the update spec and
+// the experience tables.
+func indirectMethods(old, new_ *classfile.Program, classUpdates map[string]bool, diffs map[string]*ClassDiff) []MethodRef {
+	changedBody := make(map[string]bool)
+	for _, d := range diffs {
+		for _, m := range d.MethodsBodyChanged {
+			changedBody[m.String()] = true
+		}
+	}
+	var out []MethodRef
+	for _, name := range new_.Names() {
+		nc := new_.Classes[name]
+		oc := old.Classes[name]
+		if oc == nil {
+			continue // brand new class: nothing on stack yet
+		}
+		for _, m := range nc.Methods {
+			if m.Native {
+				continue
+			}
+			om := oc.Method(m.Name, m.Sig)
+			if om == nil || !bytecode.CodeEqual(om.Code, m.Code) {
+				continue // changed or added: category (1), not (2)
+			}
+			refs := bytecode.ReferencedClasses(m.Code)
+			for r := range refs {
+				if classUpdates[r] {
+					out = append(out, MethodRef{name, m.Name, m.Sig})
+					break
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// ValidateHierarchy rejects super-class permutations between versions, which
+// JVOLVE does not support (paper §2.2): a class may not swap its position
+// with a former subclass.
+func ValidateHierarchy(old, new_ *classfile.Program) error {
+	superChain := func(p *classfile.Program, name string) map[string]bool {
+		chain := make(map[string]bool)
+		for cur := name; ; {
+			def, ok := p.Classes[cur]
+			if !ok || def.Super == "" {
+				break
+			}
+			if chain[def.Super] {
+				break
+			}
+			chain[def.Super] = true
+			cur = def.Super
+		}
+		return chain
+	}
+	for name, odef := range old.Classes {
+		ndef, ok := new_.Classes[name]
+		if !ok {
+			continue
+		}
+		_ = odef
+		oldChain := superChain(old, name)
+		newChain := superChain(new_, name)
+		for anc := range newChain {
+			// If anc was a descendant of name before and is an ancestor
+			// now, the hierarchy was permuted.
+			if _, existed := old.Classes[anc]; existed && !oldChain[anc] {
+				if superChain(old, anc)[name] {
+					return fmt.Errorf("upt: unsupported class hierarchy permutation between %s and %s", name, anc)
+				}
+			}
+		}
+		_ = ndef
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package upt
+
+import (
+	"govolve/internal/bytecode"
+	"govolve/internal/classfile"
+)
+
+// InferPCMap computes a yield-point map between two bodies of the same
+// method by longest-common-subsequence alignment of their instructions.
+// It supports the common shape of active-method updates — instructions
+// inserted into or deleted from a loop — automatically, the tooling role
+// UpStare's mapping generator plays. Instructions that do not align (and
+// branches whose resolved targets moved) are simply absent from the map;
+// a frame parked at an unmapped pc blocks the update as usual, and the
+// next attempt retries.
+//
+// ok is false when the bodies share no structure at all (under half the
+// old body aligns), in which case a hand-written map is required.
+func InferPCMap(old, new_ *classfile.Method) (ActivePCMap, bool) {
+	n, m := len(old.Code), len(new_.Code)
+	if n == 0 || m == 0 {
+		return ActivePCMap{}, false
+	}
+	// LCS table over instruction equality.
+	dp := make([][]int16, n+1)
+	for i := range dp {
+		dp[i] = make([]int16, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if old.Code[i].Equal(new_.Code[j]) {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	pc := make(map[int]int)
+	for i, j := 0, 0; i < n && j < m; {
+		switch {
+		case old.Code[i].Equal(new_.Code[j]):
+			pc[i] = j
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			i++
+		default:
+			j++
+		}
+	}
+	// Drop alignments whose branch targets are themselves unmapped or
+	// moved inconsistently: resuming at such a pc could jump into code
+	// with different meaning.
+	for i, j := range pc {
+		ins := old.Code[i]
+		if !ins.Op.IsBranch() {
+			continue
+		}
+		tgt, ok := pc[int(ins.A)]
+		if !ok || int64(tgt) != new_.Code[j].A {
+			delete(pc, i)
+		}
+	}
+	if len(pc)*2 < n {
+		return ActivePCMap{}, false
+	}
+	return ActivePCMap{PC: pc}, true
+}
+
+// InferActiveUpdates fills the spec's ActiveUpdates with inferred maps for
+// every method-body update whose bodies align, enabling the UpStare-style
+// path for updates that would otherwise abort on always-running methods.
+// It returns the methods that could not be mapped.
+func (s *Spec) InferActiveUpdates() []MethodRef {
+	var unmapped []MethodRef
+	addFor := func(ref MethodRef, om, nm *classfile.Method) {
+		if om == nil || nm == nil || om.Native || nm.Native {
+			return
+		}
+		if bytecode.CodeEqual(om.Code, nm.Code) {
+			return
+		}
+		if m, ok := InferPCMap(om, nm); ok {
+			s.AddActiveUpdate(ref, m)
+		} else {
+			unmapped = append(unmapped, ref)
+		}
+	}
+	for _, ref := range s.MethodBodyUpdates {
+		oc, nc := s.Old.Classes[ref.Class], s.New.Classes[ref.Class]
+		if oc == nil || nc == nil {
+			continue
+		}
+		addFor(ref, oc.Method(ref.Name, ref.Sig), nc.Method(ref.Name, ref.Sig))
+	}
+	// Changed methods inside class updates can be actively updated too,
+	// as long as their signatures survived.
+	for _, name := range s.ClassUpdates {
+		oc, nc := s.Old.Classes[name], s.New.Classes[name]
+		if oc == nil || nc == nil {
+			continue
+		}
+		for _, nm := range nc.Methods {
+			om := oc.Method(nm.Name, nm.Sig)
+			if om == nil {
+				continue
+			}
+			addFor(MethodRef{name, nm.Name, nm.Sig}, om, nm)
+		}
+	}
+	return unmapped
+}

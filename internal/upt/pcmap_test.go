@@ -1,0 +1,194 @@
+package upt
+
+import (
+	"testing"
+
+	"govolve/internal/asm"
+	"govolve/internal/classfile"
+)
+
+func methodOf(t *testing.T, src, class, name string, sig classfile.Sig) *classfile.Method {
+	t.Helper()
+	classes, err := asm.Assemble("m.jva", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range classes {
+		if c.Name == class {
+			if m := c.Method(name, sig); m != nil {
+				return m
+			}
+		}
+	}
+	t.Fatalf("no %s.%s", class, name)
+	return nil
+}
+
+func TestInferPCMapInsertion(t *testing.T) {
+	old := methodOf(t, `
+class A {
+  static method run()V {
+  top:
+    const 1
+    invokestatic System.printInt(I)V
+    goto top
+  }
+}`, "A", "run", "()V")
+	new_ := methodOf(t, `
+class A {
+  static method run()V {
+  top:
+    const 1
+    invokestatic System.printInt(I)V
+    const 2
+    invokestatic System.printInt(I)V
+    goto top
+  }
+}`, "A", "run", "()V")
+	m, ok := InferPCMap(old, new_)
+	if !ok {
+		t.Fatal("inference failed for pure insertion")
+	}
+	// The shared prefix maps identically; the goto maps to its shifted
+	// position with an unmoved target.
+	if m.PC[0] != 0 || m.PC[1] != 1 {
+		t.Fatalf("prefix map wrong: %v", m.PC)
+	}
+	if got, ok := m.PC[2]; !ok || got != 4 {
+		t.Fatalf("goto map = %v (%v), want 4", got, ok)
+	}
+}
+
+func TestInferPCMapDeletion(t *testing.T) {
+	old := methodOf(t, `
+class A {
+  static method run()V {
+  top:
+    const 1
+    invokestatic System.printInt(I)V
+    const 2
+    invokestatic System.printInt(I)V
+    goto top
+  }
+}`, "A", "run", "()V")
+	new_ := methodOf(t, `
+class A {
+  static method run()V {
+  top:
+    const 1
+    invokestatic System.printInt(I)V
+    goto top
+  }
+}`, "A", "run", "()V")
+	m, ok := InferPCMap(old, new_)
+	if !ok {
+		t.Fatal("inference failed for pure deletion")
+	}
+	if m.PC[0] != 0 || m.PC[1] != 1 {
+		t.Fatalf("map = %v", m.PC)
+	}
+	if _, mapped := m.PC[2]; mapped {
+		t.Fatal("deleted instruction should be unmapped")
+	}
+}
+
+func TestInferPCMapRejectsTotalRewrite(t *testing.T) {
+	old := methodOf(t, `
+class A {
+  static method run()V {
+    const 1
+    const 2
+    add
+    pop
+    return
+  }
+}`, "A", "run", "()V")
+	new_ := methodOf(t, `
+class A {
+  static method run()V {
+    null
+    ifnull done
+  done:
+    return
+  }
+}`, "A", "run", "()V")
+	if _, ok := InferPCMap(old, new_); ok {
+		t.Fatal("inference accepted a total rewrite")
+	}
+}
+
+func TestInferPCMapRejectsMovedBranchTargets(t *testing.T) {
+	// The branch instruction itself matches textually only if its target
+	// index matches; a target that moved makes the branch instruction
+	// unequal, so it must not be mapped.
+	old := methodOf(t, `
+class A {
+  static method run(I)V {
+  top:
+    load 0
+    ifeq top
+    return
+  }
+}`, "A", "run", "(I)V")
+	new_ := methodOf(t, `
+class A {
+  static method run(I)V {
+    nop
+    nop
+    nop
+  top:
+    load 0
+    ifeq top
+    return
+  }
+}`, "A", "run", "(I)V")
+	m, ok := InferPCMap(old, new_)
+	if ok {
+		// If enough aligned, the branch (old ifeq A=0 vs new ifeq A=3)
+		// must be unmapped.
+		if _, mapped := m.PC[1]; mapped {
+			t.Fatalf("moved-target branch mapped: %v", m.PC)
+		}
+	}
+}
+
+func TestInferActiveUpdatesOnSpec(t *testing.T) {
+	oldP, err := asm.AssembleProgram("o.jva", `
+class L {
+  static method run()V {
+  top:
+    const 1
+    invokestatic System.printInt(I)V
+    goto top
+  }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newP, err := asm.AssembleProgram("n.jva", `
+class L {
+  static method run()V {
+  top:
+    const 1
+    invokestatic System.printInt(I)V
+    const 9
+    invokestatic System.printInt(I)V
+    goto top
+  }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Prepare("1", oldP, newP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmapped := s.InferActiveUpdates()
+	if len(unmapped) != 0 {
+		t.Fatalf("unmapped: %v", unmapped)
+	}
+	ref := MethodRef{Class: "L", Name: "run", Sig: "()V"}
+	if _, ok := s.ActiveUpdates[ref]; !ok {
+		t.Fatalf("no active update for %v: %v", ref, s.ActiveUpdates)
+	}
+}

@@ -1,0 +1,741 @@
+// Package verifier statically type-checks bytecode by abstract
+// interpretation, the analog of Java bytecode verification that the JVOLVE
+// paper relies on for update type safety ("JVOLVE relies on bytecode
+// verification to statically type-check updated classes").
+//
+// A relaxed mode ignores access modifiers and permits writes to final
+// fields. It exists for exactly one client: transformer classes. The paper
+// compiles JvolveTransformers with a JastAdd extension that ignores private/
+// protected and final, and modifies the VM to accept the result "in this
+// special circumstance"; relaxed mode is that special circumstance.
+package verifier
+
+import (
+	"fmt"
+
+	"govolve/internal/bytecode"
+	"govolve/internal/classfile"
+)
+
+// Env resolves class names during verification. The VM's registry and bare
+// classfile.Programs both implement it.
+type Env interface {
+	// LookupClass returns the class definition, or nil if unknown.
+	LookupClass(name string) *classfile.Class
+}
+
+// ProgramEnv adapts a classfile.Program to Env.
+type ProgramEnv struct{ *classfile.Program }
+
+// LookupClass implements Env.
+func (p ProgramEnv) LookupClass(name string) *classfile.Class {
+	return p.Classes[name]
+}
+
+// Mode selects strictness.
+type Mode int
+
+const (
+	// Strict enforces access modifiers and final semantics.
+	Strict Mode = iota
+	// Relaxed ignores access modifiers and final writes; transformer
+	// classes only.
+	Relaxed
+)
+
+// Error is a verification failure at a specific instruction.
+type Error struct {
+	Class  string
+	Method string
+	PC     int
+	Msg    string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("verifier: %s.%s pc=%d: %s", e.Class, e.Method, e.PC, e.Msg)
+}
+
+// vtype is a verification type: the single numeric word type, a reference
+// type (its descriptor), the null type, or unset (unknown/invalid).
+type vtype struct {
+	kind vkind
+	desc classfile.Desc // for refs
+}
+
+type vkind uint8
+
+const (
+	tUnset vkind = iota
+	tInt
+	tNull
+	tRef
+)
+
+var (
+	intT   = vtype{kind: tInt}
+	nullT  = vtype{kind: tNull}
+	unsetT = vtype{}
+)
+
+func refT(d classfile.Desc) vtype { return vtype{kind: tRef, desc: d} }
+
+func (t vtype) isRefLike() bool { return t.kind == tRef || t.kind == tNull }
+
+func (t vtype) String() string {
+	switch t.kind {
+	case tInt:
+		return "int"
+	case tNull:
+		return "null"
+	case tRef:
+		return string(t.desc)
+	default:
+		return "unset"
+	}
+}
+
+// typeForDesc maps a declared descriptor to a verification type.
+func typeForDesc(d classfile.Desc) vtype {
+	if d.IsRef() {
+		return refT(d)
+	}
+	return intT
+}
+
+// Verifier checks methods of a class against an environment.
+type Verifier struct {
+	env  Env
+	mode Mode
+}
+
+// New builds a Verifier.
+func New(env Env, mode Mode) *Verifier {
+	return &Verifier{env: env, mode: mode}
+}
+
+// VerifyProgram verifies every method of every class in the program against
+// itself as environment.
+func VerifyProgram(p *classfile.Program) error {
+	v := New(ProgramEnv{p}, Strict)
+	for _, c := range p.Sorted() {
+		if err := v.VerifyClass(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyClass verifies every non-native method of the class.
+func (v *Verifier) VerifyClass(c *classfile.Class) error {
+	if c.Super != "" {
+		if v.env.LookupClass(c.Super) == nil {
+			return fmt.Errorf("verifier: class %s extends unknown class %s", c.Name, c.Super)
+		}
+		// Reject hierarchy cycles.
+		seen := map[string]bool{c.Name: true}
+		for s := c.Super; s != ""; {
+			if seen[s] {
+				return fmt.Errorf("verifier: class %s: superclass cycle through %s", c.Name, s)
+			}
+			seen[s] = true
+			sc := v.env.LookupClass(s)
+			if sc == nil {
+				return fmt.Errorf("verifier: class %s: unknown superclass %s", c.Name, s)
+			}
+			s = sc.Super
+		}
+	}
+	for _, m := range c.Methods {
+		if m.Native {
+			continue
+		}
+		if err := v.VerifyMethod(c, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// state is the abstract machine state at one program point.
+type state struct {
+	locals []vtype
+	stack  []vtype
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		locals: append([]vtype(nil), s.locals...),
+		stack:  append([]vtype(nil), s.stack...),
+	}
+	return c
+}
+
+// VerifyMethod runs the dataflow analysis over one method body.
+func (v *Verifier) VerifyMethod(c *classfile.Class, m *classfile.Method) error {
+	fail := func(pc int, format string, args ...any) error {
+		return &Error{Class: c.Name, Method: m.ID(), PC: pc, Msg: fmt.Sprintf(format, args...)}
+	}
+	if len(m.Code) == 0 {
+		return fail(0, "empty method body")
+	}
+	args, ret, err := classfile.ParseSig(m.Sig)
+	if err != nil {
+		return fail(0, "bad signature: %v", err)
+	}
+
+	entry := &state{locals: make([]vtype, m.MaxLocals)}
+	slot := 0
+	if !m.Static {
+		if slot >= m.MaxLocals {
+			return fail(0, "MaxLocals %d too small for receiver", m.MaxLocals)
+		}
+		entry.locals[slot] = refT(classfile.RefOf(c.Name))
+		slot++
+	}
+	for _, a := range args {
+		if slot >= m.MaxLocals {
+			return fail(0, "MaxLocals %d too small for %d args", m.MaxLocals, len(args))
+		}
+		entry.locals[slot] = typeForDesc(a)
+		slot++
+	}
+
+	in := make([]*state, len(m.Code))
+	in[0] = entry
+	work := []int{0}
+	steps := 0
+	maxSteps := 64 * (len(m.Code) + 4) * (m.MaxLocals + 4)
+	for len(work) > 0 {
+		if steps++; steps > maxSteps {
+			return fail(0, "dataflow did not converge")
+		}
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := in[pc].clone()
+		ins := m.Code[pc]
+
+		push := func(t vtype) { st.stack = append(st.stack, t) }
+		pop := func() (vtype, error) {
+			if len(st.stack) == 0 {
+				return unsetT, fail(pc, "%s: operand stack underflow", ins.Op)
+			}
+			t := st.stack[len(st.stack)-1]
+			st.stack = st.stack[:len(st.stack)-1]
+			return t, nil
+		}
+		popInt := func() error {
+			t, err := pop()
+			if err != nil {
+				return err
+			}
+			if t.kind != tInt {
+				return fail(pc, "%s: want int, have %s", ins.Op, t)
+			}
+			return nil
+		}
+		popRef := func() (vtype, error) {
+			t, err := pop()
+			if err != nil {
+				return unsetT, err
+			}
+			if !t.isRefLike() {
+				return unsetT, fail(pc, "%s: want reference, have %s", ins.Op, t)
+			}
+			return t, nil
+		}
+
+		var nexts []int
+		fallthrough_ := true
+
+		switch ins.Op {
+		case bytecode.NOP, bytecode.YIELD:
+		case bytecode.CONST:
+			push(intT)
+		case bytecode.NULL:
+			push(nullT)
+		case bytecode.LDC:
+			push(refT(classfile.RefOf("String")))
+		case bytecode.LOAD:
+			idx := int(ins.A)
+			if idx < 0 || idx >= m.MaxLocals {
+				return fail(pc, "load %d out of range (MaxLocals %d)", idx, m.MaxLocals)
+			}
+			t := st.locals[idx]
+			if t.kind == tUnset {
+				return fail(pc, "load %d: local not definitely assigned", idx)
+			}
+			push(t)
+		case bytecode.STORE:
+			idx := int(ins.A)
+			if idx < 0 || idx >= m.MaxLocals {
+				return fail(pc, "store %d out of range (MaxLocals %d)", idx, m.MaxLocals)
+			}
+			t, err := pop()
+			if err != nil {
+				return err
+			}
+			st.locals[idx] = t
+		case bytecode.POP:
+			if _, err := pop(); err != nil {
+				return err
+			}
+		case bytecode.DUP:
+			t, err := pop()
+			if err != nil {
+				return err
+			}
+			push(t)
+			push(t)
+		case bytecode.DUP_X1:
+			a, err := pop()
+			if err != nil {
+				return err
+			}
+			b, err := pop()
+			if err != nil {
+				return err
+			}
+			push(a)
+			push(b)
+			push(a)
+		case bytecode.SWAP:
+			a, err := pop()
+			if err != nil {
+				return err
+			}
+			b, err := pop()
+			if err != nil {
+				return err
+			}
+			push(a)
+			push(b)
+		case bytecode.ADD, bytecode.SUB, bytecode.MUL, bytecode.DIV, bytecode.REM,
+			bytecode.AND, bytecode.OR, bytecode.XOR, bytecode.SHL, bytecode.SHR:
+			if err := popInt(); err != nil {
+				return err
+			}
+			if err := popInt(); err != nil {
+				return err
+			}
+			push(intT)
+		case bytecode.NEG:
+			if err := popInt(); err != nil {
+				return err
+			}
+			push(intT)
+		case bytecode.GOTO:
+			nexts = []int{int(ins.A)}
+			fallthrough_ = false
+		case bytecode.IFEQ, bytecode.IFNE, bytecode.IFLT, bytecode.IFLE,
+			bytecode.IFGT, bytecode.IFGE:
+			if err := popInt(); err != nil {
+				return err
+			}
+			nexts = []int{int(ins.A)}
+		case bytecode.IF_ICMPEQ, bytecode.IF_ICMPNE, bytecode.IF_ICMPLT,
+			bytecode.IF_ICMPLE, bytecode.IF_ICMPGT, bytecode.IF_ICMPGE:
+			if err := popInt(); err != nil {
+				return err
+			}
+			if err := popInt(); err != nil {
+				return err
+			}
+			nexts = []int{int(ins.A)}
+		case bytecode.IF_ACMPEQ, bytecode.IF_ACMPNE:
+			if _, err := popRef(); err != nil {
+				return err
+			}
+			if _, err := popRef(); err != nil {
+				return err
+			}
+			nexts = []int{int(ins.A)}
+		case bytecode.IFNULL, bytecode.IFNONNULL:
+			if _, err := popRef(); err != nil {
+				return err
+			}
+			nexts = []int{int(ins.A)}
+		case bytecode.NEW:
+			if v.env.LookupClass(ins.Sym) == nil {
+				return fail(pc, "new: unknown class %s", ins.Sym)
+			}
+			push(refT(classfile.RefOf(ins.Sym)))
+		case bytecode.INSTANCEOF:
+			if v.env.LookupClass(ins.Sym) == nil {
+				return fail(pc, "instanceof: unknown class %s", ins.Sym)
+			}
+			if _, err := popRef(); err != nil {
+				return err
+			}
+			push(intT)
+		case bytecode.CHECKCAST:
+			if v.env.LookupClass(ins.Sym) == nil {
+				return fail(pc, "checkcast: unknown class %s", ins.Sym)
+			}
+			if _, err := popRef(); err != nil {
+				return err
+			}
+			push(refT(classfile.RefOf(ins.Sym)))
+		case bytecode.NEWARRAY:
+			elem := classfile.Desc(ins.Desc)
+			if !elem.Valid() {
+				return fail(pc, "newarray: bad element descriptor %q", ins.Desc)
+			}
+			if err := popInt(); err != nil {
+				return err
+			}
+			push(refT(classfile.ArrayOf(elem)))
+		case bytecode.ARRAYLEN:
+			t, err := popRef()
+			if err != nil {
+				return err
+			}
+			if t.kind == tRef && t.desc.Kind() != classfile.KArray {
+				return fail(pc, "arraylen: want array, have %s", t)
+			}
+			push(intT)
+		case bytecode.AGET:
+			if err := popInt(); err != nil {
+				return err
+			}
+			t, err := popRef()
+			if err != nil {
+				return err
+			}
+			if t.kind == tNull {
+				// Will trap at runtime; element type unknowable, treat as
+				// the bottom-most usable assumption.
+				push(nullT)
+				break
+			}
+			if t.desc.Kind() != classfile.KArray {
+				return fail(pc, "aget: want array, have %s", t)
+			}
+			push(typeForDesc(t.desc.Elem()))
+		case bytecode.ASET:
+			val, err := pop()
+			if err != nil {
+				return err
+			}
+			if err := popInt(); err != nil {
+				return err
+			}
+			t, err := popRef()
+			if err != nil {
+				return err
+			}
+			if t.kind == tNull {
+				break
+			}
+			if t.desc.Kind() != classfile.KArray {
+				return fail(pc, "aset: want array, have %s", t)
+			}
+			if err := v.checkAssignable(val, typeForDesc(t.desc.Elem())); err != nil {
+				return fail(pc, "aset: %v", err)
+			}
+		case bytecode.GETFIELD, bytecode.PUTFIELD, bytecode.GETSTATIC, bytecode.PUTSTATIC:
+			if err := v.checkFieldAccess(c, m, st, pc, ins, fail); err != nil {
+				return err
+			}
+		case bytecode.INVOKEVIRTUAL, bytecode.INVOKESTATIC, bytecode.INVOKESPECIAL:
+			if err := v.checkInvoke(c, st, pc, ins, fail); err != nil {
+				return err
+			}
+		case bytecode.RETURN:
+			if ret != "V" {
+				t, err := pop()
+				if err != nil {
+					return err
+				}
+				if err := v.checkAssignable(t, typeForDesc(ret)); err != nil {
+					return fail(pc, "return: %v", err)
+				}
+			}
+			if len(st.stack) != 0 {
+				return fail(pc, "return with %d values left on stack", len(st.stack))
+			}
+			fallthrough_ = false
+		case bytecode.TRAP:
+			fallthrough_ = false
+		default:
+			return fail(pc, "unexpected opcode %s (resolved form in class file?)", ins.Op)
+		}
+
+		if fallthrough_ {
+			if pc+1 >= len(m.Code) {
+				return fail(pc, "control falls off end of method")
+			}
+			nexts = append(nexts, pc+1)
+		}
+		for _, n := range nexts {
+			merged, changed, err := v.merge(in[n], st)
+			if err != nil {
+				return fail(pc, "merge into %d: %v", n, err)
+			}
+			if changed {
+				in[n] = merged
+				work = append(work, n)
+			}
+		}
+	}
+	return nil
+}
+
+// merge joins two states pointwise; nil old means the point was unreached.
+func (v *Verifier) merge(old *state, new_ *state) (*state, bool, error) {
+	if old == nil {
+		return new_.clone(), true, nil
+	}
+	if len(old.stack) != len(new_.stack) {
+		return nil, false, fmt.Errorf("operand stack depth mismatch (%d vs %d)",
+			len(old.stack), len(new_.stack))
+	}
+	out := old.clone()
+	changed := false
+	for i := range out.locals {
+		t := v.lub(out.locals[i], new_.locals[i])
+		if t != out.locals[i] {
+			out.locals[i] = t
+			changed = true
+		}
+	}
+	for i := range out.stack {
+		t := v.lub(out.stack[i], new_.stack[i])
+		if t.kind == tUnset {
+			return nil, false, fmt.Errorf("incompatible stack slot %d (%s vs %s)",
+				i, old.stack[i], new_.stack[i])
+		}
+		if t != out.stack[i] {
+			out.stack[i] = t
+			changed = true
+		}
+	}
+	return out, changed, nil
+}
+
+// lub computes the least upper bound of two verification types. Unmergeable
+// locals degrade to unset (use is what fails); unmergeable stack slots are
+// an error at the caller.
+func (v *Verifier) lub(a, b vtype) vtype {
+	switch {
+	case a == b:
+		return a
+	case a.kind == tUnset || b.kind == tUnset:
+		return unsetT
+	case a.kind == tInt || b.kind == tInt:
+		return unsetT // int vs ref never merges
+	case a.kind == tNull:
+		return b
+	case b.kind == tNull:
+		return a
+	}
+	// Both refs: walk a's superclass chain looking for a common ancestor.
+	if a.desc.Kind() == classfile.KArray || b.desc.Kind() == classfile.KArray {
+		if a.desc == b.desc {
+			return a
+		}
+		return refT(classfile.RefOf("Object"))
+	}
+	for an := a.desc.ClassName(); an != ""; {
+		if v.isSubclass(b.desc.ClassName(), an) {
+			return refT(classfile.RefOf(an))
+		}
+		cls := v.env.LookupClass(an)
+		if cls == nil {
+			break
+		}
+		an = cls.Super
+	}
+	return refT(classfile.RefOf("Object"))
+}
+
+// isSubclass reports whether class sub is name or a descendant of name.
+func (v *Verifier) isSubclass(sub, name string) bool {
+	for sub != "" {
+		if sub == name {
+			return true
+		}
+		cls := v.env.LookupClass(sub)
+		if cls == nil {
+			return false
+		}
+		sub = cls.Super
+	}
+	return false
+}
+
+// checkAssignable verifies that a value of type have may flow into a slot
+// declared as want.
+func (v *Verifier) checkAssignable(have, want vtype) error {
+	switch want.kind {
+	case tInt:
+		if have.kind != tInt {
+			return fmt.Errorf("want int, have %s", have)
+		}
+		return nil
+	case tRef:
+		if have.kind == tNull {
+			return nil
+		}
+		if have.kind != tRef {
+			return fmt.Errorf("want %s, have %s", want, have)
+		}
+		if want.desc.Kind() == classfile.KArray {
+			if have.desc == want.desc {
+				return nil
+			}
+			return fmt.Errorf("want %s, have %s", want, have)
+		}
+		if have.desc.Kind() == classfile.KArray {
+			if want.desc.ClassName() == "Object" {
+				return nil
+			}
+			return fmt.Errorf("want %s, have %s", want, have)
+		}
+		if v.isSubclass(have.desc.ClassName(), want.desc.ClassName()) {
+			return nil
+		}
+		return fmt.Errorf("%s is not a subclass of %s", have, want)
+	default:
+		return fmt.Errorf("bad target type %s", want)
+	}
+}
+
+// resolveField searches the class chain for the named field, matching how
+// the JIT resolves field references.
+func (v *Verifier) resolveField(className, fieldName string) (*classfile.Class, *classfile.Field) {
+	for className != "" {
+		cls := v.env.LookupClass(className)
+		if cls == nil {
+			return nil, nil
+		}
+		if f := cls.Field(fieldName); f != nil {
+			return cls, f
+		}
+		className = cls.Super
+	}
+	return nil, nil
+}
+
+// resolveMethod searches the class chain for the named method.
+func (v *Verifier) resolveMethod(className, name string, sig classfile.Sig) (*classfile.Class, *classfile.Method) {
+	for className != "" {
+		cls := v.env.LookupClass(className)
+		if cls == nil {
+			return nil, nil
+		}
+		if m := cls.Method(name, sig); m != nil {
+			return cls, m
+		}
+		className = cls.Super
+	}
+	return nil, nil
+}
+
+type failf func(pc int, format string, args ...any) error
+
+func (v *Verifier) checkFieldAccess(c *classfile.Class, m *classfile.Method, st *state, pc int, ins bytecode.Ins, fail failf) error {
+	owner, f := v.resolveField(ins.SymClass(), ins.SymMember())
+	if f == nil {
+		return fail(pc, "%s: unknown field %s", ins.Op, ins.Sym)
+	}
+	if classfile.Desc(ins.Desc) != f.Desc {
+		return fail(pc, "%s: field %s has type %s, instruction says %s",
+			ins.Op, ins.Sym, f.Desc, ins.Desc)
+	}
+	if v.mode == Strict && f.Access == classfile.Private && owner.Name != c.Name {
+		return fail(pc, "%s: field %s is private to %s", ins.Op, ins.Sym, owner.Name)
+	}
+	isStatic := ins.Op == bytecode.GETSTATIC || ins.Op == bytecode.PUTSTATIC
+	if isStatic != f.Static {
+		return fail(pc, "%s: static mismatch on field %s", ins.Op, ins.Sym)
+	}
+	isPut := ins.Op == bytecode.PUTFIELD || ins.Op == bytecode.PUTSTATIC
+	if v.mode == Strict && isPut && f.Final {
+		okCtx := owner.Name == c.Name &&
+			((f.Static && m.IsClinit()) || (!f.Static && m.IsInit()))
+		if !okCtx {
+			return fail(pc, "%s: write to final field %s outside its initializer", ins.Op, ins.Sym)
+		}
+	}
+
+	pop := func() (vtype, error) {
+		if len(st.stack) == 0 {
+			return unsetT, fail(pc, "%s: operand stack underflow", ins.Op)
+		}
+		t := st.stack[len(st.stack)-1]
+		st.stack = st.stack[:len(st.stack)-1]
+		return t, nil
+	}
+	if isPut {
+		val, err := pop()
+		if err != nil {
+			return err
+		}
+		if err := v.checkAssignable(val, typeForDesc(f.Desc)); err != nil {
+			return fail(pc, "%s %s: %v", ins.Op, ins.Sym, err)
+		}
+	}
+	if !isStatic {
+		recv, err := pop()
+		if err != nil {
+			return err
+		}
+		if err := v.checkAssignable(recv, refT(classfile.RefOf(owner.Name))); err != nil {
+			return fail(pc, "%s %s: receiver: %v", ins.Op, ins.Sym, err)
+		}
+	}
+	if !isPut {
+		st.stack = append(st.stack, typeForDesc(f.Desc))
+	}
+	return nil
+}
+
+func (v *Verifier) checkInvoke(c *classfile.Class, st *state, pc int, ins bytecode.Ins, fail failf) error {
+	sig := classfile.Sig(ins.Desc)
+	owner, callee := v.resolveMethod(ins.SymClass(), ins.SymMember(), sig)
+	if callee == nil {
+		return fail(pc, "%s: unknown method %s%s", ins.Op, ins.Sym, ins.Desc)
+	}
+	if v.mode == Strict && callee.Access == classfile.Private && owner.Name != c.Name {
+		return fail(pc, "%s: method %s is private to %s", ins.Op, ins.Sym, owner.Name)
+	}
+	isStatic := ins.Op == bytecode.INVOKESTATIC
+	if isStatic != callee.Static {
+		return fail(pc, "%s: static mismatch on %s%s", ins.Op, ins.Sym, ins.Desc)
+	}
+	args, ret, err := classfile.ParseSig(sig)
+	if err != nil {
+		return fail(pc, "%s: bad signature %q", ins.Op, ins.Desc)
+	}
+	pop := func() (vtype, error) {
+		if len(st.stack) == 0 {
+			return unsetT, fail(pc, "%s: operand stack underflow", ins.Op)
+		}
+		t := st.stack[len(st.stack)-1]
+		st.stack = st.stack[:len(st.stack)-1]
+		return t, nil
+	}
+	// Arguments are pushed left to right, so pop right to left.
+	for i := len(args) - 1; i >= 0; i-- {
+		val, err := pop()
+		if err != nil {
+			return err
+		}
+		if err := v.checkAssignable(val, typeForDesc(args[i])); err != nil {
+			return fail(pc, "%s %s: arg %d: %v", ins.Op, ins.Sym, i, err)
+		}
+	}
+	if !isStatic {
+		recv, err := pop()
+		if err != nil {
+			return err
+		}
+		if err := v.checkAssignable(recv, refT(classfile.RefOf(owner.Name))); err != nil {
+			return fail(pc, "%s %s: receiver: %v", ins.Op, ins.Sym, err)
+		}
+	}
+	if ret != "V" {
+		st.stack = append(st.stack, typeForDesc(ret))
+	}
+	return nil
+}

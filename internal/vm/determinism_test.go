@@ -1,0 +1,248 @@
+package vm
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"govolve/internal/bytecode"
+	"govolve/internal/classfile"
+)
+
+// TestZeroSteadyStateOverheadInstructionExact is the strongest form of the
+// paper's Figure 5 claim our simulation can make: a DSU-capable VM (update
+// handler installed, never fired) executes the *exact same instruction
+// stream* as a stock VM — zero steady-state work, not merely "too small to
+// measure".
+func TestZeroSteadyStateOverheadInstructionExact(t *testing.T) {
+	src := `
+class Work {
+  static field acc I
+  static method step(I)I {
+    load 0
+    load 0
+    mul
+    const 7
+    rem
+    return
+  }
+  static method main()V {
+    const 0
+    store 0
+  loop:
+    load 0
+    const 20000
+    if_icmpge done
+    getstatic Work.acc I
+    load 0
+    invokestatic Work.step(I)I
+    add
+    putstatic Work.acc I
+    load 0
+    const 1
+    add
+    store 0
+    goto loop
+  done:
+    getstatic Work.acc I
+    invokestatic System.printInt(I)V
+    return
+  }
+}
+`
+	run := func(withHandler bool) (int64, string) {
+		var out bytes.Buffer
+		v, err := New(Options{HeapWords: 1 << 16, Out: &out})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withHandler {
+			v.UpdateHandler = func() bool { return true } // installed, idle
+		}
+		loadSrc(t, v, src)
+		if _, err := v.SpawnMain("Work"); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return v.TotalSteps, out.String()
+	}
+	stockSteps, stockOut := run(false)
+	dsuSteps, dsuOut := run(true)
+	if stockSteps != dsuSteps {
+		t.Fatalf("instruction counts differ: stock %d, dsu-capable %d", stockSteps, dsuSteps)
+	}
+	if stockOut != dsuOut {
+		t.Fatalf("outputs differ: %q vs %q", stockOut, dsuOut)
+	}
+}
+
+// TestInterpreterArithmeticProperty generates random straight-line integer
+// programs, executes them on the VM, and checks the result against a Go
+// model of the same operations.
+func TestInterpreterArithmeticProperty(t *testing.T) {
+	ops := []bytecode.Op{
+		bytecode.ADD, bytecode.SUB, bytecode.MUL,
+		bytecode.AND, bytecode.OR, bytecode.XOR,
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 1
+		// Build a program: push n+1 constants, then apply n random ops.
+		vals := make([]int64, n+1)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(2001) - 1000)
+		}
+		b := classfile.NewClass("R", "Object")
+		mb := b.StaticMethod("main", "()V")
+		for _, v := range vals {
+			mb.Const(v)
+		}
+		model := make([]int64, len(vals))
+		copy(model, vals)
+		for i := 0; i < n; i++ {
+			op := ops[rng.Intn(len(ops))]
+			mb.Op(op)
+			bv := model[len(model)-1]
+			av := model[len(model)-2]
+			model = model[:len(model)-1]
+			var r int64
+			switch op {
+			case bytecode.ADD:
+				r = av + bv
+			case bytecode.SUB:
+				r = av - bv
+			case bytecode.MUL:
+				r = av * bv
+			case bytecode.AND:
+				r = av & bv
+			case bytecode.OR:
+				r = av | bv
+			case bytecode.XOR:
+				r = av ^ bv
+			}
+			model[len(model)-1] = r
+		}
+		mb.Static("System", "printInt", "(I)V")
+		cls := mb.Ret().Done().MustBuild()
+		prog, err := classfile.NewProgram(cls)
+		if err != nil {
+			return false
+		}
+		var out bytes.Buffer
+		v, err := New(Options{HeapWords: 1 << 14, Out: &out})
+		if err != nil {
+			return false
+		}
+		if err := v.LoadProgram(prog); err != nil {
+			return false
+		}
+		if _, err := v.SpawnMain("R"); err != nil {
+			return false
+		}
+		if err := v.Run(); err != nil {
+			return false
+		}
+		got := strings.TrimSpace(out.String())
+		want := model[len(model)-1]
+		return got == itoa64(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa64(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+// TestOptAndBaseAgree runs the same hot function under a VM that never
+// opt-compiles and one that opt-compiles aggressively; results must match
+// (the opt tier preserves semantics through folding and inlining).
+func TestOptAndBaseAgree(t *testing.T) {
+	src := `
+class M {
+  static method f(I)I {
+    load 0
+    const 3
+    mul
+    const 4
+    const 6
+    add
+    add
+    return
+  }
+  static method g(I)I {
+    load 0
+    invokestatic M.f(I)I
+    load 0
+    const 1
+    add
+    invokestatic M.f(I)I
+    add
+    return
+  }
+  static method main()V {
+    const 0
+    store 0
+    const 0
+    store 1
+  loop:
+    load 0
+    const 300
+    if_icmpge done
+    load 1
+    load 0
+    invokestatic M.g(I)I
+    add
+    store 1
+    load 0
+    const 1
+    add
+    store 0
+    goto loop
+  done:
+    load 1
+    invokestatic System.printInt(I)V
+    return
+  }
+}
+`
+	results := map[int]string{}
+	for _, threshold := range []int{1 << 30, 2} {
+		var out bytes.Buffer
+		v, err := New(Options{HeapWords: 1 << 16, Out: &out, OptThreshold: threshold})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loadSrc(t, v, src)
+		if _, err := v.SpawnMain("M"); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Run(); err != nil {
+			t.Fatal(err)
+		}
+		results[threshold] = out.String()
+	}
+	if results[1<<30] != results[2] {
+		t.Fatalf("base-only %q vs opt-heavy %q", results[1<<30], results[2])
+	}
+}

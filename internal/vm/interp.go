@@ -1,0 +1,527 @@
+package vm
+
+import (
+	"fmt"
+
+	"govolve/internal/bytecode"
+	"govolve/internal/rt"
+)
+
+// interpret executes instructions of thread t until the yield budget is
+// exhausted at a yield point, the thread blocks, dies, or parks on a return
+// barrier. Yield points are method entry, method exit, taken loop backedges,
+// and explicit YIELDs — Jikes RVM's yield point placement.
+func (v *VM) interpret(t *Thread, budget int) {
+	kill := func(err error) {
+		t.State = Dead
+		t.Err = err
+		v.tracef("thread %d killed: %v", t.ID, err)
+	}
+
+	for {
+		if len(t.Frames) == 0 {
+			t.State = Dead
+			return
+		}
+		f := t.Frames[len(t.Frames)-1]
+		if f.PC < 0 || f.PC >= len(f.CM.Code) {
+			kill(fmt.Errorf("vm: pc %d out of range in %s", f.PC, f.Method().FullName()))
+			return
+		}
+		ins := f.CM.Code[f.PC]
+		t.Steps++
+		v.TotalSteps++
+
+		// Stack helpers. Verified code cannot underflow, but compiled
+		// code could be produced by a buggy pipeline; fail safely.
+		pop := func() rt.Value {
+			n := len(f.Stack)
+			val := f.Stack[n-1]
+			f.Stack = f.Stack[:n-1]
+			return val
+		}
+		push := func(val rt.Value) { f.Stack = append(f.Stack, val) }
+
+		if len(f.Stack) < stackNeed(ins) {
+			kill(fmt.Errorf("vm: operand stack underflow at %s pc=%d", f.Method().FullName(), f.PC))
+			return
+		}
+
+		switch ins.Op {
+		case bytecode.NOP, bytecode.LEAVEINL_R:
+			// nothing
+
+		case bytecode.CONST, bytecode.CONST_R:
+			push(rt.IntVal(ins.A))
+		case bytecode.NULL:
+			push(rt.NullVal)
+		case bytecode.LDC_R:
+			root := &v.Reg.InternRoots[ins.A]
+			if root.Bits == 0 {
+				a, err := v.NewString(v.Reg.InternLits[ins.A])
+				if err != nil {
+					kill(err)
+					return
+				}
+				*root = rt.RefVal(a)
+			}
+			push(*root)
+
+		case bytecode.LOAD:
+			push(f.Locals[ins.A])
+		case bytecode.STORE:
+			f.Locals[ins.A] = pop()
+
+		case bytecode.POP:
+			pop()
+		case bytecode.DUP:
+			val := f.Stack[len(f.Stack)-1]
+			push(val)
+		case bytecode.DUP_X1:
+			a := pop()
+			b := pop()
+			push(a)
+			push(b)
+			push(a)
+		case bytecode.SWAP:
+			a := pop()
+			b := pop()
+			push(a)
+			push(b)
+
+		case bytecode.ADD, bytecode.SUB, bytecode.MUL, bytecode.DIV, bytecode.REM,
+			bytecode.AND, bytecode.OR, bytecode.XOR, bytecode.SHL, bytecode.SHR:
+			b := pop().Int()
+			a := pop().Int()
+			var r int64
+			switch ins.Op {
+			case bytecode.ADD:
+				r = a + b
+			case bytecode.SUB:
+				r = a - b
+			case bytecode.MUL:
+				r = a * b
+			case bytecode.DIV:
+				if b == 0 {
+					kill(fmt.Errorf("vm: division by zero in %s", f.Method().FullName()))
+					return
+				}
+				r = a / b
+			case bytecode.REM:
+				if b == 0 {
+					kill(fmt.Errorf("vm: division by zero in %s", f.Method().FullName()))
+					return
+				}
+				r = a % b
+			case bytecode.AND:
+				r = a & b
+			case bytecode.OR:
+				r = a | b
+			case bytecode.XOR:
+				r = a ^ b
+			case bytecode.SHL:
+				r = a << uint(b&63)
+			case bytecode.SHR:
+				r = a >> uint(b&63)
+			}
+			push(rt.IntVal(r))
+		case bytecode.NEG:
+			push(rt.IntVal(-pop().Int()))
+
+		case bytecode.GOTO:
+			if v.branch(t, f, int(ins.A), &budget) {
+				return
+			}
+			continue
+		case bytecode.IFEQ, bytecode.IFNE, bytecode.IFLT, bytecode.IFLE,
+			bytecode.IFGT, bytecode.IFGE:
+			a := pop().Int()
+			var taken bool
+			switch ins.Op {
+			case bytecode.IFEQ:
+				taken = a == 0
+			case bytecode.IFNE:
+				taken = a != 0
+			case bytecode.IFLT:
+				taken = a < 0
+			case bytecode.IFLE:
+				taken = a <= 0
+			case bytecode.IFGT:
+				taken = a > 0
+			case bytecode.IFGE:
+				taken = a >= 0
+			}
+			if taken {
+				if v.branch(t, f, int(ins.A), &budget) {
+					return
+				}
+				continue
+			}
+		case bytecode.IF_ICMPEQ, bytecode.IF_ICMPNE, bytecode.IF_ICMPLT,
+			bytecode.IF_ICMPLE, bytecode.IF_ICMPGT, bytecode.IF_ICMPGE:
+			b := pop().Int()
+			a := pop().Int()
+			var taken bool
+			switch ins.Op {
+			case bytecode.IF_ICMPEQ:
+				taken = a == b
+			case bytecode.IF_ICMPNE:
+				taken = a != b
+			case bytecode.IF_ICMPLT:
+				taken = a < b
+			case bytecode.IF_ICMPLE:
+				taken = a <= b
+			case bytecode.IF_ICMPGT:
+				taken = a > b
+			case bytecode.IF_ICMPGE:
+				taken = a >= b
+			}
+			if taken {
+				if v.branch(t, f, int(ins.A), &budget) {
+					return
+				}
+				continue
+			}
+		case bytecode.IF_ACMPEQ, bytecode.IF_ACMPNE:
+			b := pop().Ref()
+			a := pop().Ref()
+			taken := a == b
+			if ins.Op == bytecode.IF_ACMPNE {
+				taken = !taken
+			}
+			if taken {
+				if v.branch(t, f, int(ins.A), &budget) {
+					return
+				}
+				continue
+			}
+		case bytecode.IFNULL, bytecode.IFNONNULL:
+			a := pop().Ref()
+			taken := a == rt.Null
+			if ins.Op == bytecode.IFNONNULL {
+				taken = !taken
+			}
+			if taken {
+				if v.branch(t, f, int(ins.A), &budget) {
+					return
+				}
+				continue
+			}
+
+		case bytecode.NEW_R:
+			a, err := v.allocObject(ins.Cls)
+			if err != nil {
+				kill(err)
+				return
+			}
+			push(rt.RefVal(a))
+		case bytecode.NEWARRAY_R:
+			n := pop().Int()
+			a, err := v.allocArray(ins.B == 1, int(n))
+			if err != nil {
+				kill(err)
+				return
+			}
+			push(rt.RefVal(a))
+		case bytecode.ARRAYLEN:
+			a := pop().Ref()
+			if a == rt.Null {
+				kill(fmt.Errorf("vm: null dereference (arraylen) in %s", f.Method().FullName()))
+				return
+			}
+			push(rt.IntVal(int64(v.Heap.ArrayLen(a))))
+		case bytecode.AGET:
+			i := pop().Int()
+			a := pop().Ref()
+			if a == rt.Null {
+				kill(fmt.Errorf("vm: null dereference (aget) in %s", f.Method().FullName()))
+				return
+			}
+			if i < 0 || int(i) >= v.Heap.ArrayLen(a) {
+				kill(fmt.Errorf("vm: index %d out of bounds (len %d) in %s", i, v.Heap.ArrayLen(a), f.Method().FullName()))
+				return
+			}
+			push(v.Heap.Elem(a, int(i)))
+		case bytecode.ASET:
+			val := pop()
+			i := pop().Int()
+			a := pop().Ref()
+			if a == rt.Null {
+				kill(fmt.Errorf("vm: null dereference (aset) in %s", f.Method().FullName()))
+				return
+			}
+			if i < 0 || int(i) >= v.Heap.ArrayLen(a) {
+				kill(fmt.Errorf("vm: index %d out of bounds (len %d) in %s", i, v.Heap.ArrayLen(a), f.Method().FullName()))
+				return
+			}
+			v.Heap.SetElem(a, int(i), val)
+
+		case bytecode.GETFIELD_R:
+			a := pop().Ref()
+			if a == rt.Null {
+				kill(fmt.Errorf("vm: null dereference (getfield) in %s pc=%d", f.Method().FullName(), f.PC))
+				return
+			}
+			if v.IndirectionCheck {
+				v.indirectionProbe(a)
+			}
+			push(v.Heap.FieldValue(a, int(ins.A), ins.B == 1))
+		case bytecode.PUTFIELD_R:
+			val := pop()
+			a := pop().Ref()
+			if a == rt.Null {
+				kill(fmt.Errorf("vm: null dereference (putfield) in %s pc=%d", f.Method().FullName(), f.PC))
+				return
+			}
+			if v.IndirectionCheck {
+				v.indirectionProbe(a)
+			}
+			v.Heap.SetFieldValue(a, int(ins.A), val)
+		case bytecode.GETSTATIC_R:
+			push(v.Reg.JTOC[ins.A])
+		case bytecode.PUTSTATIC_R:
+			val := pop()
+			v.Reg.JTOC[ins.A] = rt.Value{Bits: val.Bits, IsRef: ins.B == 1}
+
+		case bytecode.INSTOF_R:
+			a := pop().Ref()
+			res := false
+			if a != rt.Null && !v.Heap.IsArray(a) {
+				cls := v.Reg.ClassByID(v.Heap.ClassID(a))
+				res = cls != nil && cls.IsSubclassOf(ins.Cls)
+			} else if a != rt.Null && v.Heap.IsArray(a) {
+				res = ins.Cls.Name == "Object"
+			}
+			push(rt.BoolVal(res))
+		case bytecode.CHECKCAST_R:
+			a := f.Stack[len(f.Stack)-1].Ref()
+			if a != rt.Null {
+				ok := false
+				if v.Heap.IsArray(a) {
+					ok = ins.Cls.Name == "Object"
+				} else {
+					cls := v.Reg.ClassByID(v.Heap.ClassID(a))
+					ok = cls != nil && cls.IsSubclassOf(ins.Cls)
+				}
+				if !ok {
+					kill(fmt.Errorf("vm: checkcast to %s failed in %s", ins.Cls.Name, f.Method().FullName()))
+					return
+				}
+			}
+
+		case bytecode.INVOKEVIRT_R:
+			nargs := int(ins.B)
+			recv := f.Stack[len(f.Stack)-nargs]
+			if recv.Ref() == rt.Null {
+				kill(fmt.Errorf("vm: null receiver calling %s in %s", ins.Ref.FullName(), f.Method().FullName()))
+				return
+			}
+			if v.Heap.IsArray(recv.Ref()) {
+				kill(fmt.Errorf("vm: virtual call on array in %s", f.Method().FullName()))
+				return
+			}
+			cls := v.Reg.ClassByID(v.Heap.ClassID(recv.Ref()))
+			if cls == nil || int(ins.A) >= len(cls.TIB) {
+				kill(fmt.Errorf("vm: bad dispatch (class id %d, slot %d) in %s",
+					v.Heap.ClassID(recv.Ref()), ins.A, f.Method().FullName()))
+				return
+			}
+			target := cls.TIB[ins.A]
+			if stop := v.invoke(t, f, target, nargs, kill, &budget); stop {
+				return
+			}
+			continue
+		case bytecode.INVOKESTAT_R, bytecode.INVOKESPEC_R:
+			nargs := int(ins.B)
+			if ins.Op == bytecode.INVOKESPEC_R {
+				recv := f.Stack[len(f.Stack)-nargs]
+				if recv.Ref() == rt.Null {
+					kill(fmt.Errorf("vm: null receiver calling %s in %s", ins.Ref.FullName(), f.Method().FullName()))
+					return
+				}
+			}
+			// A class update replaces rt.Method objects; stale compiled
+			// code is invalidated, so ins.Ref is always current here.
+			if stop := v.invoke(t, f, ins.Ref, nargs, kill, &budget); stop {
+				return
+			}
+			continue
+		case bytecode.INVOKENAT_R:
+			// Blocking natives park the thread with the args still on
+			// the stack and the pc unchanged: the call retries on wake,
+			// stopped at an instruction boundary (a VM safe point).
+			if stop := v.invoke(t, f, ins.Ref, int(ins.B), kill, &budget); stop {
+				return
+			}
+			continue
+
+		case bytecode.ENTERINL_R:
+			nargs := int(ins.B)
+			base := int(ins.A)
+			for i := nargs - 1; i >= 0; i-- {
+				f.Locals[base+i] = pop()
+			}
+
+		case bytecode.RETURN:
+			var ret rt.Value
+			if !ins.RetVoid {
+				ret = pop()
+			}
+			popped := t.pop()
+			if len(t.Frames) > 0 && !ins.RetVoid {
+				caller := t.Frames[len(t.Frames)-1]
+				caller.Stack = append(caller.Stack, ret)
+			}
+			if popped.Barrier && v.updatePending {
+				// Return barrier fired: park the thread and let the
+				// DSU engine retry at the next scheduling boundary.
+				v.tracef("return barrier fired in %s (thread %d)", popped.Method().FullName(), t.ID)
+				if len(t.Frames) == 0 {
+					t.State = Dead
+				} else {
+					t.State = UpdateWait
+				}
+				return
+			}
+			if len(t.Frames) == 0 {
+				t.State = Dead
+				return
+			}
+			// Method-exit yield point.
+			budget--
+			if budget <= 0 || v.yieldFlag {
+				return
+			}
+			continue
+
+		case bytecode.TRAP:
+			kill(fmt.Errorf("vm: trap in %s: %s", f.Method().FullName(), ins.Str))
+			return
+		case bytecode.YIELD:
+			f.PC++
+			budget--
+			if budget <= 0 || v.yieldFlag {
+				return
+			}
+			continue
+
+		default:
+			kill(fmt.Errorf("vm: cannot execute opcode %s in %s (unresolved code?)", ins.Op, f.Method().FullName()))
+			return
+		}
+		f.PC++
+	}
+}
+
+// branch moves the pc; taken backedges are yield points. It reports whether
+// the interpreter should return to the scheduler.
+func (v *VM) branch(t *Thread, f *Frame, target int, budget *int) bool {
+	backedge := target <= f.PC
+	f.PC = target
+	if backedge {
+		*budget--
+		if *budget <= 0 || v.yieldFlag {
+			return true
+		}
+	}
+	return false
+}
+
+// invoke pushes an activation of target consuming nargs stacked arguments.
+// A virtual dispatch may land on a native method; those execute inline. It
+// reports whether the interpreter should return to the scheduler (entry
+// yield point, block, or error).
+func (v *VM) invoke(t *Thread, f *Frame, target *rt.Method, nargs int, kill func(error), budget *int) bool {
+	if target.Def.Native {
+		args := f.Stack[len(f.Stack)-nargs:]
+		fn := v.natives[nativeKey(target)]
+		if fn == nil {
+			kill(fmt.Errorf("vm: unbound native %s", target.FullName()))
+			return true
+		}
+		ret, block, err := fn(v, t, args)
+		if err != nil {
+			kill(fmt.Errorf("vm: native %s: %w", target.FullName(), err))
+			return true
+		}
+		if block != nil {
+			t.State = Blocked
+			t.WakeWhen = block
+			return true // pc unchanged; the call retries on wake
+		}
+		if t.State == Dead {
+			return true // the native terminated the thread (System.exit)
+		}
+		f.Stack = f.Stack[:len(f.Stack)-nargs]
+		if target.Def.Sig.Ret() != "V" {
+			f.Stack = append(f.Stack, ret)
+		}
+		f.PC++
+		return false
+	}
+	f.PC++ // the call completes; the callee returns past it
+	cm, err := v.resolveCompiled(target)
+	if err != nil {
+		kill(err)
+		return true
+	}
+	nf := &Frame{CM: cm, Locals: make([]rt.Value, cm.MaxLocals)}
+	copy(nf.Locals, f.Stack[len(f.Stack)-nargs:])
+	f.Stack = f.Stack[:len(f.Stack)-nargs]
+	t.push(nf)
+	// Method-entry yield point.
+	*budget--
+	return *budget <= 0 || v.yieldFlag
+}
+
+// stackNeed returns the minimum operand stack depth an instruction needs.
+func stackNeed(ins rt.Ins) int {
+	switch ins.Op {
+	case bytecode.POP, bytecode.DUP, bytecode.STORE, bytecode.NEG,
+		bytecode.IFEQ, bytecode.IFNE, bytecode.IFLT, bytecode.IFLE,
+		bytecode.IFGT, bytecode.IFGE, bytecode.IFNULL, bytecode.IFNONNULL,
+		bytecode.ARRAYLEN, bytecode.GETFIELD_R, bytecode.NEWARRAY_R,
+		bytecode.INSTOF_R, bytecode.CHECKCAST_R:
+		return 1
+	case bytecode.DUP_X1, bytecode.SWAP,
+		bytecode.ADD, bytecode.SUB, bytecode.MUL, bytecode.DIV, bytecode.REM,
+		bytecode.AND, bytecode.OR, bytecode.XOR, bytecode.SHL, bytecode.SHR,
+		bytecode.IF_ICMPEQ, bytecode.IF_ICMPNE, bytecode.IF_ICMPLT,
+		bytecode.IF_ICMPLE, bytecode.IF_ICMPGT, bytecode.IF_ICMPGE,
+		bytecode.IF_ACMPEQ, bytecode.IF_ACMPNE,
+		bytecode.AGET, bytecode.PUTFIELD_R:
+		return 2
+	case bytecode.ASET:
+		return 3
+	case bytecode.RETURN:
+		if ins.RetVoid {
+			return 0
+		}
+		return 1
+	case bytecode.PUTSTATIC_R:
+		return 1
+	case bytecode.INVOKEVIRT_R, bytecode.INVOKESTAT_R, bytecode.INVOKESPEC_R,
+		bytecode.INVOKENAT_R, bytecode.ENTERINL_R:
+		return int(ins.B)
+	default:
+		return 0
+	}
+}
+
+// indirectionProbe simulates the per-dereference cost of lazy-update DSU
+// systems. JDrums "traps all object pointer dereferences to apply VM object
+// transformer function(s) when the object's class changes": an out-of-line
+// call per access that reads the object header, resolves its class, and
+// tests whether it needs transformation. It exists only for the ablation
+// experiment; JVOLVE's eager design has no analog on the hot path.
+//
+//go:noinline
+func (v *VM) indirectionProbe(a rt.Addr) {
+	v.indirections++
+	cls := v.Reg.ClassByID(v.Heap.ClassID(a))
+	if cls != nil && cls.UpdatedTo != nil {
+		// A lazy system would transform here; the eager system never
+		// reaches this line during steady state.
+		v.indirections++
+	}
+}

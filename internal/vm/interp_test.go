@@ -1,0 +1,301 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// runAndCapture runs T.main and returns stdout.
+func runAndCapture(t *testing.T, src string) string {
+	t.Helper()
+	v, out := newTestVM(t, 1<<16)
+	loadSrc(t, v, src)
+	runMain(t, v, "T")
+	return out.String()
+}
+
+func TestStackManipulationOps(t *testing.T) {
+	got := runAndCapture(t, `
+class T {
+  static method main()V {
+    // dup_x1: a b -> b a b ; compute (2) (3) dup_x1 -> 3 2 3; add -> 3 5; sub -> -2
+    const 2
+    const 3
+    dup_x1
+    add
+    sub
+    invokestatic System.printInt(I)V
+    // swap: 7 9 swap sub -> 9-7 = 2
+    const 7
+    const 9
+    swap
+    sub
+    invokestatic System.printInt(I)V
+    // neg
+    const 5
+    neg
+    invokestatic System.printInt(I)V
+    // shifts
+    const 3
+    const 4
+    shl
+    invokestatic System.printInt(I)V
+    const -16
+    const 2
+    shr
+    invokestatic System.printInt(I)V
+    return
+  }
+}`)
+	want := "-2\n2\n-5\n48\n-4\n"
+	if got != want {
+		t.Fatalf("stack ops = %q, want %q", got, want)
+	}
+}
+
+func TestReferenceComparisons(t *testing.T) {
+	got := runAndCapture(t, `
+class Box {
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    return
+  }
+}
+class T {
+  static method same(LBox;LBox;)I {
+    load 0
+    load 1
+    if_acmpeq yes
+    const 0
+    return
+  yes:
+    const 1
+    return
+  }
+  static method main()V {
+    new Box
+    dup
+    invokespecial Box.<init>()V
+    store 0
+    new Box
+    dup
+    invokespecial Box.<init>()V
+    store 1
+    load 0
+    load 0
+    invokestatic T.same(LBox;LBox;)I
+    invokestatic System.printInt(I)V
+    load 0
+    load 1
+    invokestatic T.same(LBox;LBox;)I
+    invokestatic System.printInt(I)V
+    return
+  }
+}`)
+	if got != "1\n0\n" {
+		t.Fatalf("acmp = %q", got)
+	}
+}
+
+func TestInstanceofHierarchy(t *testing.T) {
+	got := runAndCapture(t, `
+class Animal {
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    return
+  }
+}
+class Dog extends Animal {
+  method <init>()V {
+    load 0
+    invokespecial Animal.<init>()V
+    return
+  }
+}
+class T {
+  static method main()V {
+    new Dog
+    dup
+    invokespecial Dog.<init>()V
+    store 0
+    load 0
+    instanceof Animal
+    invokestatic System.printInt(I)V
+    load 0
+    instanceof Dog
+    invokestatic System.printInt(I)V
+    load 0
+    instanceof Object
+    invokestatic System.printInt(I)V
+    new Animal
+    dup
+    invokespecial Animal.<init>()V
+    instanceof Dog
+    invokestatic System.printInt(I)V
+    null
+    instanceof Dog
+    invokestatic System.printInt(I)V
+    return
+  }
+}`)
+	if got != "1\n1\n1\n0\n0\n" {
+		t.Fatalf("instanceof = %q", got)
+	}
+}
+
+func TestCheckcastUpAndDown(t *testing.T) {
+	// Upcast always fine; downcast of the right dynamic type fine; null
+	// passes any cast.
+	got := runAndCapture(t, `
+class Animal {
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    return
+  }
+  method kind()I {
+    const 1
+    return
+  }
+}
+class Dog extends Animal {
+  method <init>()V {
+    load 0
+    invokespecial Animal.<init>()V
+    return
+  }
+  method kind()I {
+    const 2
+    return
+  }
+}
+class T {
+  static method asAnimal(LObject;)LAnimal; {
+    load 0
+    checkcast Animal
+    return
+  }
+  static method main()V {
+    new Dog
+    dup
+    invokespecial Dog.<init>()V
+    invokestatic T.asAnimal(LObject;)LAnimal;
+    invokevirtual Animal.kind()I
+    invokestatic System.printInt(I)V
+    null
+    invokestatic T.asAnimal(LObject;)LAnimal;
+    ifnull ok
+    trap "null survived cast but compared non-null"
+  ok:
+    const 9
+    invokestatic System.printInt(I)V
+    return
+  }
+}`)
+	if got != "2\n9\n" {
+		t.Fatalf("checkcast = %q", got)
+	}
+}
+
+func TestDeepRecursionGrowsStack(t *testing.T) {
+	got := runAndCapture(t, `
+class T {
+  static method down(I)I {
+    load 0
+    ifle base
+    load 0
+    const 1
+    sub
+    invokestatic T.down(I)I
+    const 1
+    add
+    return
+  base:
+    const 0
+    return
+  }
+  static method main()V {
+    const 5000
+    invokestatic T.down(I)I
+    invokestatic System.printInt(I)V
+    return
+  }
+}`)
+	if strings.TrimSpace(got) != "5000" {
+		t.Fatalf("deep recursion = %q", got)
+	}
+}
+
+func TestVirtualDispatchThroughUpdatelessTIBRewrite(t *testing.T) {
+	// Overriding two levels deep: C overrides B overrides A; calls through
+	// an A-typed reference must hit the most-derived implementation.
+	got := runAndCapture(t, `
+class A {
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    return
+  }
+  method id()I {
+    const 1
+    return
+  }
+}
+class B extends A {
+  method id()I {
+    const 2
+    return
+  }
+}
+class C extends B {
+  method id()I {
+    const 3
+    return
+  }
+}
+class T {
+  static method probe(LA;)V {
+    load 0
+    invokevirtual A.id()I
+    invokestatic System.printInt(I)V
+    return
+  }
+  static method main()V {
+    new A
+    dup
+    invokespecial A.<init>()V
+    invokestatic T.probe(LA;)V
+    new B
+    dup
+    invokespecial A.<init>()V
+    invokestatic T.probe(LA;)V
+    new C
+    dup
+    invokespecial A.<init>()V
+    invokestatic T.probe(LA;)V
+    return
+  }
+}`)
+	if got != "1\n2\n3\n" {
+		t.Fatalf("dispatch = %q", got)
+	}
+}
+
+func TestTrapKillsWithMessage(t *testing.T) {
+	v, _ := newTestVM(t, 1<<16)
+	loadSrc(t, v, `
+class T {
+  static method main()V {
+    trap "deliberate failure"
+  }
+}`)
+	if _, err := v.SpawnMain("T"); err != nil {
+		t.Fatal(err)
+	}
+	_ = v.Run()
+	if err := v.Threads[0].Err; err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("trap err = %v", err)
+	}
+}

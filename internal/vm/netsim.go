@@ -1,0 +1,142 @@
+package vm
+
+import "fmt"
+
+// NetSim is the simulated network: line-oriented connections between the
+// Go-side workload driver and the Net.* natives inside the VM. The driver
+// and the VM scheduler must share one goroutine (call driver methods
+// between vm.Step calls); the VM is a deterministic green-thread machine.
+type NetSim struct {
+	listeners map[int64]*SimListener
+	conns     map[int64]*SimConn
+	nextConn  int64
+}
+
+// SimListener is a listening port with a backlog of unaccepted connections.
+type SimListener struct {
+	Port    int64
+	Backlog []int64
+	Open    bool
+}
+
+// SimConn is one connection: two line queues.
+type SimConn struct {
+	ID       int64
+	ToServer []string
+	ToClient []string
+	Closed   bool
+}
+
+// NewNetSim builds an empty network.
+func NewNetSim() *NetSim {
+	return &NetSim{
+		listeners: make(map[int64]*SimListener),
+		conns:     make(map[int64]*SimConn),
+	}
+}
+
+// --- server (native) side -------------------------------------------------
+
+func (n *NetSim) listen(port int64) (int64, error) {
+	if _, dup := n.listeners[port]; dup {
+		return 0, fmt.Errorf("net: port %d already bound", port)
+	}
+	n.listeners[port] = &SimListener{Port: port, Open: true}
+	return port, nil
+}
+
+func (n *NetSim) hasPending(port int64) bool {
+	l := n.listeners[port]
+	return l != nil && (len(l.Backlog) > 0 || !l.Open)
+}
+
+func (n *NetSim) accept(port int64) (int64, bool) {
+	l := n.listeners[port]
+	if l == nil || len(l.Backlog) == 0 {
+		return -1, l == nil || !l.Open
+	}
+	id := l.Backlog[0]
+	l.Backlog = l.Backlog[1:]
+	return id, true
+}
+
+func (n *NetSim) hasLine(id int64) bool {
+	c := n.conns[id]
+	return c == nil || c.Closed || len(c.ToServer) > 0
+}
+
+func (n *NetSim) recvLine(id int64) (string, bool) {
+	c := n.conns[id]
+	if c == nil || (c.Closed && len(c.ToServer) == 0) {
+		return "", false
+	}
+	if len(c.ToServer) == 0 {
+		return "", false
+	}
+	line := c.ToServer[0]
+	c.ToServer = c.ToServer[1:]
+	return line, true
+}
+
+func (n *NetSim) send(id int64, line string) {
+	if c := n.conns[id]; c != nil && !c.Closed {
+		c.ToClient = append(c.ToClient, line)
+	}
+}
+
+func (n *NetSim) close(id int64) {
+	if c := n.conns[id]; c != nil {
+		c.Closed = true
+	}
+}
+
+// --- client (driver) side -------------------------------------------------
+
+// Connect opens a client connection to a listening port.
+func (n *NetSim) Connect(port int64) (int64, error) {
+	l := n.listeners[port]
+	if l == nil || !l.Open {
+		return 0, fmt.Errorf("net: connection refused on port %d", port)
+	}
+	n.nextConn++
+	id := n.nextConn
+	n.conns[id] = &SimConn{ID: id}
+	l.Backlog = append(l.Backlog, id)
+	return id, nil
+}
+
+// ClientSend queues a request line toward the server.
+func (n *NetSim) ClientSend(id int64, line string) error {
+	c := n.conns[id]
+	if c == nil || c.Closed {
+		return fmt.Errorf("net: conn %d closed", id)
+	}
+	c.ToServer = append(c.ToServer, line)
+	return nil
+}
+
+// ClientRecv dequeues one response line, reporting whether one was ready.
+func (n *NetSim) ClientRecv(id int64) (string, bool) {
+	c := n.conns[id]
+	if c == nil || len(c.ToClient) == 0 {
+		return "", false
+	}
+	line := c.ToClient[0]
+	c.ToClient = c.ToClient[1:]
+	return line, true
+}
+
+// ClientClosed reports whether the server closed the connection.
+func (n *NetSim) ClientClosed(id int64) bool {
+	c := n.conns[id]
+	return c == nil || c.Closed
+}
+
+// ClientClose closes the connection from the client side.
+func (n *NetSim) ClientClose(id int64) { n.close(id) }
+
+// Listening reports whether a port is bound.
+func (n *NetSim) Listening(port int64) bool {
+	l := n.listeners[port]
+	return l != nil && l.Open
+}

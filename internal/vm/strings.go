@@ -1,0 +1,59 @@
+package vm
+
+import (
+	"fmt"
+
+	"govolve/internal/rt"
+)
+
+// stringClass returns the bootstrap String class.
+func (v *VM) stringClass() *rt.Class { return v.strCls }
+
+// NewString allocates a String object holding the given Go string. Each
+// rune occupies one word of the backing char array.
+func (v *VM) NewString(s string) (rt.Addr, error) {
+	runes := []rune(s)
+	arr, err := v.allocArray(false, len(runes))
+	if err != nil {
+		return 0, err
+	}
+	for i, r := range runes {
+		v.Heap.SetElem(arr, i, rt.IntVal(int64(r)))
+	}
+	h := v.PushHandle(arr)
+	obj, err := v.allocObject(v.strCls)
+	if err != nil {
+		v.PopHandle(1)
+		return 0, err
+	}
+	v.Heap.SetFieldValue(obj, v.strCharsOff, rt.RefVal(h.Ref()))
+	v.PopHandle(1)
+	return obj, nil
+}
+
+// GoString reads a String object back into a Go string. It accepts null
+// (returning "" and false).
+func (v *VM) GoString(a rt.Addr) (string, bool) {
+	if a == rt.Null {
+		return "", false
+	}
+	arr := v.Heap.FieldValue(a, v.strCharsOff, true).Ref()
+	if arr == rt.Null {
+		return "", true
+	}
+	n := v.Heap.ArrayLen(arr)
+	runes := make([]rune, n)
+	for i := 0; i < n; i++ {
+		runes[i] = rune(v.Heap.Elem(arr, i).Int())
+	}
+	return string(runes), true
+}
+
+// MustGoString reads a String object, failing on null.
+func (v *VM) MustGoString(a rt.Addr) (string, error) {
+	s, ok := v.GoString(a)
+	if !ok {
+		return "", fmt.Errorf("vm: null String")
+	}
+	return s, nil
+}

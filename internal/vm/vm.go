@@ -1,0 +1,633 @@
+// Package vm implements the govolve virtual machine: a green-thread
+// scheduler with yield points, an interpreter of JIT-resolved code, native
+// methods (console, time, simulated network), the string runtime, GC
+// triggering, return barriers, and on-stack replacement. The DSU engine
+// (internal/core) drives it through the exported hooks.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"govolve/internal/classfile"
+	"govolve/internal/gc"
+	"govolve/internal/heap"
+	"govolve/internal/jit"
+	"govolve/internal/rt"
+	"govolve/internal/verifier"
+)
+
+// Options configures VM construction.
+type Options struct {
+	// HeapWords is the size of one semispace in words (default 1<<20).
+	HeapWords int
+	// ScratchWords, if positive, reserves a scratch region for DSU old
+	// copies, reclaimed right after each update's transformer phase — the
+	// paper's §3.5 alternative to keeping old copies in to-space until
+	// the next collection.
+	ScratchWords int
+	// Quantum is the number of instructions a thread runs before the
+	// scheduler switches at the next yield point (default 400).
+	Quantum int
+	// Out receives System.print output (default os.Stdout).
+	Out io.Writer
+	// OptThreshold overrides the adaptive recompilation threshold.
+	OptThreshold int
+	// IndirectionCheck enables the ablation mode: every field access pays
+	// a handle-space indirection plus an is-updated check, simulating
+	// JDrums/DVM-style lazy-update VMs (paper §5). Steady-state overhead
+	// becomes nonzero; JVOLVE's eager approach keeps it zero.
+	IndirectionCheck bool
+}
+
+// VM is one virtual machine instance.
+type VM struct {
+	Reg  *rt.Registry
+	Heap *heap.Heap
+	GC   *gc.Collector
+	JIT  *jit.Compiler
+	Net  *NetSim
+	Out  io.Writer
+
+	Threads []*Thread
+	nextTID int
+	rrNext  int // round-robin cursor
+
+	// Quantum is instructions per scheduling slice.
+	Quantum int
+
+	// yieldFlag asks running code to stop at the next yield point; the
+	// DSU engine sets it through RequestStop.
+	yieldFlag bool
+
+	// UpdateHandler is installed by the DSU engine; the scheduler calls
+	// it between slices while updatePending. It returns true when the
+	// update attempt is finished (applied or aborted).
+	UpdateHandler func() bool
+	updatePending bool
+
+	// Handles are pinned references (GC roots) used by natives and
+	// drivers across allocations.
+	Handles []rt.Value
+
+	natives map[string]NativeFunc
+
+	// Clock is the simulated millisecond clock, advanced by execution.
+	Clock int64
+
+	// TotalSteps counts all executed instructions.
+	TotalSteps int64
+
+	// IndirectionCheck is the ablation switch (see Options).
+	IndirectionCheck bool
+	indirections     int64
+
+	// Trace, when set, receives scheduler/DSU diagnostics.
+	Trace io.Writer
+
+	// Exited is set by System.exit; ExitCode carries its argument.
+	Exited   bool
+	ExitCode int
+
+	// GCDisabled blocks allocation-triggered collections while the DSU
+	// transformer phase holds raw heap addresses in its update log.
+	GCDisabled bool
+
+	// DSUForceTransform is installed by the DSU engine while transformers
+	// run; the Jvolve.forceTransform native calls it.
+	DSUForceTransform func(rt.Addr) error
+
+	// Bootstrap class caches.
+	strCls      *rt.Class
+	strCharsOff int
+	objectCls   *rt.Class
+}
+
+// ObjectClass returns the bootstrap root class.
+func (v *VM) ObjectClass() *rt.Class { return v.objectCls }
+
+// ErrDeadlock is returned by Run when no thread can make progress.
+var ErrDeadlock = errors.New("vm: all threads blocked (deadlock)")
+
+// New constructs a VM with bootstrap classes loaded.
+func New(opts Options) (*VM, error) {
+	if opts.HeapWords <= 0 {
+		opts.HeapWords = 1 << 20
+	}
+	if opts.Quantum <= 0 {
+		opts.Quantum = 400
+	}
+	if opts.Out == nil {
+		opts.Out = os.Stdout
+	}
+	reg := rt.NewRegistry()
+	h := heap.NewWithScratch(opts.HeapWords, opts.ScratchWords)
+	v := &VM{
+		Reg:              reg,
+		Heap:             h,
+		GC:               gc.New(h, reg),
+		JIT:              jit.New(reg),
+		Net:              NewNetSim(),
+		Out:              opts.Out,
+		Quantum:          opts.Quantum,
+		natives:          make(map[string]NativeFunc),
+		IndirectionCheck: opts.IndirectionCheck,
+	}
+	if opts.OptThreshold > 0 {
+		v.JIT.OptThreshold = opts.OptThreshold
+	}
+	if err := v.bootstrap(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// LoadProgram verifies and loads an application program, running class
+// initializers. Bootstrap classes are already present and resolvable.
+func (v *VM) LoadProgram(p *classfile.Program) error {
+	ver := verifier.New(regEnv{v.Reg, p}, verifier.Strict)
+	for _, def := range p.Sorted() {
+		if err := def.Validate(); err != nil {
+			return err
+		}
+	}
+	order, err := rt.SuperFirst(p)
+	if err != nil {
+		return err
+	}
+	// Verification happens per class against the merged environment
+	// (loaded classes + the program being loaded), mirroring classloading
+	// with bytecode verification.
+	for _, def := range order {
+		if err := ver.VerifyClass(def); err != nil {
+			return err
+		}
+	}
+	// Two-phase: load (and link) every class first, then run class
+	// initializers in load order, so a <clinit> may reference any class
+	// of the program regardless of load order.
+	loaded := make([]*rt.Class, 0, len(order))
+	for _, def := range order {
+		cls, err := v.Reg.Load(def)
+		if err != nil {
+			return err
+		}
+		loaded = append(loaded, cls)
+	}
+	for _, cls := range loaded {
+		if err := v.RunClinit(cls); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// regEnv resolves classes from the registry first, then the program being
+// loaded (so forward references within a program verify).
+type regEnv struct {
+	reg *rt.Registry
+	p   *classfile.Program
+}
+
+func (e regEnv) LookupClass(name string) *classfile.Class {
+	if def := e.reg.LookupDef(name); def != nil {
+		return def
+	}
+	return e.p.Classes[name]
+}
+
+// RunClinit executes a class's <clinit> synchronously, if present.
+func (v *VM) RunClinit(cls *rt.Class) error {
+	m := cls.Method("<clinit>", "()V")
+	if m == nil || m.Class != cls {
+		return nil
+	}
+	return v.RunSynchronous("<clinit:"+cls.Name+">", m, nil)
+}
+
+// RunSynchronous executes a method to completion on a temporary thread
+// registered with the VM (so its frames are GC roots), with the yield flag
+// suspended — the DSU engine uses it for class initializers and transformer
+// functions, which run while application threads are stopped.
+func (v *VM) RunSynchronous(name string, m *rt.Method, args []rt.Value) error {
+	t := v.newThread(name)
+	if err := v.callOn(t, m, args); err != nil {
+		return err
+	}
+	v.Threads = append(v.Threads, t)
+	defer func() {
+		for i, th := range v.Threads {
+			if th == t {
+				v.Threads = append(v.Threads[:i], v.Threads[i+1:]...)
+				break
+			}
+		}
+	}()
+	saved := v.yieldFlag
+	v.yieldFlag = false
+	defer func() { v.yieldFlag = saved }()
+	for t.State == Runnable {
+		v.interpret(t, 1<<30)
+		if t.State == Blocked {
+			return fmt.Errorf("vm: synchronous thread %s blocked:\n%s", name, t.Backtrace())
+		}
+	}
+	return t.Err
+}
+
+// Spawn creates a thread running a static method with the given arguments.
+func (v *VM) Spawn(name string, m *rt.Method, args []rt.Value) (*Thread, error) {
+	t := v.newThread(name)
+	if err := v.callOn(t, m, args); err != nil {
+		t.State = Dead
+		return nil, err
+	}
+	v.Threads = append(v.Threads, t)
+	return t, nil
+}
+
+// SpawnMain starts className.main()V.
+func (v *VM) SpawnMain(className string) (*Thread, error) {
+	cls := v.Reg.LookupClass(className)
+	if cls == nil {
+		return nil, fmt.Errorf("vm: no class %s", className)
+	}
+	m := cls.Method("main", "()V")
+	if m == nil {
+		return nil, fmt.Errorf("vm: no method %s.main()V", className)
+	}
+	return v.Spawn("main", m, nil)
+}
+
+func (v *VM) newThread(name string) *Thread {
+	v.nextTID++
+	return &Thread{ID: v.nextTID, Name: name, State: Runnable}
+}
+
+// callOn pushes an initial activation of m with args onto t.
+func (v *VM) callOn(t *Thread, m *rt.Method, args []rt.Value) error {
+	cm, err := v.resolveCompiled(m)
+	if err != nil {
+		return err
+	}
+	f := &Frame{CM: cm, Locals: make([]rt.Value, cm.MaxLocals)}
+	copy(f.Locals, args)
+	t.push(f)
+	return nil
+}
+
+// resolveCompiled returns current valid code for m, compiling or
+// recompiling as the adaptive system dictates.
+func (v *VM) resolveCompiled(m *rt.Method) (*rt.CompiledMethod, error) {
+	m.Invocations++
+	needs := m.Compiled == nil || m.Compiled.Invalid
+	wantOpt := !m.Pinned && m.Invocations >= v.JIT.OptThreshold
+	if !needs && wantOpt && m.Compiled.Level == rt.Base && m.Invocations == v.JIT.OptThreshold {
+		needs = true
+	}
+	if !needs {
+		return m.Compiled, nil
+	}
+	level := rt.Base
+	if wantOpt {
+		level = rt.Opt
+	}
+	cm, err := v.JIT.Compile(m, level)
+	if err != nil {
+		return nil, err
+	}
+	m.Compiled = cm
+	return cm, nil
+}
+
+// RequestStop sets the yield flag so all threads stop at their next yield
+// point; the DSU engine calls it when an update arrives.
+func (v *VM) RequestStop() { v.yieldFlag = true }
+
+// ClearStop clears the yield flag.
+func (v *VM) ClearStop() { v.yieldFlag = false }
+
+// SetUpdatePending arms the scheduler to call UpdateHandler between slices.
+func (v *VM) SetUpdatePending(p bool) {
+	v.updatePending = p
+	if p {
+		v.yieldFlag = true
+	} else {
+		v.yieldFlag = false
+	}
+}
+
+// UpdatePending reports whether an update attempt is armed.
+func (v *VM) UpdatePending() bool { return v.updatePending }
+
+// ReleaseUpdateWaiters returns UpdateWait threads to the run queue after an
+// update completes or aborts.
+func (v *VM) ReleaseUpdateWaiters() {
+	for _, t := range v.Threads {
+		if t.State == UpdateWait {
+			t.State = Runnable
+		}
+	}
+}
+
+// Step runs up to maxSlices scheduling slices, returning the number of
+// slices in which a thread actually ran. Between slices, if an update is
+// pending, the DSU handler runs — at that moment every thread is stopped at
+// a VM safe point. Step returns 0 when no thread is runnable.
+func (v *VM) Step(maxSlices int) int {
+	ran := 0
+	for s := 0; s < maxSlices; s++ {
+		if v.updatePending && v.UpdateHandler != nil {
+			if v.UpdateHandler() {
+				v.SetUpdatePending(false)
+			}
+		}
+		t := v.pickThread()
+		if t == nil {
+			return ran
+		}
+		v.runSlice(t)
+		ran++
+	}
+	return ran
+}
+
+// Run drives the scheduler until no thread is alive. It returns
+// ErrDeadlock if live threads remain but none can run.
+func (v *VM) Run() error {
+	for {
+		if v.updatePending && v.UpdateHandler != nil {
+			if v.UpdateHandler() {
+				v.SetUpdatePending(false)
+			}
+		}
+		t := v.pickThread()
+		if t == nil {
+			if v.liveThreads() == 0 {
+				return nil
+			}
+			if v.updatePending {
+				// Blocked threads plus a pending update: let the
+				// handler keep trying (it has its own timeout).
+				continue
+			}
+			return ErrDeadlock
+		}
+		v.runSlice(t)
+	}
+}
+
+// reapDead drops cleanly-finished threads from the scheduler (errored
+// threads are kept for diagnosis). Long-running servers spawn a handler
+// thread per connection; without reaping the thread table grows forever.
+func (v *VM) reapDead() {
+	live := v.Threads[:0]
+	for _, t := range v.Threads {
+		if t.State != Dead || t.Err != nil {
+			live = append(live, t)
+		}
+	}
+	v.Threads = live
+	v.rrNext = 0
+}
+
+// pickThread wakes blocked threads whose condition holds and returns the
+// next runnable thread round-robin, or nil.
+func (v *VM) pickThread() *Thread {
+	n := len(v.Threads)
+	if n == 0 {
+		return nil
+	}
+	dead := 0
+	for _, t := range v.Threads {
+		if t.State == Dead && t.Err == nil {
+			dead++
+		}
+	}
+	if dead > 32 && dead*2 > n {
+		v.reapDead()
+		n = len(v.Threads)
+		if n == 0 {
+			return nil
+		}
+	}
+	for _, t := range v.Threads {
+		if t.State == Blocked && t.WakeWhen != nil && t.WakeWhen() {
+			t.State = Runnable
+			t.WakeWhen = nil
+		}
+	}
+	for i := 0; i < n; i++ {
+		t := v.Threads[(v.rrNext+i)%n]
+		if t.State == Runnable {
+			v.rrNext = (v.rrNext + i + 1) % n
+			return t
+		}
+	}
+	return nil
+}
+
+func (v *VM) liveThreads() int {
+	live := 0
+	for _, t := range v.Threads {
+		if t.State != Dead {
+			live++
+		}
+	}
+	return live
+}
+
+// runSlice executes one scheduling slice of t.
+func (v *VM) runSlice(t *Thread) {
+	v.interpret(t, v.Quantum)
+}
+
+// --- GC integration -------------------------------------------------------
+
+// ForEachRoot enumerates every root: JTOC reference slots, interned
+// strings, pinned handles, and all frame locals and operand stacks.
+func (v *VM) ForEachRoot(fn func(*rt.Value)) {
+	for i := range v.Reg.JTOC {
+		if v.Reg.JTOC[i].IsRef {
+			fn(&v.Reg.JTOC[i])
+		}
+	}
+	for i := range v.Reg.InternRoots {
+		if v.Reg.InternRoots[i].IsRef {
+			fn(&v.Reg.InternRoots[i])
+		}
+	}
+	for i := range v.Handles {
+		if v.Handles[i].IsRef {
+			fn(&v.Handles[i])
+		}
+	}
+	for _, t := range v.Threads {
+		for _, f := range t.Frames {
+			for i := range f.Locals {
+				if f.Locals[i].IsRef {
+					fn(&f.Locals[i])
+				}
+			}
+			for i := range f.Stack {
+				if f.Stack[i].IsRef {
+					fn(&f.Stack[i])
+				}
+			}
+		}
+	}
+}
+
+// CollectGarbage runs a non-DSU collection.
+func (v *VM) CollectGarbage() (*gc.Result, error) {
+	return v.GC.Collect(v, false)
+}
+
+// allocObject allocates an instance, collecting once on failure.
+func (v *VM) allocObject(c *rt.Class) (rt.Addr, error) {
+	if a, ok := v.Heap.AllocObject(c); ok {
+		return a, nil
+	}
+	if err := v.gcForAlloc(); err != nil {
+		return 0, err
+	}
+	if a, ok := v.Heap.AllocObject(c); ok {
+		return a, nil
+	}
+	return 0, fmt.Errorf("vm: out of memory allocating %s (%d words)", c.Name, c.Size)
+}
+
+// allocArray allocates an array, collecting once on failure.
+func (v *VM) allocArray(elemRef bool, n int) (rt.Addr, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("vm: negative array size %d", n)
+	}
+	if a, ok := v.Heap.AllocArray(elemRef, n); ok {
+		return a, nil
+	}
+	if err := v.gcForAlloc(); err != nil {
+		return 0, err
+	}
+	if a, ok := v.Heap.AllocArray(elemRef, n); ok {
+		return a, nil
+	}
+	return 0, fmt.Errorf("vm: out of memory allocating array of %d", n)
+}
+
+// gcForAlloc collects to satisfy an allocation. While the DSU engine's
+// transformer phase runs, collection is disabled — the update log holds raw
+// addresses a collection would invalidate — so allocation failure there is
+// an immediate OOM (the paper sidesteps the same issue with a generous
+// heap: "five times the minimum required size, such that the only
+// collections are those DSU triggers").
+func (v *VM) gcForAlloc() error {
+	if v.GCDisabled {
+		return fmt.Errorf("vm: allocation failed while GC is disabled (transformer phase)")
+	}
+	_, err := v.CollectGarbage()
+	return err
+}
+
+// PushHandle pins a reference across allocations; PopHandle releases it.
+func (v *VM) PushHandle(a rt.Addr) *rt.Value {
+	v.Handles = append(v.Handles, rt.RefVal(a))
+	return &v.Handles[len(v.Handles)-1]
+}
+
+// PopHandle releases the most recent n handles.
+func (v *VM) PopHandle(n int) {
+	v.Handles = v.Handles[:len(v.Handles)-n]
+}
+
+// OSRReplace swaps a frame's code for freshly compiled base code of the
+// same method (same bytecode, possibly a new class version's metadata).
+//
+// For a base-compiled frame the pc map is the identity — the precise
+// analog of Jikes RVM OSR on base-compiled methods. For an opt-compiled
+// frame (extension; the paper leaves it as future work) the compiled
+// code's PCMap translates the pc, provided the frame is parked outside any
+// inlined region; frames only rest at yield points and call boundaries,
+// where opt and base operand stacks agree.
+func (v *VM) OSRReplace(f *Frame, cm *rt.CompiledMethod) error {
+	if cm.Level != rt.Base {
+		return fmt.Errorf("vm: OSR target must be base-compiled (%s)", f.Method().FullName())
+	}
+	if f.CM.Method.Def != cm.Method.Def && f.CM.Method.ID() != cm.Method.ID() {
+		return fmt.Errorf("vm: OSR across different methods")
+	}
+	newPC := f.PC
+	switch f.CM.Level {
+	case rt.Base:
+		if len(cm.Code) != len(f.CM.Code) {
+			return fmt.Errorf("vm: OSR pc map not identity for %s", f.Method().FullName())
+		}
+	case rt.Opt:
+		if !OSRMappable(f) {
+			return fmt.Errorf("vm: opt frame of %s not at a mappable pc (inlined region?)", f.Method().FullName())
+		}
+		newPC = f.CM.PCMap[f.PC]
+		if newPC >= len(cm.Code) {
+			return fmt.Errorf("vm: opt pc map out of range for %s", f.Method().FullName())
+		}
+	}
+	if cm.MaxLocals > len(f.Locals) {
+		grown := make([]rt.Value, cm.MaxLocals)
+		copy(grown, f.Locals)
+		f.Locals = grown
+	}
+	f.CM = cm
+	f.PC = newPC
+	return nil
+}
+
+// OSRRewrite forcibly moves a frame onto new base code at the given pc,
+// with an optional locals remap (identity when nil). This implements the
+// UpStare-style active-method update of the paper's §3.5: the method's
+// bytecode *changed*, and the user-provided yield-point map asserts that
+// the old frame state is meaningful at newPC in the new body.
+func (v *VM) OSRRewrite(f *Frame, cm *rt.CompiledMethod, newPC int, locals map[int]int) error {
+	if cm.Level != rt.Base {
+		return fmt.Errorf("vm: active-method rewrite target must be base-compiled")
+	}
+	if newPC < 0 || newPC >= len(cm.Code) {
+		return fmt.Errorf("vm: active-method rewrite pc %d out of range (len %d)", newPC, len(cm.Code))
+	}
+	size := cm.MaxLocals
+	if len(f.Locals) > size {
+		size = len(f.Locals)
+	}
+	newLocals := make([]rt.Value, size)
+	if locals == nil {
+		copy(newLocals, f.Locals)
+	} else {
+		for oldSlot, newSlot := range locals {
+			if oldSlot < 0 || oldSlot >= len(f.Locals) || newSlot < 0 || newSlot >= size {
+				return fmt.Errorf("vm: active-method locals map %d->%d out of range", oldSlot, newSlot)
+			}
+			newLocals[newSlot] = f.Locals[oldSlot]
+		}
+	}
+	f.CM = cm
+	f.PC = newPC
+	f.Locals = newLocals
+	return nil
+}
+
+// OSRMappable reports whether an opt-compiled frame's pc can be mapped back
+// to bytecode (it is outside every inlined region).
+func OSRMappable(f *Frame) bool {
+	cm := f.CM
+	return cm.Level == rt.Opt && cm.PCMap != nil &&
+		f.PC >= 0 && f.PC < len(cm.PCMap) && cm.PCMap[f.PC] >= 0
+}
+
+// Indirections reports the ablation counter.
+func (v *VM) Indirections() int64 { return v.indirections }
+
+func (v *VM) tracef(format string, args ...any) {
+	if v.Trace != nil {
+		fmt.Fprintf(v.Trace, format+"\n", args...)
+	}
+}

@@ -1,0 +1,567 @@
+package vm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"govolve/internal/asm"
+	"govolve/internal/classfile"
+	"govolve/internal/rt"
+)
+
+func newTestVM(t *testing.T, heapWords int) (*VM, *bytes.Buffer) {
+	t.Helper()
+	var out bytes.Buffer
+	v, err := New(Options{HeapWords: heapWords, Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, &out
+}
+
+func loadSrc(t *testing.T, v *VM, src string) {
+	t.Helper()
+	prog, err := asm.AssembleProgram("test.jva", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runMain(t *testing.T, v *VM, class string) {
+	t.Helper()
+	if _, err := v.SpawnMain(class); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range v.Threads {
+		if th.Err != nil {
+			t.Fatalf("thread %s: %v\n%s", th.Name, th.Err, th.Backtrace())
+		}
+	}
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	v, out := newTestVM(t, 1<<16)
+	loadSrc(t, v, `
+class T {
+  static method fib(I)I {
+    load 0
+    const 2
+    if_icmpge rec
+    load 0
+    return
+  rec:
+    load 0
+    const 1
+    sub
+    invokestatic T.fib(I)I
+    load 0
+    const 2
+    sub
+    invokestatic T.fib(I)I
+    add
+    return
+  }
+  static method main()V {
+    const 15
+    invokestatic T.fib(I)I
+    invokestatic System.printInt(I)V
+    return
+  }
+}`)
+	runMain(t, v, "T")
+	if got := strings.TrimSpace(out.String()); got != "610" {
+		t.Fatalf("fib(15) = %q, want 610", got)
+	}
+}
+
+func TestObjectsVirtualDispatchAndInheritance(t *testing.T) {
+	v, out := newTestVM(t, 1<<16)
+	loadSrc(t, v, `
+class Shape {
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    return
+  }
+  method area()I {
+    const 0
+    return
+  }
+  method describe()I {
+    load 0
+    invokevirtual Shape.area()I
+    const 1000
+    add
+    return
+  }
+}
+class Square extends Shape {
+  field side I
+  method <init>(I)V {
+    load 0
+    invokespecial Shape.<init>()V
+    load 0
+    load 1
+    putfield Square.side I
+    return
+  }
+  method area()I {
+    load 0
+    getfield Square.side I
+    load 0
+    getfield Square.side I
+    mul
+    return
+  }
+}
+class T {
+  static method main()V {
+    new Square
+    dup
+    const 6
+    invokespecial Square.<init>(I)V
+    invokevirtual Shape.describe()I
+    invokestatic System.printInt(I)V
+    return
+  }
+}`)
+	runMain(t, v, "T")
+	if got := strings.TrimSpace(out.String()); got != "1036" {
+		t.Fatalf("describe = %q, want 1036 (virtual dispatch through base method)", got)
+	}
+}
+
+func TestStringNatives(t *testing.T) {
+	v, out := newTestVM(t, 1<<16)
+	loadSrc(t, v, `
+class T {
+  static method main()V {
+    ldc "user@example.com"
+    const 64
+    const 0
+    invokevirtual String.indexOf(CI)I
+    store 0
+    ldc "user@example.com"
+    const 0
+    load 0
+    invokevirtual String.substring(II)LString;
+    invokestatic System.println(LString;)V
+    const 42
+    invokestatic String.fromInt(I)LString;
+    invokevirtual String.toInt()I
+    invokestatic System.printInt(I)V
+    ldc "  padded  "
+    invokevirtual String.trim()LString;
+    invokestatic System.println(LString;)V
+    ldc "a,b,c"
+    const 44
+    invokevirtual String.split(C)[LString;
+    arraylen
+    invokestatic System.printInt(I)V
+    return
+  }
+}`)
+	runMain(t, v, "T")
+	want := "user\n42\npadded\n3\n"
+	if out.String() != want {
+		t.Fatalf("output = %q, want %q", out.String(), want)
+	}
+}
+
+func TestClinitRunsAtLoad(t *testing.T) {
+	v, out := newTestVM(t, 1<<16)
+	loadSrc(t, v, `
+class T {
+  static field x I
+  static method <clinit>()V {
+    const 7
+    putstatic T.x I
+    return
+  }
+  static method main()V {
+    getstatic T.x I
+    invokestatic System.printInt(I)V
+    return
+  }
+}`)
+	runMain(t, v, "T")
+	if got := strings.TrimSpace(out.String()); got != "7" {
+		t.Fatalf("clinit result = %q", got)
+	}
+}
+
+func TestGCTriggeredByAllocation(t *testing.T) {
+	// A heap just big enough that the loop of garbage allocations forces
+	// several collections while a live linked list survives.
+	v, out := newTestVM(t, 3000)
+	loadSrc(t, v, `
+class Node {
+  field next LNode;
+  field val I
+  method <init>(LNode;I)V {
+    load 0
+    invokespecial Object.<init>()V
+    load 0
+    load 1
+    putfield Node.next LNode;
+    load 0
+    load 2
+    putfield Node.val I
+    return
+  }
+}
+class T {
+  static method main()V {
+    null
+    store 0
+    const 0
+    store 1
+  keep:
+    load 1
+    const 50
+    if_icmpge churn
+    new Node
+    dup
+    load 0
+    load 1
+    invokespecial Node.<init>(LNode;I)V
+    store 0
+    load 1
+    const 1
+    add
+    store 1
+    goto keep
+  churn:
+    const 0
+    store 2
+  loop:
+    load 2
+    const 2000
+    if_icmpge check
+    new Node
+    dup
+    null
+    const 0
+    invokespecial Node.<init>(LNode;I)V
+    pop
+    load 2
+    const 1
+    add
+    store 2
+    goto loop
+  check:
+    const 0
+    store 3
+  sum:
+    load 0
+    ifnull done
+    load 3
+    load 0
+    getfield Node.val I
+    add
+    store 3
+    load 0
+    getfield Node.next LNode;
+    store 0
+    goto sum
+  done:
+    load 3
+    invokestatic System.printInt(I)V
+    return
+  }
+}`)
+	runMain(t, v, "T")
+	if v.GC.Collections == 0 {
+		t.Fatal("expected at least one collection")
+	}
+	// Sum 0..49 = 1225 — the live list survived collection intact.
+	if got := strings.TrimSpace(out.String()); got != "1225" {
+		t.Fatalf("sum = %q, want 1225", got)
+	}
+}
+
+func TestRuntimeErrorsKillOnlyTheThread(t *testing.T) {
+	v, _ := newTestVM(t, 1<<16)
+	loadSrc(t, v, `
+class Bad {
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    return
+  }
+  method run()V {
+    null
+    checkcast Bad
+    store 1
+    load 1
+    invokevirtual Bad.run()V
+    return
+  }
+}
+class T {
+  static method main()V {
+    new Bad
+    dup
+    invokespecial Bad.<init>()V
+    invokestatic Thread.spawn(LObject;)V
+    const 0
+    store 0
+  loop:
+    load 0
+    const 100
+    if_icmpge done
+    load 0
+    const 1
+    add
+    store 0
+    goto loop
+  done:
+    const 1
+    invokestatic System.printInt(I)V
+    return
+  }
+}`)
+	if _, err := v.SpawnMain("T"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var mainErr, spawnErr error
+	for _, th := range v.Threads {
+		if th.Name == "main" {
+			mainErr = th.Err
+		} else if strings.Contains(th.Name, "Bad.run") {
+			spawnErr = th.Err
+		}
+	}
+	if mainErr != nil {
+		t.Fatalf("main should survive, got %v", mainErr)
+	}
+	if spawnErr == nil || !strings.Contains(spawnErr.Error(), "null receiver") {
+		t.Fatalf("spawned thread should die with null receiver, got %v", spawnErr)
+	}
+}
+
+func TestDivisionByZeroAndBounds(t *testing.T) {
+	for _, c := range []struct{ name, body, wantSub string }{
+		{"div", "const 1\n const 0\n div\n pop\n return", "division by zero"},
+		{"bounds", "const 2\n newarray I\n const 5\n aget\n pop\n return", "out of bounds"},
+		{"nullfield", "null\n arraylen\n pop\n return", "null dereference"},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			v, _ := newTestVM(t, 1<<16)
+			loadSrc(t, v, "class T {\n static method main()V {\n "+c.body+"\n }\n}")
+			if _, err := v.SpawnMain("T"); err != nil {
+				t.Fatal(err)
+			}
+			_ = v.Run()
+			th := v.Threads[0]
+			if th.Err == nil || !strings.Contains(th.Err.Error(), c.wantSub) {
+				t.Fatalf("err = %v, want %q", th.Err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestNetSimEndToEnd(t *testing.T) {
+	v, _ := newTestVM(t, 1<<16)
+	loadSrc(t, v, `
+class Echo {
+  static method main()V {
+    const 80
+    invokestatic Net.listen(I)I
+    store 0
+  acceptloop:
+    load 0
+    invokestatic Net.accept(I)I
+    store 1
+  lineloop:
+    load 1
+    invokestatic Net.recvLine(I)LString;
+    store 2
+    load 2
+    ifnull closed
+    load 1
+    ldc "echo: "
+    load 2
+    invokevirtual String.concat(LString;)LString;
+    invokestatic Net.send(ILString;)V
+    goto lineloop
+  closed:
+    load 1
+    invokestatic Net.close(I)V
+    goto acceptloop
+  }
+}`)
+	if _, err := v.SpawnMain("Echo"); err != nil {
+		t.Fatal(err)
+	}
+	// Server blocks on accept.
+	v.Step(5)
+	if !v.Net.Listening(80) {
+		t.Fatal("server not listening")
+	}
+	conn, err := v.Net.Connect(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Net.ClientSend(conn, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	v.Step(50)
+	got, ok := v.Net.ClientRecv(conn)
+	if !ok || got != "echo: hello" {
+		t.Fatalf("response = %q, %v", got, ok)
+	}
+	// Second request on same connection.
+	_ = v.Net.ClientSend(conn, "again")
+	v.Step(50)
+	got, ok = v.Net.ClientRecv(conn)
+	if !ok || got != "echo: again" {
+		t.Fatalf("second response = %q, %v", got, ok)
+	}
+	v.Net.ClientClose(conn)
+	v.Step(50)
+	// Server loops back to accept; another client connects fine.
+	conn2, err := v.Net.Connect(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = v.Net.ClientSend(conn2, "two")
+	v.Step(50)
+	if got, ok := v.Net.ClientRecv(conn2); !ok || got != "echo: two" {
+		t.Fatalf("conn2 response = %q, %v", got, ok)
+	}
+}
+
+func TestAdaptiveRecompilation(t *testing.T) {
+	v, _ := newTestVM(t, 1<<16)
+	v.JIT.OptThreshold = 10
+	loadSrc(t, v, `
+class T {
+  static method hot()I {
+    const 1
+    const 2
+    add
+    return
+  }
+  static method main()V {
+    const 0
+    store 0
+  loop:
+    load 0
+    const 50
+    if_icmpge done
+    invokestatic T.hot()I
+    pop
+    load 0
+    const 1
+    add
+    store 0
+    goto loop
+  done:
+    return
+  }
+}`)
+	runMain(t, v, "T")
+	hot := v.Reg.LookupClass("T").Method("hot", "()I")
+	if hot.Compiled == nil || hot.Compiled.Level != rt.Opt {
+		t.Fatalf("hot method not opt-compiled: %+v", hot.Compiled)
+	}
+	if v.JIT.OptCompiles == 0 {
+		t.Fatal("no opt compiles recorded")
+	}
+}
+
+func TestOSRReplaceChecks(t *testing.T) {
+	v, _ := newTestVM(t, 1<<16)
+	loadSrc(t, v, `
+class T {
+  static method m()V {
+    nop
+    return
+  }
+}`)
+	m := v.Reg.LookupClass("T").Method("m", "()V")
+	cm1, err := v.JIT.Compile(m, rt.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm2, err := v.JIT.Compile(m, rt.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Frame{CM: cm1, Locals: make([]rt.Value, cm1.MaxLocals)}
+	if err := v.OSRReplace(f, cm2); err != nil {
+		t.Fatalf("identity OSR failed: %v", err)
+	}
+	opt, err := v.JIT.Compile(m, rt.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.OSRReplace(f, opt); err == nil {
+		t.Fatal("OSR to opt code accepted")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	v, _ := newTestVM(t, 1<<16)
+	loadSrc(t, v, `
+class T {
+  static method main()V {
+    const 99
+    invokestatic Net.accept(I)I
+    pop
+    return
+  }
+}`)
+	if _, err := v.SpawnMain("T"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(); err != ErrDeadlock {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestHandlesSurviveGC(t *testing.T) {
+	v, _ := newTestVM(t, 2048)
+	a, err := v.NewString("pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := v.PushHandle(a)
+	if _, err := v.CollectGarbage(); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := v.GoString(h.Ref())
+	if !ok || s != "pinned" {
+		t.Fatalf("handle content after GC = %q, %v", s, ok)
+	}
+	v.PopHandle(1)
+}
+
+func TestProgramVerificationRejectsAtLoad(t *testing.T) {
+	v, _ := newTestVM(t, 1<<16)
+	prog, err := asm.AssembleProgram("bad.jva", `
+class T {
+  static method main()V {
+    add
+    return
+  }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.LoadProgram(prog); err == nil {
+		t.Fatal("unverifiable program loaded")
+	}
+	var _ = classfile.Desc("I")
+}
