@@ -7,6 +7,7 @@ import (
 
 	"govolve/internal/apps"
 	"govolve/internal/core"
+	"govolve/internal/vm"
 )
 
 // Figure 5: steady-state throughput and latency of the webserver under
@@ -38,6 +39,16 @@ type Fig5Result struct {
 	Config     Fig5Config
 	Throughput Summary // responses per wall second
 	Latency    Summary // ms per request (mean within each run)
+
+	// InsRate summarizes interpreted instructions per wall second over the
+	// measurement windows — the steady-state dispatch speed under load.
+	InsRate Summary
+	// Stats is the VM counter delta over the last run's measurement window
+	// (monotonic counters) plus end-of-run gauges (queue depths, live
+	// threads). It makes the paper's "no steady-state work" claim auditable:
+	// scheduler scans and wake checks should scale with slices, not with
+	// history, and the thread/conn gauges should be flat.
+	Stats vm.Stats
 }
 
 // Fig5Options sizes the experiment.
@@ -71,14 +82,17 @@ func RunFig5(app *apps.App, configs []Fig5Config, opts Fig5Options, progress io.
 	}
 	var results []Fig5Result
 	for _, cfg := range configs {
-		var thr, lat []float64
+		var thr, lat, ins []float64
+		var last vm.Stats
 		for r := 0; r < opts.Runs; r++ {
-			t, l, err := runFig5Once(app, cfg, opts)
+			t, l, st, secs, err := runFig5Once(app, cfg, opts)
 			if err != nil {
 				return nil, fmt.Errorf("bench: fig5 %q run %d: %w", cfg.Label, r, err)
 			}
 			thr = append(thr, t)
 			lat = append(lat, l)
+			ins = append(ins, float64(st.Instructions)/secs)
+			last = st
 			if progress != nil {
 				fmt.Fprintf(progress, ".")
 			}
@@ -90,19 +104,21 @@ func RunFig5(app *apps.App, configs []Fig5Config, opts Fig5Options, progress io.
 			Config:     cfg,
 			Throughput: Summarize(thr),
 			Latency:    Summarize(lat),
+			InsRate:    Summarize(ins),
+			Stats:      last,
 		})
 	}
 	return results, nil
 }
 
-func runFig5Once(app *apps.App, cfg Fig5Config, opts Fig5Options) (throughput, latencyMs float64, err error) {
+func runFig5Once(app *apps.App, cfg Fig5Config, opts Fig5Options) (throughput, latencyMs float64, stats vm.Stats, seconds float64, err error) {
 	start := cfg.MeasureVersion
 	if cfg.UpdateFrom >= 0 {
 		start = cfg.UpdateFrom
 	}
 	s, err := apps.Launch(app, apps.LaunchOptions{Version: start, HeapWords: opts.Heap})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, stats, 0, err
 	}
 	if !cfg.Engine {
 		// Detach the engine: a stock VM has no update handler.
@@ -111,30 +127,31 @@ func runFig5Once(app *apps.App, cfg Fig5Config, opts Fig5Options) (throughput, l
 	if cfg.UpdateFrom >= 0 {
 		res, err := s.ApplyNext(core.Options{MaxAttempts: 500}, true)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, stats, 0, err
 		}
 		if res.Outcome != core.Applied {
-			return 0, 0, fmt.Errorf("pre-measurement update: %v (%v)", res.Outcome, res.Err)
+			return 0, 0, stats, 0, fmt.Errorf("pre-measurement update: %v (%v)", res.Outcome, res.Err)
 		}
 	}
 	if err := s.VerifyActive(); err != nil {
-		return 0, 0, err
+		return 0, 0, stats, 0, err
 	}
 	// Warmup lets the adaptive compiler reach steady state.
 	for i := 0; i < 10; i++ {
 		if _, err := s.DoBatch(); err != nil {
-			return 0, 0, err
+			return 0, 0, stats, 0, err
 		}
 	}
 
 	requests := 0
 	var latTotal time.Duration
+	before := s.VM.Stats()
 	t0 := time.Now()
 	for time.Since(t0) < opts.Duration {
 		w := app.Workloads[0]
 		conn, err := s.VM.Net.Connect(w.Port)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, stats, 0, err
 		}
 		for _, line := range w.Lines {
 			q0 := time.Now()
@@ -153,7 +170,7 @@ func runFig5Once(app *apps.App, cfg Fig5Config, opts Fig5Options) (throughput, l
 				}
 			}
 			if !ok {
-				return 0, 0, fmt.Errorf("request %q timed out", line)
+				return 0, 0, stats, 0, fmt.Errorf("request %q timed out", line)
 			}
 			latTotal += time.Since(q0)
 			requests++
@@ -163,13 +180,18 @@ func runFig5Once(app *apps.App, cfg Fig5Config, opts Fig5Options) (throughput, l
 	}
 	elapsed := time.Since(t0)
 	if requests == 0 {
-		return 0, 0, fmt.Errorf("no requests completed")
+		return 0, 0, stats, 0, fmt.Errorf("no requests completed")
 	}
+	stats = s.VM.Stats().Delta(before)
 	return float64(requests) / elapsed.Seconds(),
-		Millis(latTotal) / float64(requests), nil
+		Millis(latTotal) / float64(requests), stats, elapsed.Seconds(), nil
 }
 
-// PrintFig5 renders the three-row comparison.
+// PrintFig5 renders the three-row comparison plus the VM steady-state
+// counter block for each configuration (deltas over the last measurement
+// window). The counters back the paper's claim quantitatively: all three
+// configurations should show the same instruction rate, scheduler scans
+// proportional to slices, and flat thread/queue gauges.
 func PrintFig5(w io.Writer, results []Fig5Result) {
 	fmt.Fprintf(w, "Figure 5: steady-state webserver performance\n")
 	fmt.Fprintf(w, "%-34s %22s %22s\n", "Configuration", "Throughput (req/s)", "Latency (ms/req)")
@@ -179,4 +201,25 @@ func PrintFig5(w io.Writer, results []Fig5Result) {
 			r.Throughput.Median, r.Throughput.Q1, r.Throughput.Q3,
 			r.Latency.Median, r.Latency.Q1, r.Latency.Q3)
 	}
+	fmt.Fprintf(w, "\nVM steady-state counters (per measurement window):\n")
+	for _, r := range results {
+		st := r.Stats
+		fmt.Fprintf(w, "  %s\n", r.Config.Label)
+		fmt.Fprintf(w, "    instructions/s %14.0f (median over runs; window delta %d)\n",
+			r.InsRate.Median, st.Instructions)
+		fmt.Fprintf(w, "    slices %-8d scans %-8d wake-checks %-8d (%.2f checks/scan)\n",
+			st.Slices, st.SchedulerScans, st.WakeChecks,
+			safeRatio(float64(st.WakeChecks), float64(st.SchedulerScans)))
+		fmt.Fprintf(w, "    spawned %-6d reaped %-6d allocs obj %-8d arr %-8d gc %d\n",
+			st.ThreadsSpawned, st.ThreadsReaped, st.AllocObjects, st.AllocArrays, st.GCCollections)
+		fmt.Fprintf(w, "    gauges: runq %d blocked %d live %d table %d dead-errors %d\n",
+			st.RunnableQueue, st.BlockedThreads, st.LiveThreads, st.TableThreads, st.DeadErrorCount)
+	}
+}
+
+func safeRatio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
 }

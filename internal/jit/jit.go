@@ -56,6 +56,12 @@ func (c *Compiler) Compile(m *rt.Method, level rt.OptLevel) (*rt.CompiledMethod,
 		cm = c.optimize(cm)
 		c.OptCompiles++
 	}
+	// Final pass: bake each instruction's minimum stack need into the
+	// executable form, so the interpreter's underflow guard is a single
+	// precomputed compare instead of an opcode switch on the hot path.
+	// This must run after inlining and folding so spliced and rewritten
+	// instructions carry correct needs.
+	rt.ResolveStackNeeds(cm.Code)
 	return cm, nil
 }
 

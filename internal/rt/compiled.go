@@ -50,6 +50,13 @@ type Ins struct {
 	Ref     *Method
 	Str     string // TRAP message
 	RetVoid bool
+
+	// Need is the minimum operand stack depth this instruction requires,
+	// precomputed at JIT resolve time (see StackNeed) so the interpreter's
+	// underflow guard is a single compare instead of a per-instruction
+	// opcode switch. The zero value (0) is correct for every opcode that
+	// consumes nothing.
+	Need int32
 }
 
 func (i Ins) String() string {
@@ -97,6 +104,51 @@ type CompiledMethod struct {
 	// Invalid marks code invalidated by the DSU engine; the interpreter
 	// never runs invalid code (invocation recompiles first).
 	Invalid bool
+}
+
+// StackNeed returns the minimum operand stack depth an instruction needs.
+// The JIT calls it once per instruction at resolve time and stores the
+// result in Ins.Need; verified code can never underflow, but compiled code
+// from a buggy pipeline must still fail safely, so the interpreter keeps a
+// cheap precomputed guard on every dispatch.
+func StackNeed(ins Ins) int32 {
+	switch ins.Op {
+	case bytecode.POP, bytecode.DUP, bytecode.STORE, bytecode.NEG,
+		bytecode.IFEQ, bytecode.IFNE, bytecode.IFLT, bytecode.IFLE,
+		bytecode.IFGT, bytecode.IFGE, bytecode.IFNULL, bytecode.IFNONNULL,
+		bytecode.ARRAYLEN, bytecode.GETFIELD_R, bytecode.NEWARRAY_R,
+		bytecode.INSTOF_R, bytecode.CHECKCAST_R, bytecode.PUTSTATIC_R:
+		return 1
+	case bytecode.DUP_X1, bytecode.SWAP,
+		bytecode.ADD, bytecode.SUB, bytecode.MUL, bytecode.DIV, bytecode.REM,
+		bytecode.AND, bytecode.OR, bytecode.XOR, bytecode.SHL, bytecode.SHR,
+		bytecode.IF_ICMPEQ, bytecode.IF_ICMPNE, bytecode.IF_ICMPLT,
+		bytecode.IF_ICMPLE, bytecode.IF_ICMPGT, bytecode.IF_ICMPGE,
+		bytecode.IF_ACMPEQ, bytecode.IF_ACMPNE,
+		bytecode.AGET, bytecode.PUTFIELD_R:
+		return 2
+	case bytecode.ASET:
+		return 3
+	case bytecode.RETURN:
+		if ins.RetVoid {
+			return 0
+		}
+		return 1
+	case bytecode.INVOKEVIRT_R, bytecode.INVOKESTAT_R, bytecode.INVOKESPEC_R,
+		bytecode.INVOKENAT_R, bytecode.ENTERINL_R:
+		return ins.B
+	default:
+		return 0
+	}
+}
+
+// ResolveStackNeeds fills in Ins.Need for a whole code array. The JIT runs
+// it as the final pass of every compile, after inlining and folding, so the
+// needs reflect the executable form of the code.
+func ResolveStackNeeds(code []Ins) {
+	for i := range code {
+		code[i].Need = StackNeed(code[i])
+	}
 }
 
 // DependsOn reports whether the compiled code bakes in the given class's

@@ -56,6 +56,7 @@ class Net {
   native static method recvLine(I)LString;
   native static method send(ILString;)V
   native static method close(I)V
+  native static method unlisten(I)V
 }
 
 class Jvolve {

@@ -7,43 +7,48 @@ import (
 	"govolve/internal/rt"
 )
 
+// kill terminates a thread with a runtime error. It is a method (not a
+// per-interpret closure) so the steady-state dispatch loop carries no
+// closure setup at all.
+func (v *VM) kill(t *Thread, err error) {
+	t.State = Dead
+	t.Err = err
+	v.tracef("thread %d killed: %v", t.ID, err)
+}
+
 // interpret executes instructions of thread t until the yield budget is
 // exhausted at a yield point, the thread blocks, dies, or parks on a return
 // barrier. Yield points are method entry, method exit, taken loop backedges,
 // and explicit YIELDs — Jikes RVM's yield point placement.
+//
+// Hot-path design (see DESIGN.md "Steady-state performance"): the current
+// frame is cached across iterations and refreshed only when a call or
+// return changes it; instructions are addressed by pointer (no per-dispatch
+// struct copy); the underflow guard compares against the stack need the JIT
+// precomputed at resolve time (rt.Ins.Need); and operand-stack traffic is
+// direct slice arithmetic on the frame — no closures, no interface calls,
+// zero heap allocations per executed instruction.
 func (v *VM) interpret(t *Thread, budget int) {
-	kill := func(err error) {
+	if len(t.Frames) == 0 {
 		t.State = Dead
-		t.Err = err
-		v.tracef("thread %d killed: %v", t.ID, err)
+		return
 	}
+	f := t.Frames[len(t.Frames)-1]
 
 	for {
-		if len(t.Frames) == 0 {
-			t.State = Dead
-			return
-		}
-		f := t.Frames[len(t.Frames)-1]
 		if f.PC < 0 || f.PC >= len(f.CM.Code) {
-			kill(fmt.Errorf("vm: pc %d out of range in %s", f.PC, f.Method().FullName()))
+			v.kill(t, fmt.Errorf("vm: pc %d out of range in %s", f.PC, f.Method().FullName()))
 			return
 		}
-		ins := f.CM.Code[f.PC]
+		ins := &f.CM.Code[f.PC]
 		t.Steps++
 		v.TotalSteps++
 
-		// Stack helpers. Verified code cannot underflow, but compiled
-		// code could be produced by a buggy pipeline; fail safely.
-		pop := func() rt.Value {
-			n := len(f.Stack)
-			val := f.Stack[n-1]
-			f.Stack = f.Stack[:n-1]
-			return val
-		}
-		push := func(val rt.Value) { f.Stack = append(f.Stack, val) }
-
-		if len(f.Stack) < stackNeed(ins) {
-			kill(fmt.Errorf("vm: operand stack underflow at %s pc=%d", f.Method().FullName(), f.PC))
+		// Underflow guard. Verified code cannot underflow, but compiled
+		// code could be produced by a buggy pipeline; fail safely. The
+		// need was precomputed by the JIT (rt.ResolveStackNeeds).
+		if len(f.Stack) < int(ins.Need) {
+			v.kill(t, fmt.Errorf("vm: operand stack underflow at %s pc=%d", f.Method().FullName(), f.PC))
 			return
 		}
 
@@ -52,47 +57,47 @@ func (v *VM) interpret(t *Thread, budget int) {
 			// nothing
 
 		case bytecode.CONST, bytecode.CONST_R:
-			push(rt.IntVal(ins.A))
+			f.Stack = append(f.Stack, rt.IntVal(ins.A))
 		case bytecode.NULL:
-			push(rt.NullVal)
+			f.Stack = append(f.Stack, rt.NullVal)
 		case bytecode.LDC_R:
 			root := &v.Reg.InternRoots[ins.A]
 			if root.Bits == 0 {
 				a, err := v.NewString(v.Reg.InternLits[ins.A])
 				if err != nil {
-					kill(err)
+					v.kill(t, err)
 					return
 				}
 				*root = rt.RefVal(a)
 			}
-			push(*root)
+			f.Stack = append(f.Stack, *root)
 
 		case bytecode.LOAD:
-			push(f.Locals[ins.A])
+			f.Stack = append(f.Stack, f.Locals[ins.A])
 		case bytecode.STORE:
-			f.Locals[ins.A] = pop()
+			n := len(f.Stack) - 1
+			f.Locals[ins.A] = f.Stack[n]
+			f.Stack = f.Stack[:n]
 
 		case bytecode.POP:
-			pop()
+			f.Stack = f.Stack[:len(f.Stack)-1]
 		case bytecode.DUP:
-			val := f.Stack[len(f.Stack)-1]
-			push(val)
+			f.Stack = append(f.Stack, f.Stack[len(f.Stack)-1])
 		case bytecode.DUP_X1:
-			a := pop()
-			b := pop()
-			push(a)
-			push(b)
-			push(a)
+			n := len(f.Stack)
+			a, b := f.Stack[n-1], f.Stack[n-2]
+			f.Stack[n-2] = a
+			f.Stack[n-1] = b
+			f.Stack = append(f.Stack, a)
 		case bytecode.SWAP:
-			a := pop()
-			b := pop()
-			push(a)
-			push(b)
+			n := len(f.Stack)
+			f.Stack[n-1], f.Stack[n-2] = f.Stack[n-2], f.Stack[n-1]
 
 		case bytecode.ADD, bytecode.SUB, bytecode.MUL, bytecode.DIV, bytecode.REM,
 			bytecode.AND, bytecode.OR, bytecode.XOR, bytecode.SHL, bytecode.SHR:
-			b := pop().Int()
-			a := pop().Int()
+			n := len(f.Stack)
+			b := f.Stack[n-1].Int()
+			a := f.Stack[n-2].Int()
 			var r int64
 			switch ins.Op {
 			case bytecode.ADD:
@@ -103,13 +108,13 @@ func (v *VM) interpret(t *Thread, budget int) {
 				r = a * b
 			case bytecode.DIV:
 				if b == 0 {
-					kill(fmt.Errorf("vm: division by zero in %s", f.Method().FullName()))
+					v.kill(t, fmt.Errorf("vm: division by zero in %s", f.Method().FullName()))
 					return
 				}
 				r = a / b
 			case bytecode.REM:
 				if b == 0 {
-					kill(fmt.Errorf("vm: division by zero in %s", f.Method().FullName()))
+					v.kill(t, fmt.Errorf("vm: division by zero in %s", f.Method().FullName()))
 					return
 				}
 				r = a % b
@@ -124,18 +129,22 @@ func (v *VM) interpret(t *Thread, budget int) {
 			case bytecode.SHR:
 				r = a >> uint(b&63)
 			}
-			push(rt.IntVal(r))
+			f.Stack[n-2] = rt.IntVal(r)
+			f.Stack = f.Stack[:n-1]
 		case bytecode.NEG:
-			push(rt.IntVal(-pop().Int()))
+			n := len(f.Stack)
+			f.Stack[n-1] = rt.IntVal(-f.Stack[n-1].Int())
 
 		case bytecode.GOTO:
-			if v.branch(t, f, int(ins.A), &budget) {
+			if v.branch(f, int(ins.A), &budget) {
 				return
 			}
 			continue
 		case bytecode.IFEQ, bytecode.IFNE, bytecode.IFLT, bytecode.IFLE,
 			bytecode.IFGT, bytecode.IFGE:
-			a := pop().Int()
+			n := len(f.Stack) - 1
+			a := f.Stack[n].Int()
+			f.Stack = f.Stack[:n]
 			var taken bool
 			switch ins.Op {
 			case bytecode.IFEQ:
@@ -152,15 +161,17 @@ func (v *VM) interpret(t *Thread, budget int) {
 				taken = a >= 0
 			}
 			if taken {
-				if v.branch(t, f, int(ins.A), &budget) {
+				if v.branch(f, int(ins.A), &budget) {
 					return
 				}
 				continue
 			}
 		case bytecode.IF_ICMPEQ, bytecode.IF_ICMPNE, bytecode.IF_ICMPLT,
 			bytecode.IF_ICMPLE, bytecode.IF_ICMPGT, bytecode.IF_ICMPGE:
-			b := pop().Int()
-			a := pop().Int()
+			n := len(f.Stack)
+			b := f.Stack[n-1].Int()
+			a := f.Stack[n-2].Int()
+			f.Stack = f.Stack[:n-2]
 			var taken bool
 			switch ins.Op {
 			case bytecode.IF_ICMPEQ:
@@ -177,32 +188,36 @@ func (v *VM) interpret(t *Thread, budget int) {
 				taken = a >= b
 			}
 			if taken {
-				if v.branch(t, f, int(ins.A), &budget) {
+				if v.branch(f, int(ins.A), &budget) {
 					return
 				}
 				continue
 			}
 		case bytecode.IF_ACMPEQ, bytecode.IF_ACMPNE:
-			b := pop().Ref()
-			a := pop().Ref()
+			n := len(f.Stack)
+			b := f.Stack[n-1].Ref()
+			a := f.Stack[n-2].Ref()
+			f.Stack = f.Stack[:n-2]
 			taken := a == b
 			if ins.Op == bytecode.IF_ACMPNE {
 				taken = !taken
 			}
 			if taken {
-				if v.branch(t, f, int(ins.A), &budget) {
+				if v.branch(f, int(ins.A), &budget) {
 					return
 				}
 				continue
 			}
 		case bytecode.IFNULL, bytecode.IFNONNULL:
-			a := pop().Ref()
+			n := len(f.Stack) - 1
+			a := f.Stack[n].Ref()
+			f.Stack = f.Stack[:n]
 			taken := a == rt.Null
 			if ins.Op == bytecode.IFNONNULL {
 				taken = !taken
 			}
 			if taken {
-				if v.branch(t, f, int(ins.A), &budget) {
+				if v.branch(f, int(ins.A), &budget) {
 					return
 				}
 				continue
@@ -211,66 +226,76 @@ func (v *VM) interpret(t *Thread, budget int) {
 		case bytecode.NEW_R:
 			a, err := v.allocObject(ins.Cls)
 			if err != nil {
-				kill(err)
+				v.kill(t, err)
 				return
 			}
-			push(rt.RefVal(a))
+			f.Stack = append(f.Stack, rt.RefVal(a))
 		case bytecode.NEWARRAY_R:
-			n := pop().Int()
-			a, err := v.allocArray(ins.B == 1, int(n))
+			n := len(f.Stack) - 1
+			cnt := f.Stack[n].Int()
+			f.Stack = f.Stack[:n]
+			a, err := v.allocArray(ins.B == 1, int(cnt))
 			if err != nil {
-				kill(err)
+				v.kill(t, err)
 				return
 			}
-			push(rt.RefVal(a))
+			f.Stack = append(f.Stack, rt.RefVal(a))
 		case bytecode.ARRAYLEN:
-			a := pop().Ref()
+			n := len(f.Stack) - 1
+			a := f.Stack[n].Ref()
 			if a == rt.Null {
-				kill(fmt.Errorf("vm: null dereference (arraylen) in %s", f.Method().FullName()))
+				v.kill(t, fmt.Errorf("vm: null dereference (arraylen) in %s", f.Method().FullName()))
 				return
 			}
-			push(rt.IntVal(int64(v.Heap.ArrayLen(a))))
+			f.Stack[n] = rt.IntVal(int64(v.Heap.ArrayLen(a)))
 		case bytecode.AGET:
-			i := pop().Int()
-			a := pop().Ref()
+			n := len(f.Stack)
+			i := f.Stack[n-1].Int()
+			a := f.Stack[n-2].Ref()
 			if a == rt.Null {
-				kill(fmt.Errorf("vm: null dereference (aget) in %s", f.Method().FullName()))
+				v.kill(t, fmt.Errorf("vm: null dereference (aget) in %s", f.Method().FullName()))
 				return
 			}
 			if i < 0 || int(i) >= v.Heap.ArrayLen(a) {
-				kill(fmt.Errorf("vm: index %d out of bounds (len %d) in %s", i, v.Heap.ArrayLen(a), f.Method().FullName()))
+				v.kill(t, fmt.Errorf("vm: index %d out of bounds (len %d) in %s", i, v.Heap.ArrayLen(a), f.Method().FullName()))
 				return
 			}
-			push(v.Heap.Elem(a, int(i)))
+			f.Stack[n-2] = v.Heap.Elem(a, int(i))
+			f.Stack = f.Stack[:n-1]
 		case bytecode.ASET:
-			val := pop()
-			i := pop().Int()
-			a := pop().Ref()
+			n := len(f.Stack)
+			val := f.Stack[n-1]
+			i := f.Stack[n-2].Int()
+			a := f.Stack[n-3].Ref()
+			f.Stack = f.Stack[:n-3]
 			if a == rt.Null {
-				kill(fmt.Errorf("vm: null dereference (aset) in %s", f.Method().FullName()))
+				v.kill(t, fmt.Errorf("vm: null dereference (aset) in %s", f.Method().FullName()))
 				return
 			}
 			if i < 0 || int(i) >= v.Heap.ArrayLen(a) {
-				kill(fmt.Errorf("vm: index %d out of bounds (len %d) in %s", i, v.Heap.ArrayLen(a), f.Method().FullName()))
+				v.kill(t, fmt.Errorf("vm: index %d out of bounds (len %d) in %s", i, v.Heap.ArrayLen(a), f.Method().FullName()))
 				return
 			}
 			v.Heap.SetElem(a, int(i), val)
 
 		case bytecode.GETFIELD_R:
-			a := pop().Ref()
+			n := len(f.Stack) - 1
+			a := f.Stack[n].Ref()
 			if a == rt.Null {
-				kill(fmt.Errorf("vm: null dereference (getfield) in %s pc=%d", f.Method().FullName(), f.PC))
+				v.kill(t, fmt.Errorf("vm: null dereference (getfield) in %s pc=%d", f.Method().FullName(), f.PC))
 				return
 			}
 			if v.IndirectionCheck {
 				v.indirectionProbe(a)
 			}
-			push(v.Heap.FieldValue(a, int(ins.A), ins.B == 1))
+			f.Stack[n] = v.Heap.FieldValue(a, int(ins.A), ins.B == 1)
 		case bytecode.PUTFIELD_R:
-			val := pop()
-			a := pop().Ref()
+			n := len(f.Stack)
+			val := f.Stack[n-1]
+			a := f.Stack[n-2].Ref()
+			f.Stack = f.Stack[:n-2]
 			if a == rt.Null {
-				kill(fmt.Errorf("vm: null dereference (putfield) in %s pc=%d", f.Method().FullName(), f.PC))
+				v.kill(t, fmt.Errorf("vm: null dereference (putfield) in %s pc=%d", f.Method().FullName(), f.PC))
 				return
 			}
 			if v.IndirectionCheck {
@@ -278,13 +303,16 @@ func (v *VM) interpret(t *Thread, budget int) {
 			}
 			v.Heap.SetFieldValue(a, int(ins.A), val)
 		case bytecode.GETSTATIC_R:
-			push(v.Reg.JTOC[ins.A])
+			f.Stack = append(f.Stack, v.Reg.JTOC[ins.A])
 		case bytecode.PUTSTATIC_R:
-			val := pop()
+			n := len(f.Stack) - 1
+			val := f.Stack[n]
+			f.Stack = f.Stack[:n]
 			v.Reg.JTOC[ins.A] = rt.Value{Bits: val.Bits, IsRef: ins.B == 1}
 
 		case bytecode.INSTOF_R:
-			a := pop().Ref()
+			n := len(f.Stack) - 1
+			a := f.Stack[n].Ref()
 			res := false
 			if a != rt.Null && !v.Heap.IsArray(a) {
 				cls := v.Reg.ClassByID(v.Heap.ClassID(a))
@@ -292,7 +320,7 @@ func (v *VM) interpret(t *Thread, budget int) {
 			} else if a != rt.Null && v.Heap.IsArray(a) {
 				res = ins.Cls.Name == "Object"
 			}
-			push(rt.BoolVal(res))
+			f.Stack[n] = rt.BoolVal(res)
 		case bytecode.CHECKCAST_R:
 			a := f.Stack[len(f.Stack)-1].Ref()
 			if a != rt.Null {
@@ -304,7 +332,7 @@ func (v *VM) interpret(t *Thread, budget int) {
 					ok = cls != nil && cls.IsSubclassOf(ins.Cls)
 				}
 				if !ok {
-					kill(fmt.Errorf("vm: checkcast to %s failed in %s", ins.Cls.Name, f.Method().FullName()))
+					v.kill(t, fmt.Errorf("vm: checkcast to %s failed in %s", ins.Cls.Name, f.Method().FullName()))
 					return
 				}
 			}
@@ -313,64 +341,71 @@ func (v *VM) interpret(t *Thread, budget int) {
 			nargs := int(ins.B)
 			recv := f.Stack[len(f.Stack)-nargs]
 			if recv.Ref() == rt.Null {
-				kill(fmt.Errorf("vm: null receiver calling %s in %s", ins.Ref.FullName(), f.Method().FullName()))
+				v.kill(t, fmt.Errorf("vm: null receiver calling %s in %s", ins.Ref.FullName(), f.Method().FullName()))
 				return
 			}
 			if v.Heap.IsArray(recv.Ref()) {
-				kill(fmt.Errorf("vm: virtual call on array in %s", f.Method().FullName()))
+				v.kill(t, fmt.Errorf("vm: virtual call on array in %s", f.Method().FullName()))
 				return
 			}
 			cls := v.Reg.ClassByID(v.Heap.ClassID(recv.Ref()))
 			if cls == nil || int(ins.A) >= len(cls.TIB) {
-				kill(fmt.Errorf("vm: bad dispatch (class id %d, slot %d) in %s",
+				v.kill(t, fmt.Errorf("vm: bad dispatch (class id %d, slot %d) in %s",
 					v.Heap.ClassID(recv.Ref()), ins.A, f.Method().FullName()))
 				return
 			}
 			target := cls.TIB[ins.A]
-			if stop := v.invoke(t, f, target, nargs, kill, &budget); stop {
+			if stop := v.invoke(t, f, target, nargs, &budget); stop {
 				return
 			}
+			f = t.Frames[len(t.Frames)-1]
 			continue
 		case bytecode.INVOKESTAT_R, bytecode.INVOKESPEC_R:
 			nargs := int(ins.B)
 			if ins.Op == bytecode.INVOKESPEC_R {
 				recv := f.Stack[len(f.Stack)-nargs]
 				if recv.Ref() == rt.Null {
-					kill(fmt.Errorf("vm: null receiver calling %s in %s", ins.Ref.FullName(), f.Method().FullName()))
+					v.kill(t, fmt.Errorf("vm: null receiver calling %s in %s", ins.Ref.FullName(), f.Method().FullName()))
 					return
 				}
 			}
 			// A class update replaces rt.Method objects; stale compiled
 			// code is invalidated, so ins.Ref is always current here.
-			if stop := v.invoke(t, f, ins.Ref, nargs, kill, &budget); stop {
+			if stop := v.invoke(t, f, ins.Ref, nargs, &budget); stop {
 				return
 			}
+			f = t.Frames[len(t.Frames)-1]
 			continue
 		case bytecode.INVOKENAT_R:
 			// Blocking natives park the thread with the args still on
 			// the stack and the pc unchanged: the call retries on wake,
 			// stopped at an instruction boundary (a VM safe point).
-			if stop := v.invoke(t, f, ins.Ref, int(ins.B), kill, &budget); stop {
+			if stop := v.invoke(t, f, ins.Ref, int(ins.B), &budget); stop {
 				return
 			}
+			f = t.Frames[len(t.Frames)-1]
 			continue
 
 		case bytecode.ENTERINL_R:
 			nargs := int(ins.B)
 			base := int(ins.A)
-			for i := nargs - 1; i >= 0; i-- {
-				f.Locals[base+i] = pop()
-			}
+			n := len(f.Stack)
+			copy(f.Locals[base:base+nargs], f.Stack[n-nargs:])
+			f.Stack = f.Stack[:n-nargs]
 
 		case bytecode.RETURN:
 			var ret rt.Value
 			if !ins.RetVoid {
-				ret = pop()
+				n := len(f.Stack) - 1
+				ret = f.Stack[n]
+				f.Stack = f.Stack[:n]
 			}
 			popped := t.pop()
-			if len(t.Frames) > 0 && !ins.RetVoid {
-				caller := t.Frames[len(t.Frames)-1]
-				caller.Stack = append(caller.Stack, ret)
+			if len(t.Frames) > 0 {
+				f = t.Frames[len(t.Frames)-1]
+				if !ins.RetVoid {
+					f.Stack = append(f.Stack, ret)
+				}
 			}
 			if popped.Barrier && v.updatePending {
 				// Return barrier fired: park the thread and let the
@@ -395,7 +430,7 @@ func (v *VM) interpret(t *Thread, budget int) {
 			continue
 
 		case bytecode.TRAP:
-			kill(fmt.Errorf("vm: trap in %s: %s", f.Method().FullName(), ins.Str))
+			v.kill(t, fmt.Errorf("vm: trap in %s: %s", f.Method().FullName(), ins.Str))
 			return
 		case bytecode.YIELD:
 			f.PC++
@@ -406,7 +441,7 @@ func (v *VM) interpret(t *Thread, budget int) {
 			continue
 
 		default:
-			kill(fmt.Errorf("vm: cannot execute opcode %s in %s (unresolved code?)", ins.Op, f.Method().FullName()))
+			v.kill(t, fmt.Errorf("vm: cannot execute opcode %s in %s (unresolved code?)", ins.Op, f.Method().FullName()))
 			return
 		}
 		f.PC++
@@ -415,7 +450,7 @@ func (v *VM) interpret(t *Thread, budget int) {
 
 // branch moves the pc; taken backedges are yield points. It reports whether
 // the interpreter should return to the scheduler.
-func (v *VM) branch(t *Thread, f *Frame, target int, budget *int) bool {
+func (v *VM) branch(f *Frame, target int, budget *int) bool {
 	backedge := target <= f.PC
 	f.PC = target
 	if backedge {
@@ -431,17 +466,17 @@ func (v *VM) branch(t *Thread, f *Frame, target int, budget *int) bool {
 // A virtual dispatch may land on a native method; those execute inline. It
 // reports whether the interpreter should return to the scheduler (entry
 // yield point, block, or error).
-func (v *VM) invoke(t *Thread, f *Frame, target *rt.Method, nargs int, kill func(error), budget *int) bool {
+func (v *VM) invoke(t *Thread, f *Frame, target *rt.Method, nargs int, budget *int) bool {
 	if target.Def.Native {
 		args := f.Stack[len(f.Stack)-nargs:]
 		fn := v.natives[nativeKey(target)]
 		if fn == nil {
-			kill(fmt.Errorf("vm: unbound native %s", target.FullName()))
+			v.kill(t, fmt.Errorf("vm: unbound native %s", target.FullName()))
 			return true
 		}
 		ret, block, err := fn(v, t, args)
 		if err != nil {
-			kill(fmt.Errorf("vm: native %s: %w", target.FullName(), err))
+			v.kill(t, fmt.Errorf("vm: native %s: %w", target.FullName(), err))
 			return true
 		}
 		if block != nil {
@@ -462,7 +497,7 @@ func (v *VM) invoke(t *Thread, f *Frame, target *rt.Method, nargs int, kill func
 	f.PC++ // the call completes; the callee returns past it
 	cm, err := v.resolveCompiled(target)
 	if err != nil {
-		kill(err)
+		v.kill(t, err)
 		return true
 	}
 	nf := &Frame{CM: cm, Locals: make([]rt.Value, cm.MaxLocals)}
@@ -472,40 +507,6 @@ func (v *VM) invoke(t *Thread, f *Frame, target *rt.Method, nargs int, kill func
 	// Method-entry yield point.
 	*budget--
 	return *budget <= 0 || v.yieldFlag
-}
-
-// stackNeed returns the minimum operand stack depth an instruction needs.
-func stackNeed(ins rt.Ins) int {
-	switch ins.Op {
-	case bytecode.POP, bytecode.DUP, bytecode.STORE, bytecode.NEG,
-		bytecode.IFEQ, bytecode.IFNE, bytecode.IFLT, bytecode.IFLE,
-		bytecode.IFGT, bytecode.IFGE, bytecode.IFNULL, bytecode.IFNONNULL,
-		bytecode.ARRAYLEN, bytecode.GETFIELD_R, bytecode.NEWARRAY_R,
-		bytecode.INSTOF_R, bytecode.CHECKCAST_R:
-		return 1
-	case bytecode.DUP_X1, bytecode.SWAP,
-		bytecode.ADD, bytecode.SUB, bytecode.MUL, bytecode.DIV, bytecode.REM,
-		bytecode.AND, bytecode.OR, bytecode.XOR, bytecode.SHL, bytecode.SHR,
-		bytecode.IF_ICMPEQ, bytecode.IF_ICMPNE, bytecode.IF_ICMPLT,
-		bytecode.IF_ICMPLE, bytecode.IF_ICMPGT, bytecode.IF_ICMPGE,
-		bytecode.IF_ACMPEQ, bytecode.IF_ACMPNE,
-		bytecode.AGET, bytecode.PUTFIELD_R:
-		return 2
-	case bytecode.ASET:
-		return 3
-	case bytecode.RETURN:
-		if ins.RetVoid {
-			return 0
-		}
-		return 1
-	case bytecode.PUTSTATIC_R:
-		return 1
-	case bytecode.INVOKEVIRT_R, bytecode.INVOKESTAT_R, bytecode.INVOKESPEC_R,
-		bytecode.INVOKENAT_R, bytecode.ENTERINL_R:
-		return int(ins.B)
-	default:
-		return 0
-	}
 }
 
 // indirectionProbe simulates the per-dereference cost of lazy-update DSU

@@ -70,7 +70,7 @@ func (v *VM) registerNatives() {
 		if err := v.callOn(nt, run, []rt.Value{args[0]}); err != nil {
 			return rt.Value{}, nil, err
 		}
-		v.Threads = append(v.Threads, nt)
+		v.addThread(nt)
 		return rt.Value{}, nil, nil
 	})
 	v.BindNative("Thread", "sleep(I)V", func(v *VM, t *Thread, args []rt.Value) (rt.Value, func() bool, error) {
@@ -100,8 +100,21 @@ func (v *VM) registerNatives() {
 		if !v.Net.hasPending(port) {
 			return rt.Value{}, func() bool { return v.Net.hasPending(port) }, nil
 		}
-		id, _ := v.Net.accept(port)
+		// accept's contract is (id, done): done=false means "open but
+		// empty backlog" — unreachable here because hasPending held and
+		// nothing ran in between. done=true with id=-1 means the
+		// listener was closed (unlisten); -1 flows to the guest, whose
+		// accept loop must treat a negative id as "listener closed"
+		// rather than as a connection.
+		id, done := v.Net.accept(port)
+		if !done {
+			return rt.Value{}, func() bool { return v.Net.hasPending(port) }, nil
+		}
 		return rt.IntVal(id), nil, nil
+	})
+	v.BindNative("Net", "unlisten(I)V", func(v *VM, t *Thread, args []rt.Value) (rt.Value, func() bool, error) {
+		v.Net.unlisten(args[0].Int())
+		return rt.Value{}, nil, nil
 	})
 	v.BindNative("Net", "recvLine(I)LString;", func(v *VM, t *Thread, args []rt.Value) (rt.Value, func() bool, error) {
 		id := args[0].Int()

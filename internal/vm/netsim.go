@@ -6,6 +6,14 @@ import "fmt"
 // Go-side workload driver and the Net.* natives inside the VM. The driver
 // and the VM scheduler must share one goroutine (call driver methods
 // between vm.Step calls); the VM is a deterministic green-thread machine.
+//
+// Resource lifecycle: a connection is reaped from the conns map once both
+// sides are finished with it — the server (or client) closed it, the client
+// has observed the close (via ClientClosed or its own ClientClose), and both
+// line queues have drained. A listening port is released by unlisten; the
+// listener entry is kept as a closed tombstone (so a blocked accept wakes
+// and observes the close) until the port is rebound. Sustained load with
+// well-behaved peers therefore keeps both maps bounded.
 type NetSim struct {
 	listeners map[int64]*SimListener
 	conns     map[int64]*SimConn
@@ -13,6 +21,9 @@ type NetSim struct {
 }
 
 // SimListener is a listening port with a backlog of unaccepted connections.
+// Open is cleared by unlisten; a closed listener stays in the map as a
+// tombstone until the port is rebound, so server code blocked in accept
+// observes the close instead of hanging forever.
 type SimListener struct {
 	Port    int64
 	Backlog []int64
@@ -25,6 +36,12 @@ type SimConn struct {
 	ToServer []string
 	ToClient []string
 	Closed   bool
+
+	// ClientDone records that the client side has finished with the
+	// connection: it either closed it or observed the server's close.
+	// Once both sides are done and the queues are drained, the conn is
+	// reaped from the map.
+	ClientDone bool
 }
 
 // NewNetSim builds an empty network.
@@ -35,21 +52,73 @@ func NewNetSim() *NetSim {
 	}
 }
 
+// maybeReap deletes a connection once it is closed, the client has observed
+// the close, and both queues have drained — after which every operation on
+// the id behaves exactly like an operation on a closed connection (nil
+// lookups take the closed path everywhere).
+func (n *NetSim) maybeReap(c *SimConn) {
+	if c.Closed && c.ClientDone && len(c.ToServer) == 0 && len(c.ToClient) == 0 {
+		delete(n.conns, c.ID)
+	}
+}
+
+// ConnCount reports live (unreaped) connections — for leak tests and stats.
+func (n *NetSim) ConnCount() int { return len(n.conns) }
+
+// ListenerCount reports listener map entries, including closed tombstones.
+func (n *NetSim) ListenerCount() int { return len(n.listeners) }
+
 // --- server (native) side -------------------------------------------------
 
+// listen binds a port. Rebinding over a closed tombstone (a port released
+// by unlisten) replaces it — the restart-across-update path.
 func (n *NetSim) listen(port int64) (int64, error) {
-	if _, dup := n.listeners[port]; dup {
+	if l := n.listeners[port]; l != nil && l.Open {
 		return 0, fmt.Errorf("net: port %d already bound", port)
 	}
 	n.listeners[port] = &SimListener{Port: port, Open: true}
 	return port, nil
 }
 
+// unlisten closes a listening port: queued-but-unaccepted connections are
+// refused (closed), the backlog is dropped, and the listener remains as a
+// closed tombstone so a thread blocked in accept wakes and sees the close.
+// A later listen on the same port replaces the tombstone.
+func (n *NetSim) unlisten(port int64) {
+	l := n.listeners[port]
+	if l == nil || !l.Open {
+		return
+	}
+	l.Open = false
+	for _, id := range l.Backlog {
+		if c := n.conns[id]; c != nil {
+			c.Closed = true
+			n.maybeReap(c)
+		}
+	}
+	l.Backlog = nil
+}
+
+// hasPending reports whether accept would complete without blocking: either
+// a connection is queued, or the listener is closed/unbound-after-close so
+// accept must report done. A port that was never bound stays pending-free
+// (a blocked accept on it never wakes — that is the deadlock the scheduler
+// detects).
 func (n *NetSim) hasPending(port int64) bool {
 	l := n.listeners[port]
 	return l != nil && (len(l.Backlog) > 0 || !l.Open)
 }
 
+// accept dequeues the oldest backlog connection, in FIFO order.
+//
+// Contract — accept returns (id, done):
+//
+//	(conn, true)  a queued connection was accepted
+//	(-1, true)    the listener is gone or closed: the call is complete and
+//	              there is no connection; callers must treat a negative id
+//	              as "listener closed", not as a connection
+//	(-1, false)   the listener is open but the backlog is empty: not done,
+//	              the caller should block until hasPending
 func (n *NetSim) accept(port int64) (int64, bool) {
 	l := n.listeners[port]
 	if l == nil || len(l.Backlog) == 0 {
@@ -57,6 +126,9 @@ func (n *NetSim) accept(port int64) (int64, bool) {
 	}
 	id := l.Backlog[0]
 	l.Backlog = l.Backlog[1:]
+	if len(l.Backlog) == 0 {
+		l.Backlog = nil
+	}
 	return id, true
 }
 
@@ -67,14 +139,12 @@ func (n *NetSim) hasLine(id int64) bool {
 
 func (n *NetSim) recvLine(id int64) (string, bool) {
 	c := n.conns[id]
-	if c == nil || (c.Closed && len(c.ToServer) == 0) {
-		return "", false
-	}
-	if len(c.ToServer) == 0 {
+	if c == nil || len(c.ToServer) == 0 {
 		return "", false
 	}
 	line := c.ToServer[0]
 	c.ToServer = c.ToServer[1:]
+	n.maybeReap(c)
 	return line, true
 }
 
@@ -87,6 +157,7 @@ func (n *NetSim) send(id int64, line string) {
 func (n *NetSim) close(id int64) {
 	if c := n.conns[id]; c != nil {
 		c.Closed = true
+		n.maybeReap(c)
 	}
 }
 
@@ -123,17 +194,36 @@ func (n *NetSim) ClientRecv(id int64) (string, bool) {
 	}
 	line := c.ToClient[0]
 	c.ToClient = c.ToClient[1:]
+	n.maybeReap(c)
 	return line, true
 }
 
-// ClientClosed reports whether the server closed the connection.
+// ClientClosed reports whether the server closed the connection. Observing
+// the close marks the client side done, which lets a fully-drained
+// connection be reaped.
 func (n *NetSim) ClientClosed(id int64) bool {
 	c := n.conns[id]
-	return c == nil || c.Closed
+	if c == nil {
+		return true
+	}
+	if c.Closed {
+		c.ClientDone = true
+		n.maybeReap(c)
+		return true
+	}
+	return false
 }
 
 // ClientClose closes the connection from the client side.
-func (n *NetSim) ClientClose(id int64) { n.close(id) }
+func (n *NetSim) ClientClose(id int64) {
+	c := n.conns[id]
+	if c == nil {
+		return
+	}
+	c.ClientDone = true
+	c.Closed = true
+	n.maybeReap(c)
+}
 
 // Listening reports whether a port is bound.
 func (n *NetSim) Listening(port int64) bool {

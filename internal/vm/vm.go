@@ -51,9 +51,33 @@ type VM struct {
 	Net  *NetSim
 	Out  io.Writer
 
+	// Threads is every thread the scheduler knows about (the GC root set
+	// and the DSU engine's safe-point scan walk it). Scheduling itself
+	// never scans it: runnable threads live in runq (a FIFO ring) and
+	// threads parked on a wake predicate live in blocked, so picking the
+	// next thread is O(blocked)+O(1) instead of O(all threads ever
+	// created).
 	Threads []*Thread
 	nextTID int
-	rrNext  int // round-robin cursor
+
+	// runq is the runnable ring: a FIFO with a head cursor, compacted in
+	// place so steady-state scheduling allocates nothing.
+	runq     []*Thread
+	runqHead int
+
+	// blocked holds threads parked on WakeWhen; only these are polled
+	// between slices.
+	blocked []*Thread
+
+	// deadPending counts finished threads not yet reaped from Threads.
+	deadPending int
+
+	// DeadErrors is a bounded log of threads that died with a runtime
+	// error and were reaped. Before reaping, an errored thread is still
+	// in Threads with its Err set (so drivers and tests can inspect it);
+	// reaping moves the error here instead of retaining the whole thread
+	// — error-dead threads no longer inflate every GC root scan forever.
+	DeadErrors []DeadError
 
 	// Quantum is instructions per scheduling slice.
 	Quantum int
@@ -83,6 +107,9 @@ type VM struct {
 	// IndirectionCheck is the ablation switch (see Options).
 	IndirectionCheck bool
 	indirections     int64
+
+	// stats holds the cheap steady-state counters exposed via Stats().
+	stats statCounters
 
 	// Trace, when set, receives scheduler/DSU diagnostics.
 	Trace io.Writer
@@ -244,8 +271,17 @@ func (v *VM) Spawn(name string, m *rt.Method, args []rt.Value) (*Thread, error) 
 		t.State = Dead
 		return nil, err
 	}
-	v.Threads = append(v.Threads, t)
+	v.addThread(t)
 	return t, nil
+}
+
+// addThread registers a thread with the scheduler: the global table (GC
+// roots, DSU scans) plus the runnable ring.
+func (v *VM) addThread(t *Thread) {
+	v.Threads = append(v.Threads, t)
+	if t.State == Runnable {
+		v.enqueue(t)
+	}
 }
 
 // SpawnMain starts className.main()V.
@@ -263,6 +299,7 @@ func (v *VM) SpawnMain(className string) (*Thread, error) {
 
 func (v *VM) newThread(name string) *Thread {
 	v.nextTID++
+	v.stats.ThreadsSpawned++
 	return &Thread{ID: v.nextTID, Name: name, State: Runnable}
 }
 
@@ -323,11 +360,14 @@ func (v *VM) SetUpdatePending(p bool) {
 func (v *VM) UpdatePending() bool { return v.updatePending }
 
 // ReleaseUpdateWaiters returns UpdateWait threads to the run queue after an
-// update completes or aborts.
+// update completes or aborts. UpdateWait threads sit in neither scheduler
+// list (they parked mid-slice on a return barrier), so this is the one walk
+// of the full table left on an update boundary — never the steady path.
 func (v *VM) ReleaseUpdateWaiters() {
 	for _, t := range v.Threads {
 		if t.State == UpdateWait {
 			t.State = Runnable
+			v.enqueue(t)
 		}
 	}
 }
@@ -379,54 +419,122 @@ func (v *VM) Run() error {
 	}
 }
 
-// reapDead drops cleanly-finished threads from the scheduler (errored
-// threads are kept for diagnosis). Long-running servers spawn a handler
-// thread per connection; without reaping the thread table grows forever.
+// reapThreshold is how many finished threads may accumulate in Threads
+// before a reap pass compacts the table. Below the threshold, dead threads
+// (including errored ones) remain inspectable in Threads.
+const reapThreshold = 32
+
+// maxDeadErrors bounds the DeadErrors log; beyond it the oldest entries are
+// dropped, so a crash-looping workload cannot grow memory without bound.
+const maxDeadErrors = 128
+
+// DeadError is one reaped thread's terminal runtime error.
+type DeadError struct {
+	ThreadID int
+	Name     string
+	Err      error
+}
+
+// reapDead drops finished threads from the thread table. Long-running
+// servers spawn a handler thread per connection; without reaping, the table
+// (a GC root set and the DSU engine's scan list) grows forever. Errored
+// threads are reaped too — their errors move to the bounded DeadErrors log
+// instead of pinning the whole thread (stack, frames, locals) permanently.
 func (v *VM) reapDead() {
 	live := v.Threads[:0]
 	for _, t := range v.Threads {
-		if t.State != Dead || t.Err != nil {
+		if t.State != Dead {
 			live = append(live, t)
+			continue
 		}
+		if t.Err != nil {
+			v.DeadErrors = append(v.DeadErrors, DeadError{ThreadID: t.ID, Name: t.Name, Err: t.Err})
+			if len(v.DeadErrors) > maxDeadErrors {
+				v.DeadErrors = v.DeadErrors[len(v.DeadErrors)-maxDeadErrors:]
+			}
+		}
+		v.stats.ThreadsReaped++
+	}
+	// Clear the tail so reaped threads are collectable.
+	for i := len(live); i < len(v.Threads); i++ {
+		v.Threads[i] = nil
 	}
 	v.Threads = live
-	v.rrNext = 0
+	v.deadPending = 0
+}
+
+// enqueue appends a thread to the runnable ring, compacting the ring in
+// place when the head cursor has drifted — steady-state scheduling of a
+// stable thread set allocates nothing.
+func (v *VM) enqueue(t *Thread) {
+	if v.runqHead > 0 {
+		if v.runqHead == len(v.runq) {
+			v.runq = v.runq[:0]
+			v.runqHead = 0
+		} else if v.runqHead > 32 && v.runqHead*2 >= len(v.runq) {
+			n := copy(v.runq, v.runq[v.runqHead:])
+			v.runq = v.runq[:n]
+			v.runqHead = 0
+		}
+	}
+	v.runq = append(v.runq, t)
+}
+
+// popRunnable dequeues the next runnable thread from the ring, skipping
+// entries whose state changed while queued (e.g. killed by System.exit).
+func (v *VM) popRunnable() *Thread {
+	for v.runqHead < len(v.runq) {
+		t := v.runq[v.runqHead]
+		v.runq[v.runqHead] = nil
+		v.runqHead++
+		if t.State == Runnable {
+			return t
+		}
+		if t.State == Dead {
+			v.deadPending++
+		}
+	}
+	v.runq = v.runq[:0]
+	v.runqHead = 0
+	return nil
 }
 
 // pickThread wakes blocked threads whose condition holds and returns the
-// next runnable thread round-robin, or nil.
+// next runnable thread, or nil. Cost is O(blocked)+O(1): only threads
+// actually parked on a wake predicate are polled, and the runnable ring
+// pops in FIFO order — dead or long-retired threads are never rescanned.
 func (v *VM) pickThread() *Thread {
-	n := len(v.Threads)
-	if n == 0 {
-		return nil
-	}
-	dead := 0
-	for _, t := range v.Threads {
-		if t.State == Dead && t.Err == nil {
-			dead++
+	v.stats.SchedulerScans++
+	if len(v.blocked) > 0 {
+		keep := v.blocked[:0]
+		for _, t := range v.blocked {
+			if t.State == Blocked && t.WakeWhen != nil {
+				v.stats.WakeChecks++
+				if t.WakeWhen() {
+					t.State = Runnable
+					t.WakeWhen = nil
+					v.enqueue(t)
+				} else {
+					keep = append(keep, t)
+				}
+				continue
+			}
+			// State changed while parked (System.exit, DSU release):
+			// drop from the blocked list; a Runnable thread re-enters
+			// through the ring.
+			switch t.State {
+			case Runnable:
+				v.enqueue(t)
+			case Dead:
+				v.deadPending++
+			}
 		}
-	}
-	if dead > 32 && dead*2 > n {
-		v.reapDead()
-		n = len(v.Threads)
-		if n == 0 {
-			return nil
+		for i := len(keep); i < len(v.blocked); i++ {
+			v.blocked[i] = nil
 		}
+		v.blocked = keep
 	}
-	for _, t := range v.Threads {
-		if t.State == Blocked && t.WakeWhen != nil && t.WakeWhen() {
-			t.State = Runnable
-			t.WakeWhen = nil
-		}
-	}
-	for i := 0; i < n; i++ {
-		t := v.Threads[(v.rrNext+i)%n]
-		if t.State == Runnable {
-			v.rrNext = (v.rrNext + i + 1) % n
-			return t
-		}
-	}
-	return nil
+	return v.popRunnable()
 }
 
 func (v *VM) liveThreads() int {
@@ -439,9 +547,24 @@ func (v *VM) liveThreads() int {
 	return live
 }
 
-// runSlice executes one scheduling slice of t.
+// runSlice executes one scheduling slice of t and re-files the thread in
+// the scheduler list matching its post-slice state.
 func (v *VM) runSlice(t *Thread) {
+	v.stats.Slices++
 	v.interpret(t, v.Quantum)
+	switch t.State {
+	case Runnable:
+		v.enqueue(t)
+	case Blocked:
+		v.blocked = append(v.blocked, t)
+	case Dead:
+		v.deadPending++
+		if v.deadPending > reapThreshold {
+			v.reapDead()
+		}
+	}
+	// UpdateWait threads sit in neither list; ReleaseUpdateWaiters
+	// re-enqueues them when the update resolves.
 }
 
 // --- GC integration -------------------------------------------------------
@@ -487,6 +610,7 @@ func (v *VM) CollectGarbage() (*gc.Result, error) {
 
 // allocObject allocates an instance, collecting once on failure.
 func (v *VM) allocObject(c *rt.Class) (rt.Addr, error) {
+	v.stats.AllocObjects++
 	if a, ok := v.Heap.AllocObject(c); ok {
 		return a, nil
 	}
@@ -504,6 +628,7 @@ func (v *VM) allocArray(elemRef bool, n int) (rt.Addr, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("vm: negative array size %d", n)
 	}
+	v.stats.AllocArrays++
 	if a, ok := v.Heap.AllocArray(elemRef, n); ok {
 		return a, nil
 	}
@@ -621,6 +746,83 @@ func OSRMappable(f *Frame) bool {
 	cm := f.CM
 	return cm.Level == rt.Opt && cm.PCMap != nil &&
 		f.PC >= 0 && f.PC < len(cm.PCMap) && cm.PCMap[f.PC] >= 0
+}
+
+// statCounters are the raw steady-state counters, incremented on the cheap
+// side of every scheduler/allocator path (never per instruction — the
+// per-instruction counter is TotalSteps, which the simulated clock already
+// pays for).
+type statCounters struct {
+	Slices         int64
+	SchedulerScans int64
+	WakeChecks     int64
+	ThreadsSpawned int64
+	ThreadsReaped  int64
+	AllocObjects   int64
+	AllocArrays    int64
+}
+
+// Stats is a snapshot of the VM's steady-state counters — the paper's
+// Figure 5 claim ("stock ≈ DSU-capable ≈ updated") as numbers rather than
+// an assertion. Instructions is total executed instructions; Slices is
+// scheduling slices run; SchedulerScans is pickThread invocations;
+// WakeChecks is blocked-thread wake-predicate evaluations; AllocObjects/
+// AllocArrays count heap allocations triggered by executed code;
+// RunnableQueue/BlockedThreads/LiveThreads/TableThreads describe the
+// scheduler lists at snapshot time.
+type Stats struct {
+	Instructions   int64
+	Slices         int64
+	SchedulerScans int64
+	WakeChecks     int64
+	ThreadsSpawned int64
+	ThreadsReaped  int64
+	AllocObjects   int64
+	AllocArrays    int64
+	GCCollections  int64
+
+	RunnableQueue  int
+	BlockedThreads int
+	LiveThreads    int
+	TableThreads   int
+	DeadErrorCount int
+}
+
+// Stats snapshots the steady-state counter block.
+func (v *VM) Stats() Stats {
+	return Stats{
+		Instructions:   v.TotalSteps,
+		Slices:         v.stats.Slices,
+		SchedulerScans: v.stats.SchedulerScans,
+		WakeChecks:     v.stats.WakeChecks,
+		ThreadsSpawned: v.stats.ThreadsSpawned,
+		ThreadsReaped:  v.stats.ThreadsReaped,
+		AllocObjects:   v.stats.AllocObjects,
+		AllocArrays:    v.stats.AllocArrays,
+		GCCollections:  int64(v.GC.Collections),
+		RunnableQueue:  len(v.runq) - v.runqHead,
+		BlockedThreads: len(v.blocked),
+		LiveThreads:    v.liveThreads(),
+		TableThreads:   len(v.Threads),
+		DeadErrorCount: len(v.DeadErrors),
+	}
+}
+
+// Delta subtracts a previous snapshot's monotonic counters from s, leaving
+// the point-in-time gauges (queue depths, live threads) as observed in s.
+// Use it to isolate the work done inside a measurement window.
+func (s Stats) Delta(prev Stats) Stats {
+	d := s
+	d.Instructions -= prev.Instructions
+	d.Slices -= prev.Slices
+	d.SchedulerScans -= prev.SchedulerScans
+	d.WakeChecks -= prev.WakeChecks
+	d.ThreadsSpawned -= prev.ThreadsSpawned
+	d.ThreadsReaped -= prev.ThreadsReaped
+	d.AllocObjects -= prev.AllocObjects
+	d.AllocArrays -= prev.AllocArrays
+	d.GCCollections -= prev.GCCollections
+	return d
 }
 
 // Indirections reports the ablation counter.
