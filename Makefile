@@ -1,0 +1,31 @@
+# Tier-1 verification for govolve. `make verify` is what CI runs: build,
+# vet, the full test suite, and the same suite under the race detector.
+# The storm soak and the fuzzers run longer and are split out.
+
+GO ?= go
+
+.PHONY: verify build vet test race storm fuzz
+
+verify: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Long-running randomized soak (reproduce failures with -seed).
+storm:
+	$(GO) run ./cmd/jvolve-bench -exp storm -updates 500
+
+# Explore beyond the checked-in seed corpora (30s per target).
+fuzz:
+	$(GO) test -fuzz=FuzzVerifier -fuzztime 30s ./internal/verifier
+	$(GO) test -fuzz=FuzzAsmRoundTrip -fuzztime 30s ./internal/asm
+	$(GO) test -fuzz=FuzzUPTDiff -fuzztime 30s ./internal/upt

@@ -10,10 +10,14 @@
 //	jvolve-bench -exp transformers # §4.1: interpreted vs native default transformers
 //	jvolve-bench -exp scratch   # §3.5: old-copy scratch region memory pressure
 //	jvolve-bench -exp active    # §3.5: UpStare-style active-method updates
+//	jvolve-bench -exp storm     # randomized update-storm soak with invariant checking
 //	jvolve-bench -exp all
 //
 // -scale divides the microbenchmark object counts (1 = the paper's full
 // 280k–3.67M objects; the default 8 finishes quickly on a laptop).
+//
+// The storm soak is reproducible: a failure prints its seed, and
+// `jvolve-bench -exp storm -seed N -updates K` replays the exact run.
 package main
 
 import (
@@ -24,13 +28,16 @@ import (
 
 	"govolve/internal/apps"
 	"govolve/internal/bench"
+	"govolve/internal/storm"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6|fig5|tables234|matrix|ablation|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig5|tables234|matrix|ablation|storm|all")
 	scale := flag.Int("scale", 8, "divide microbenchmark object counts by this factor (1 = paper scale)")
 	runs := flag.Int("runs", 3, "runs per measurement cell (paper: 21 for fig5)")
 	duration := flag.Duration("duration", 500*time.Millisecond, "measurement window per fig5/ablation run (paper: 60s)")
+	seed := flag.Int64("seed", 1, "storm: PRNG seed (failures print the seed to replay)")
+	updates := flag.Int("updates", 500, "storm: applied updates to drive per run")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -174,8 +181,28 @@ func main() {
 		return nil
 	})
 
+	run("storm", func() error {
+		fmt.Println("=== Extension: randomized update-storm soak (whole-VM invariant checking) ===")
+		cfgs := []storm.Config{
+			{Seed: *seed, Updates: *updates},
+			{Seed: *seed, Updates: *updates, ScratchWords: 1 << 14, FastDefaults: true, OSROpt: true},
+		}
+		for _, cfg := range cfgs {
+			rep, err := storm.Run(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("seed=%d updates=%d scratch=%v fastdefaults=%v osropt=%v: "+
+				"applied=%d aborted=%d rejected=%d checks=%d probes=%d steps=%d\n",
+				rep.Seed, *updates, cfg.ScratchWords > 0, cfg.FastDefaults, cfg.OSROpt,
+				rep.Applied, rep.Aborted, rep.Rejected, rep.Checks, rep.Probes, rep.Steps)
+		}
+		fmt.Println()
+		return nil
+	})
+
 	switch *exp {
-	case "table1", "fig6", "fig5", "tables234", "matrix", "ablation", "transformers", "scratch", "active", "all":
+	case "table1", "fig6", "fig5", "tables234", "matrix", "ablation", "transformers", "scratch", "active", "storm", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "jvolve-bench: unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -7,6 +7,7 @@ import (
 	"govolve/internal/asm"
 	"govolve/internal/classfile"
 	"govolve/internal/core"
+	"govolve/internal/storm"
 	"govolve/internal/verifier"
 	"govolve/internal/vm"
 )
@@ -93,11 +94,14 @@ func TestServersServeEveryVersion(t *testing.T) {
 
 // TestUpdateMatrix is the §4 experience experiment in miniature: every
 // update of every app is applied to the live server. 20 of 22 must apply;
-// the two engineered always-on-stack changes must abort.
+// the two engineered always-on-stack changes must abort. The storm
+// harness's whole-VM invariant sweep runs after every one of the 22
+// transitions, so registry, heap, stack, and gauge invariants are checked
+// on the real servers as well as on generated storm programs.
 func TestUpdateMatrix(t *testing.T) {
 	applied, aborted, total := 0, 0, 0
 	for _, app := range All() {
-		entries, err := RunMatrix(app, 1<<20)
+		entries, err := RunMatrix(app, 1<<20, storm.CheckVM)
 		if err != nil {
 			t.Fatalf("%s: %v", app.Name, err)
 		}

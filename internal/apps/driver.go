@@ -232,7 +232,12 @@ type MatrixEntry struct {
 // or OSR, which need a quiet server, and which abort because a changed
 // method never leaves the stack. Aborted versions are reached by a restart,
 // as the paper's authors had to.
-func RunMatrix(app *App, heapWords int) ([]MatrixEntry, error) {
+//
+// Optional checks run against the server's VM after every update attempt
+// resolves (applied, quiesced-then-applied, or aborted-and-restarted);
+// tests pass storm.CheckVM here so the whole-VM invariant sweep covers all
+// 22 real server transitions, not just generated storm programs.
+func RunMatrix(app *App, heapWords int, checks ...func(*vm.VM) error) ([]MatrixEntry, error) {
 	s, err := Launch(app, LaunchOptions{HeapWords: heapWords})
 	if err != nil {
 		return nil, err
@@ -312,6 +317,11 @@ func RunMatrix(app *App, heapWords int) ([]MatrixEntry, error) {
 			entry.ProbeOK = true
 		default:
 			entry.Note = fmt.Sprintf("unexpected outcome: %v (%v)", res.Outcome, res.Err)
+		}
+		for _, check := range checks {
+			if err := check(s.VM); err != nil {
+				return nil, fmt.Errorf("%s after %s→%s: %w", app.Name, entry.From, entry.To, err)
+			}
 		}
 		entries = append(entries, entry)
 	}

@@ -1,0 +1,111 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"govolve/internal/bytecode"
+	"govolve/internal/classfile"
+)
+
+// Print renders classes back into assembler source. The output reassembles
+// to structurally identical classes (Assemble∘Print is the identity on
+// anything Assemble produced), and Print∘Assemble is a fixpoint after one
+// round trip — the property the FuzzAsmRoundTrip target checks. Branch
+// targets come out as synthetic labels L<index>.
+func Print(classes []*classfile.Class) string {
+	var b strings.Builder
+	for i, c := range classes {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		printClass(&b, c)
+	}
+	return b.String()
+}
+
+func printClass(b *strings.Builder, c *classfile.Class) {
+	if c.Super != "" {
+		fmt.Fprintf(b, "class %s extends %s {\n", c.Name, c.Super)
+	} else {
+		fmt.Fprintf(b, "class %s {\n", c.Name)
+	}
+	for _, f := range c.Fields {
+		b.WriteString("  ")
+		printModifiers(b, f.Access, f.Static, f.Final, false)
+		fmt.Fprintf(b, "field %s %s\n", f.Name, f.Desc)
+	}
+	for _, m := range c.Methods {
+		b.WriteString("\n  ")
+		printModifiers(b, m.Access, m.Static, m.Final, m.Native)
+		fmt.Fprintf(b, "method %s%s", m.Name, m.Sig)
+		if m.Native {
+			b.WriteByte('\n')
+			continue
+		}
+		b.WriteString(" {\n")
+		printBody(b, m.Code)
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+}
+
+func printModifiers(b *strings.Builder, access classfile.Access, static, final, native bool) {
+	switch access {
+	case classfile.Private:
+		b.WriteString("private ")
+	case classfile.Protected:
+		b.WriteString("protected ")
+	}
+	if static {
+		b.WriteString("static ")
+	}
+	if final {
+		b.WriteString("final ")
+	}
+	if native {
+		b.WriteString("native ")
+	}
+}
+
+func printBody(b *strings.Builder, code []bytecode.Ins) {
+	// Collect branch targets so they come out as labels. A target one past
+	// the last instruction is legal (a label just before '}').
+	targets := make(map[int]bool)
+	for _, ins := range code {
+		if ins.Op.IsBranch() {
+			targets[int(ins.A)] = true
+		}
+	}
+	for pc := 0; pc <= len(code); pc++ {
+		if targets[pc] {
+			fmt.Fprintf(b, "  L%d:\n", pc)
+		}
+		if pc == len(code) {
+			break
+		}
+		ins := code[pc]
+		b.WriteString("    ")
+		switch ins.Op {
+		case bytecode.CONST, bytecode.LOAD, bytecode.STORE:
+			fmt.Fprintf(b, "%s %d\n", ins.Op, ins.A)
+		case bytecode.LDC, bytecode.TRAP:
+			fmt.Fprintf(b, "%s %s\n", ins.Op, strconv.Quote(ins.Str))
+		case bytecode.NEW, bytecode.INSTANCEOF, bytecode.CHECKCAST:
+			fmt.Fprintf(b, "%s %s\n", ins.Op, ins.Sym)
+		case bytecode.NEWARRAY:
+			fmt.Fprintf(b, "%s %s\n", ins.Op, ins.Desc)
+		case bytecode.GETFIELD, bytecode.PUTFIELD, bytecode.GETSTATIC, bytecode.PUTSTATIC:
+			fmt.Fprintf(b, "%s %s %s\n", ins.Op, ins.Sym, ins.Desc)
+		case bytecode.INVOKEVIRTUAL, bytecode.INVOKESTATIC, bytecode.INVOKESPECIAL:
+			fmt.Fprintf(b, "%s %s%s\n", ins.Op, ins.Sym, ins.Desc)
+		default:
+			if ins.Op.IsBranch() {
+				fmt.Fprintf(b, "%s L%d\n", ins.Op, ins.A)
+			} else {
+				fmt.Fprintf(b, "%s\n", ins.Op)
+			}
+		}
+	}
+}

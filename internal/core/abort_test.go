@@ -1,0 +1,221 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"govolve/internal/classfile"
+	"govolve/internal/core"
+	"govolve/internal/storm"
+	"govolve/internal/upt"
+	"govolve/internal/vm"
+)
+
+// TestAbortPathsLeaveVMServiceable drives every negative path of the
+// update coordinator — wall-clock timeout, safe-point starvation via the
+// restricted-method blacklist, transformer cycle detection, and verifier
+// rejection of transformer bytecode that is broken beyond even the relaxed
+// mode — and after each one requires the VM to be fully serviceable: the
+// application threads keep running, no update debris (renamed classes,
+// transformer classes, barriers) survives, the whole-VM invariant sweep
+// passes, and a benign follow-up update still applies.
+func TestAbortPathsLeaveVMServiceable(t *testing.T) {
+	cases := []struct {
+		name string
+		// drive performs the failing update and asserts on its outcome.
+		drive func(t *testing.T, f *fixture, v1 *fixtureProgs)
+	}{
+		{
+			name: "timeout",
+			drive: func(t *testing.T, f *fixture, v1 *fixtureProgs) {
+				// Change the method that never leaves the stack; with a
+				// nanosecond budget the very first blocked attempt aborts.
+				v2 := f.prog(strings.Replace(abortV1, "const 1\n    ifne top", "const 2\n    ifne top", 1))
+				res, err := f.update("1", v1.prog, v2, "", core.Options{Timeout: time.Nanosecond})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Outcome != core.Aborted {
+					t.Fatalf("outcome = %v, want Aborted via timeout", res.Outcome)
+				}
+			},
+		},
+		{
+			name: "blacklist",
+			drive: func(t *testing.T, f *fixture, v1 *fixtureProgs) {
+				// Structurally the update is trivial (one added class), but
+				// the blacklist restricts the pinned spin method, so no DSU
+				// safe point is ever reachable.
+				v2 := f.prog(abortV1 + "\nclass Extra {\n  static method e()I {\n    const 0\n    return\n  }\n}\n")
+				res, err := f.update("1", v1.prog, v2, "", core.Options{MaxAttempts: 8},
+					upt.MethodRef{Class: "Loop", Name: "spin", Sig: "()V"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Outcome != core.Aborted {
+					t.Fatalf("outcome = %v, want Aborted via blacklist", res.Outcome)
+				}
+			},
+		},
+		{
+			name: "transformer cycle",
+			drive: func(t *testing.T, f *fixture, v1 *fixtureProgs) {
+				// Two Pair objects point at each other; a pathological
+				// transformer force-transforms its peer first, so the peer's
+				// transformer re-enters the first object mid-transform.
+				v2 := f.prog(strings.Replace(abortV1, "field w I", "field w I\n  field extra I", 1))
+				custom := `
+class JvolveTransformers {
+  static method jvolveObject(LPair;Lv1_Pair;)V {
+    load 1
+    getfield v1_Pair.peer LPair;
+    ifnull done
+    load 1
+    getfield v1_Pair.peer LPair;
+    invokestatic Jvolve.forceTransform(LObject;)V
+  done:
+    load 0
+    load 1
+    getfield v1_Pair.w I
+    putfield Pair.w I
+    return
+  }
+}
+`
+				res, err := f.update("1", v1.prog, v2, custom, core.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Outcome != core.Failed || res.Err == nil ||
+					!strings.Contains(res.Err.Error(), "cycle") {
+					t.Fatalf("outcome = %v err = %v, want transformer cycle failure", res.Outcome, res.Err)
+				}
+			},
+		},
+		{
+			name: "transformer rejected by verifier",
+			drive: func(t *testing.T, f *fixture, v1 *fixtureProgs) {
+				// The transformer underflows the operand stack — illegal
+				// even in relaxed mode, so the request must be refused
+				// before the VM stops a single thread.
+				v2 := f.prog(strings.Replace(abortV1, "field w I", "field w I\n  field extra I", 1))
+				custom := `
+class JvolveTransformers {
+  static method jvolveObject(LPair;Lv1_Pair;)V {
+    add
+    return
+  }
+}
+`
+				_, err := f.update("1", v1.prog, v2, custom, core.Options{})
+				if err == nil || !strings.Contains(err.Error(), "transformers rejected") {
+					t.Fatalf("err = %v, want transformer verification rejection", err)
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			f := newFixture(t, 1<<16)
+			v1 := &fixtureProgs{prog: f.load(abortV1)}
+			f.spawn("App")
+			f.vm.Step(8)
+
+			tc.drive(t, f, v1)
+
+			// --- serviceability, uniform across every path ---------------
+
+			// 1. No update debris: renamed old versions, transformer class,
+			//    pending flags, or return barriers.
+			if f.vm.Reg.LookupClass("v1_Pair") != nil || f.vm.Reg.LookupClass("v1_Loop") != nil {
+				t.Fatal("abort left renamed old classes registered")
+			}
+			if f.vm.Reg.LookupClass(upt.TransformersClassName) != nil {
+				t.Fatal("abort left the transformer class registered")
+			}
+			if f.vm.UpdatePending() {
+				t.Fatal("abort left the update-pending flag set")
+			}
+
+			// 2. The whole-VM invariant sweep holds.
+			if err := storm.CheckVM(f.vm); err != nil {
+				t.Fatalf("invariant sweep after abort: %v", err)
+			}
+
+			// 3. Application threads are alive and keep making progress.
+			f.vm.Step(50)
+			for _, th := range f.vm.Threads {
+				if th.Err != nil {
+					t.Fatalf("thread %s errored after abort: %v", th.Name, th.Err)
+				}
+				if th.State == vm.Dead {
+					t.Fatalf("thread %s died after abort", th.Name)
+				}
+			}
+
+			// 4. A benign follow-up update (added class only — no
+			//    restricted methods) still applies.
+			v3 := f.prog(abortV1 + "\nclass Followup {\n  static method ok()I {\n    const 7\n    return\n  }\n}\n")
+			res, err := f.update("2", v1.prog, v3, "", core.Options{})
+			if err != nil {
+				t.Fatalf("follow-up update: %v", err)
+			}
+			if res.Outcome != core.Applied {
+				t.Fatalf("follow-up outcome = %v err = %v, want Applied", res.Outcome, res.Err)
+			}
+			if err := storm.CheckVM(f.vm); err != nil {
+				t.Fatalf("invariant sweep after follow-up update: %v", err)
+			}
+		})
+	}
+}
+
+// fixtureProgs bundles the loaded v1 program for the table cases.
+type fixtureProgs struct{ prog *classfile.Program }
+
+// abortV1 is the shared baseline: a spinning thread that never leaves
+// Loop.spin (safe-point starvation fodder) plus a pair of mutually linked
+// heap objects (transformer cycle fodder).
+const abortV1 = `
+class Pair {
+  field peer LPair;
+  field w I
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    return
+  }
+}
+class Loop {
+  static method spin()V {
+  top:
+    const 1
+    ifne top
+    return
+  }
+}
+class App {
+  static field a LPair;
+  static method main()V {
+    new Pair
+    dup
+    invokespecial Pair.<init>()V
+    putstatic App.a LPair;
+    new Pair
+    dup
+    invokespecial Pair.<init>()V
+    getstatic App.a LPair;
+    swap
+    putfield Pair.peer LPair;
+    getstatic App.a LPair;
+    getfield Pair.peer LPair;
+    getstatic App.a LPair;
+    putfield Pair.peer LPair;
+    invokestatic Loop.spin()V
+    return
+  }
+}
+`

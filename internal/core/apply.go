@@ -162,6 +162,21 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	}
 	p.stats.PauseInstall = time.Since(tInstall)
 
+	// cleanup unlinks the renamed old versions and the transformer class so
+	// the next collection can reclaim them. It runs on the success path AND
+	// on every post-install failure path: once the new code is installed a
+	// failed update must still leave the VM with consistent metadata. The
+	// documented failure mode for a transformer error is data loss — some
+	// objects keep default field values — never dangling old-version
+	// classes, stale UpdatedTo links, or a live scratch region (§3.4).
+	cleanup := func() {
+		for _, r := range renames {
+			r.old.UpdatedTo = nil
+			reg.Unregister(r.old)
+		}
+		reg.Unregister(transformers)
+	}
+
 	// --- OSR ---------------------------------------------------------------
 	for _, job := range osrJobs {
 		f := job.frame
@@ -212,6 +227,13 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	// --- Transformers --------------------------------------------------------
 	tTr := time.Now()
 	if err := e.runTransformers(p, spec, transformers, gcRes); err != nil {
+		// Partially transformed objects keep default field values (data
+		// loss), but the metadata must come back consistent before the
+		// failure is reported so the VM stays serviceable.
+		if gcRes.ScratchWords > 0 {
+			e.VM.Heap.ResetScratch()
+		}
+		cleanup()
 		return fail(err)
 	}
 	p.stats.PauseTransform = time.Since(tTr)
@@ -227,6 +249,7 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	for _, name := range spec.AddedClasses {
 		if cls := reg.LookupClass(name); cls != nil {
 			if err := e.VM.RunClinit(cls); err != nil {
+				cleanup()
 				return fail(fmt.Errorf("core: <clinit> of added class %s: %w", name, err))
 			}
 		}
@@ -236,11 +259,7 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	// The old class versions and the transformer class have done their
 	// job; unregistering them lets the next collection reclaim everything
 	// (the update log is dropped with gcRes).
-	for _, r := range renames {
-		r.old.UpdatedTo = nil
-		reg.Unregister(r.old)
-	}
-	reg.Unregister(transformers)
+	cleanup()
 
 	p.stats.PauseTotal = time.Since(totalStart)
 	return &Result{Outcome: Applied}
@@ -287,7 +306,7 @@ func (e *Engine) runTransformers(p *Pending, spec *upt.Spec, transformers *rt.Cl
 		if p.Opts.FastDefaults && spec.DefaultObjectTransformers[newCls.Name] {
 			// A generated default is a pure copy of unchanged fields;
 			// run it as a bulk copy, skipping interpretation entirely.
-			nativeObjectTransform(v, newCls, oldCls, newAddr, oldCopy)
+			nativeObjectTransform(v, newCls, oldCls, spec.OldFlatDefs[oldCls.Name], newAddr, oldCopy)
 			status[newAddr] = stDone
 			return nil
 		}
@@ -316,7 +335,7 @@ func (e *Engine) runTransformers(p *Pending, spec *upt.Spec, transformers *rt.Cl
 		if p.Opts.FastDefaults && spec.DefaultClassTransformers[name] {
 			oldCls := v.Reg.LookupClass(spec.RenamedName(name))
 			if oldCls != nil {
-				nativeClassTransform(v, cls, oldCls)
+				nativeClassTransform(v, cls, oldCls, spec.OldFlatDefs[oldCls.Name])
 			}
 			continue
 		}

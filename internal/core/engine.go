@@ -127,6 +127,14 @@ func (p *Pending) Result() *Result { return p.result }
 type Engine struct {
 	VM *vm.VM
 
+	// AfterUpdate, if set, runs synchronously the instant an update request
+	// resolves (applied, aborted, or failed) — after barriers are cleared
+	// and the result is sealed, but before any application thread takes
+	// another step. The storm harness hangs its whole-VM invariant checker
+	// here so violations are caught at the exact safe point that produced
+	// them, not masked by subsequent mutator activity.
+	AfterUpdate func(*Result)
+
 	pending *Pending
 	// Updates records every finished update, in order.
 	Updates []*Result
@@ -417,4 +425,7 @@ func (e *Engine) finish(p *Pending, res *Result) {
 	e.Updates = append(e.Updates, res)
 	e.VM.ReleaseUpdateWaiters()
 	e.VM.SetUpdatePending(false)
+	if e.AfterUpdate != nil {
+		e.AfterUpdate(res)
+	}
 }

@@ -1,0 +1,165 @@
+package storm
+
+import (
+	"fmt"
+
+	"govolve/internal/gc"
+	"govolve/internal/rt"
+	"govolve/internal/vm"
+)
+
+// maxDeadErrorsGauge mirrors the VM's internal bound on the DeadErrors log
+// (vm.maxDeadErrors); the checker treats growth past it as a leak.
+const maxDeadErrorsGauge = 128
+
+// CheckVM runs the whole-VM invariant sweep: registry metadata, a full
+// reachable-heap walk, a stack walk over every live frame, and bounded
+// gauges on the scheduler and NetSim tables. It is read-only — safe to
+// call between any two scheduler slices — and is designed to run after
+// every update: the storm harness calls it from core.Engine.AfterUpdate,
+// and the E5 matrix test calls it after each of the 22 server updates.
+//
+// Invariants, in order:
+//
+//   - registry: no registered class is a renamed old version, none has a
+//     pending UpdatedTo link outside an update, every class's ref map and
+//     field offsets agree, every static slot is inside the JTOC;
+//   - heap: every reachable object has a valid class id, no reachable
+//     object carries a forwarding pointer or lives outside the current
+//     semi-space (enforced by gc.WalkReachable), and no reachable instance
+//     belongs to a renamed old version or to stale class metadata shadowed
+//     by a newer registration of the same name;
+//   - stacks: no frame executes invalidated compiled code, every pc is in
+//     range, no frame's compiled code bakes in offsets of a renamed or
+//     unregistered class, and no return barrier survives outside an update;
+//   - gauges: the dead-thread error log is bounded, thread states are
+//     well-formed, the DSU scratch region is empty between updates, and
+//     the NetSim connection/listener tables obey their reaping lifecycle.
+func CheckVM(v *vm.VM) error {
+	reg, h := v.Reg, v.Heap
+	pending := v.UpdatePending()
+
+	// --- registry metadata -------------------------------------------------
+	for _, cls := range reg.Classes() {
+		if cls.Renamed {
+			return fmt.Errorf("registry: renamed old version %s still registered", cls.Name)
+		}
+		if !pending && cls.UpdatedTo != nil {
+			return fmt.Errorf("registry: %s has UpdatedTo set outside an update", cls.Name)
+		}
+		if err := checkClassLayout(cls, len(reg.JTOC)); err != nil {
+			return err
+		}
+	}
+
+	// --- heap walk ---------------------------------------------------------
+	err := gc.WalkReachable(h, reg, v, func(a rt.Addr, cls *rt.Class) error {
+		if cls == nil {
+			return nil // array; structure validated by the walk itself
+		}
+		if cls.Renamed {
+			return fmt.Errorf("heap: reachable old-version instance @%d of %s", a, cls.Name)
+		}
+		if !pending && cls.UpdatedTo != nil {
+			return fmt.Errorf("heap: instance @%d of %s with pending UpdatedTo outside an update", a, cls.Name)
+		}
+		if reged := reg.LookupClass(cls.Name); reged != nil && reged != cls {
+			return fmt.Errorf("heap: instance @%d of %s uses stale metadata shadowed by a newer class of the same name", a, cls.Name)
+		}
+		// Unregistered but non-renamed classes are instances of deleted
+		// classes — legal: they live out their lives on the old code.
+		return checkClassLayout(cls, len(reg.JTOC))
+	})
+	if err != nil {
+		return err
+	}
+
+	// --- stack walk --------------------------------------------------------
+	for _, t := range v.Threads {
+		switch t.State {
+		case vm.Runnable, vm.Blocked, vm.UpdateWait, vm.Dead:
+		default:
+			return fmt.Errorf("thread %s: invalid state %v", t.Name, t.State)
+		}
+		if t.State == vm.Dead {
+			continue
+		}
+		if !pending && t.State == vm.UpdateWait {
+			return fmt.Errorf("thread %s parked in UpdateWait with no update pending", t.Name)
+		}
+		for i, f := range t.Frames {
+			cm := f.CM
+			if cm == nil {
+				return fmt.Errorf("thread %s frame %d: nil compiled method", t.Name, i)
+			}
+			if cm.Invalid {
+				return fmt.Errorf("thread %s frame %d: executing invalidated code of %s", t.Name, i, cm.Method.FullName())
+			}
+			if f.PC < 0 || f.PC >= len(cm.Code) {
+				return fmt.Errorf("thread %s frame %d: pc %d out of range [0,%d) in %s", t.Name, i, f.PC, len(cm.Code), cm.Method.FullName())
+			}
+			// A frame MAY keep executing a method of a renamed old class:
+			// that is precisely the frameFree case — the method's bytecode
+			// was unchanged by the update and its compiled code bakes in no
+			// stale offsets, so JVOLVE lets the activation run to completion
+			// on the old code. What it may NOT do is run invalidated code
+			// (checked above) or code with renamed/unregistered layout deps
+			// (checked below).
+			if !pending && f.Barrier {
+				return fmt.Errorf("thread %s frame %d: return barrier survives outside an update (%s)", t.Name, i, cm.Method.FullName())
+			}
+			for dep := range cm.LayoutDeps {
+				if dep.Renamed {
+					return fmt.Errorf("thread %s frame %d: %s bakes in offsets of renamed class %s", t.Name, i, cm.Method.FullName(), dep.Name)
+				}
+				if reg.LookupClass(dep.Name) != dep {
+					return fmt.Errorf("thread %s frame %d: %s bakes in offsets of unregistered class %s", t.Name, i, cm.Method.FullName(), dep.Name)
+				}
+			}
+		}
+	}
+
+	// --- gauges ------------------------------------------------------------
+	if n := len(v.DeadErrors); n > maxDeadErrorsGauge {
+		return fmt.Errorf("gauge: DeadErrors log grew to %d (> %d)", n, maxDeadErrorsGauge)
+	}
+	if h.HasScratch() && !pending && h.ScratchUsed() != 0 {
+		return fmt.Errorf("gauge: scratch region holds %d words outside an update", h.ScratchUsed())
+	}
+	if err := v.Net.CheckIntegrity(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkClassLayout validates one class's internal consistency: ref map
+// sized to the instance layout, every field offset in range and agreeing
+// with the ref map about reference-ness, no two fields sharing an offset,
+// and every static slot inside the JTOC.
+func checkClassLayout(cls *rt.Class, jtocLen int) error {
+	if cls.Size < rt.HeaderWords {
+		return fmt.Errorf("class %s: size %d smaller than header", cls.Name, cls.Size)
+	}
+	if len(cls.RefMap) != cls.Size-rt.HeaderWords {
+		return fmt.Errorf("class %s: ref map has %d entries for %d field words", cls.Name, len(cls.RefMap), cls.Size-rt.HeaderWords)
+	}
+	seen := make(map[int]string, len(cls.Fields))
+	for _, f := range cls.Fields {
+		if f.Offset < rt.HeaderWords || f.Offset >= cls.Size {
+			return fmt.Errorf("class %s: field %s offset %d outside instance [%d,%d)", cls.Name, f.Name, f.Offset, rt.HeaderWords, cls.Size)
+		}
+		if prev, dup := seen[f.Offset]; dup {
+			return fmt.Errorf("class %s: fields %s and %s share offset %d", cls.Name, prev, f.Name, f.Offset)
+		}
+		seen[f.Offset] = f.Name
+		if cls.RefMap[f.Offset-rt.HeaderWords] != f.Desc.IsRef() {
+			return fmt.Errorf("class %s: field %s (%s) disagrees with ref map at offset %d", cls.Name, f.Name, f.Desc, f.Offset)
+		}
+	}
+	for _, s := range cls.Statics {
+		if s.Slot < 0 || s.Slot >= jtocLen {
+			return fmt.Errorf("class %s: static %s slot %d outside JTOC (len %d)", cls.Name, s.Name, s.Slot, jtocLen)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package storm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// mutate applies one random legal mutation to cur, returning a short
+// description, or "" if the chosen mutation kind had no valid target this
+// round. base is the model the running program was built from (the "old"
+// side of the eventual diff); hierarchy mutations consult it so a batch of
+// mutations cannot compose into a super-chain permutation, which JVOLVE
+// rejects (upt.ValidateHierarchy).
+func mutate(cur, base *model, rng *rand.Rand) string {
+	switch rng.Intn(10) {
+	case 0, 1: // field add (the most common real-world change)
+		c := cur.classes[rng.Intn(len(cur.classes))]
+		f := cur.newField(cur.randomDesc(rng), rng.Intn(4) == 0)
+		c.fields = append(c.fields, f)
+		return fmt.Sprintf("add field %s.%s %s", c.name, f.name, f.desc)
+
+	case 2: // field delete
+		c := cur.classes[rng.Intn(len(cur.classes))]
+		for off, n := rng.Intn(maxi(len(c.fields), 1)), 0; n < len(c.fields); n++ {
+			i := (off + n) % len(c.fields)
+			if c.fields[i].name == hubOut {
+				continue
+			}
+			name := c.fields[i].name
+			c.fields = append(c.fields[:i], c.fields[i+1:]...)
+			return fmt.Sprintf("delete field %s.%s", c.name, name)
+		}
+		return ""
+
+	case 3: // field type or static-ness change
+		c := cur.classes[rng.Intn(len(cur.classes))]
+		for off, n := rng.Intn(maxi(len(c.fields), 1)), 0; n < len(c.fields); n++ {
+			i := (off + n) % len(c.fields)
+			f := &c.fields[i]
+			if f.name == hubOut {
+				continue
+			}
+			if rng.Intn(4) == 0 {
+				f.static = !f.static
+				return fmt.Sprintf("flip static %s.%s", c.name, f.name)
+			}
+			old := f.desc
+			for tries := 0; tries < 8 && f.desc == old; tries++ {
+				f.desc = cur.randomDesc(rng)
+			}
+			if f.desc == old {
+				f.desc = "I"
+				if old == "I" {
+					f.desc = "LObject;"
+				}
+			}
+			return fmt.Sprintf("retype %s.%s %s->%s", c.name, f.name, old, f.desc)
+		}
+		return ""
+
+	case 4: // method add
+		ci := rng.Intn(len(cur.classes))
+		c := cur.classes[ci]
+		sig := "(I)I"
+		if rng.Intn(3) == 0 {
+			sig = "(II)I"
+		}
+		mm := methodModel{name: cur.newMethodName(), sig: sig, bodySeed: rng.Int63()}
+		c.methods = append(c.methods, mm)
+		cur.addRandomEdges(rng, ci, len(c.methods)-1, 2)
+		return fmt.Sprintf("add method %s.%s%s", c.name, mm.name, sig)
+
+	case 5: // method delete (callers self-heal at emission)
+		c := cur.classes[rng.Intn(len(cur.classes))]
+		for off, n := rng.Intn(maxi(len(c.methods), 1)), 0; n < len(c.methods); n++ {
+			i := (off + n) % len(c.methods)
+			if c.methods[i].protected {
+				continue
+			}
+			name := c.methods[i].name
+			c.methods = append(c.methods[:i], c.methods[i+1:]...)
+			return fmt.Sprintf("delete method %s.%s", c.name, name)
+		}
+		return ""
+
+	case 6: // method signature change (forces a class update; callers adapt)
+		c := cur.classes[rng.Intn(len(cur.classes))]
+		for off, n := rng.Intn(maxi(len(c.methods), 1)), 0; n < len(c.methods); n++ {
+			i := (off + n) % len(c.methods)
+			mm := &c.methods[i]
+			if mm.protected {
+				continue
+			}
+			if mm.sig == "(I)I" {
+				mm.sig = "(II)I"
+			} else {
+				mm.sig = "(I)I"
+			}
+			return fmt.Sprintf("resig %s.%s -> %s", c.name, mm.name, mm.sig)
+		}
+		return ""
+
+	case 7: // method body change (new filler, or edge add/remove)
+		ci := rng.Intn(len(cur.classes))
+		c := cur.classes[ci]
+		if len(c.methods) == 0 {
+			return ""
+		}
+		mi := rng.Intn(len(c.methods))
+		mm := &c.methods[mi]
+		switch rng.Intn(4) {
+		case 0:
+			if len(mm.reads)+len(mm.calls) > 0 {
+				if len(mm.calls) > 0 && (len(mm.reads) == 0 || rng.Intn(2) == 0) {
+					mm.calls = mm.calls[:len(mm.calls)-1]
+				} else if len(mm.reads) > 0 {
+					mm.reads = mm.reads[:len(mm.reads)-1]
+				}
+				return fmt.Sprintf("drop edge in %s.%s", c.name, mm.name)
+			}
+			fallthrough
+		case 1:
+			cur.addRandomEdges(rng, ci, mi, 1)
+			return fmt.Sprintf("add edge in %s.%s", c.name, mm.name)
+		default:
+			mm.bodySeed = rng.Int63()
+			return fmt.Sprintf("rebody %s.%s", c.name, mm.name)
+		}
+
+	case 8: // class add (sometimes as a subclass: hierarchy growth)
+		super := "Object"
+		if rng.Intn(2) == 0 {
+			super = cur.classes[rng.Intn(len(cur.classes))].name
+		}
+		c := &classModel{name: cur.newClassName(), super: super}
+		for j, nf := 0, 1+rng.Intn(2); j < nf; j++ {
+			c.fields = append(c.fields, cur.newField(cur.randomDesc(rng), false))
+		}
+		c.fields = append(c.fields, cur.newField("I", true))
+		c.methods = append(c.methods, methodModel{
+			name: cur.newMethodName(), sig: "(I)I", bodySeed: rng.Int63(),
+		})
+		cur.classes = append(cur.classes, c)
+		// Wire it into the call graph from some earlier class.
+		ci := rng.Intn(len(cur.classes) - 1)
+		if len(cur.classes[ci].methods) > 0 {
+			mi := rng.Intn(len(cur.classes[ci].methods))
+			cur.classes[ci].methods[mi].calls = append(
+				cur.classes[ci].methods[mi].calls, callRef{c.name, c.methods[0].name})
+		}
+		return fmt.Sprintf("add class %s extends %s", c.name, super)
+
+	default: // class delete (leaves only) or reparent
+		if rng.Intn(2) == 0 {
+			for off, n := rng.Intn(len(cur.classes)), 0; n < len(cur.classes); n++ {
+				i := (off + n) % len(cur.classes)
+				c := cur.classes[i]
+				if c.name == hubClass || cur.hasSubclasses(c.name) {
+					continue
+				}
+				name := c.name
+				cur.classes = append(cur.classes[:i], cur.classes[i+1:]...)
+				// References to the deleted class lose their target type —
+				// exactly what UPT does to old flat defs (rewriteDeletedDesc).
+				for _, oc := range cur.classes {
+					for j := range oc.fields {
+						if oc.fields[j].desc == "L"+name+";" {
+							oc.fields[j].desc = "LObject;"
+						}
+					}
+				}
+				return fmt.Sprintf("delete class %s", name)
+			}
+			return ""
+		}
+		// Reparent: move a class under a new super that is a descendant of
+		// the class in neither the base nor the current model (JVOLVE
+		// forbids super-chain permutations).
+		for off, n := rng.Intn(len(cur.classes)), 0; n < len(cur.classes); n++ {
+			i := (off + n) % len(cur.classes)
+			c := cur.classes[i]
+			if c.name == hubClass {
+				continue
+			}
+			super := "Object"
+			if rng.Intn(2) == 0 {
+				super = cur.classes[rng.Intn(len(cur.classes))].name
+			}
+			if super == c.name || super == c.super ||
+				cur.descendantOf(super, c.name) || base.descendantOf(super, c.name) {
+				continue
+			}
+			old := c.super
+			c.super = super
+			return fmt.Sprintf("reparent %s: %s -> %s", c.name, old, super)
+		}
+		return ""
+	}
+}
+
+// mutateBatch applies between 1 and n mutations, retrying kinds that found
+// no valid target, and returns the descriptions of those that applied.
+func mutateBatch(cur, base *model, rng *rand.Rand, n int) []string {
+	want := 1 + rng.Intn(n)
+	var out []string
+	for tries := 0; len(out) < want && tries < 10*want; tries++ {
+		if d := mutate(cur, base, rng); d != "" {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

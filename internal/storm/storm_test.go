@@ -1,0 +1,99 @@
+package storm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStormShort is the bounded tier-1 configuration: three seeds, ~70
+// applied updates each (>=200 total), every invariant checked after every
+// update. This is the harness's acceptance floor; the soak configuration
+// lives behind `jvolve-bench -exp storm`.
+func TestStormShort(t *testing.T) {
+	const perSeed = 70
+	total := 0
+	for _, seed := range []int64{1, 2, 3} {
+		rep, err := Run(Config{Seed: seed, Updates: perSeed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Applied < perSeed {
+			t.Fatalf("seed %d: applied only %d/%d updates", seed, rep.Applied, perSeed)
+		}
+		if rep.Checks < rep.Applied {
+			t.Fatalf("seed %d: %d checks for %d applied updates — checker not running per update",
+				seed, rep.Checks, rep.Applied)
+		}
+		if rep.Probes == 0 {
+			t.Fatalf("seed %d: no bytecode probes executed", seed)
+		}
+		total += rep.Applied
+		t.Logf("seed %d: applied=%d aborted=%d rejected=%d checks=%d probes=%d steps=%d",
+			seed, rep.Applied, rep.Aborted, rep.Rejected, rep.Checks, rep.Probes, rep.Steps)
+	}
+	if total < 200 {
+		t.Fatalf("only %d total updates applied, want >= 200", total)
+	}
+}
+
+// TestStormConfigs exercises the orthogonal engine options: a DSU scratch
+// region for old copies, the FastDefaults native bulk-copy transformer
+// path, and opt-tier OSR. Each must satisfy the same invariants.
+func TestStormConfigs(t *testing.T) {
+	cfgs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"scratch", Config{Seed: 21, Updates: 25, ScratchWords: 1 << 14}},
+		{"fastdefaults", Config{Seed: 22, Updates: 25, FastDefaults: true}},
+		{"osropt", Config{Seed: 23, Updates: 25, OSROpt: true}},
+		{"all", Config{Seed: 24, Updates: 25, ScratchWords: 1 << 14, FastDefaults: true, OSROpt: true}},
+	}
+	for _, tc := range cfgs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := Run(tc.cfg)
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			if rep.Applied < tc.cfg.Updates {
+				t.Fatalf("applied only %d/%d updates", rep.Applied, tc.cfg.Updates)
+			}
+		})
+	}
+}
+
+// TestStormCatchesInjectedTransformerBug proves the oracle has teeth: with
+// a deliberately broken (empty-bodied) default object transformer injected
+// into each update, the shadow-model cross-check must fail, and the
+// failure message must carry the reproducing seed.
+func TestStormCatchesInjectedTransformerBug(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		rep, err := Run(Config{Seed: seed, Updates: 30, InjectTransformerBug: true})
+		if err == nil {
+			t.Fatalf("seed %d: injected transformer bug escaped the checker (report %+v)", seed, rep)
+		}
+		if !strings.Contains(err.Error(), "seed=") {
+			t.Fatalf("seed %d: failure message lacks reproducing seed: %v", seed, err)
+		}
+		t.Logf("seed %d caught: %v", seed, err)
+	}
+}
+
+// TestStormDeterministic re-runs the same seed and requires identical
+// reports — the reproducibility contract behind printing the seed on
+// failure.
+func TestStormDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Updates: 20}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed, different runs:\n  a=%+v\n  b=%+v", *a, *b)
+	}
+}

@@ -467,6 +467,9 @@ func (v *Verifier) VerifyMethod(c *classfile.Class, m *classfile.Method) error {
 			nexts = append(nexts, pc+1)
 		}
 		for _, n := range nexts {
+			if n < 0 || n >= len(m.Code) {
+				return fail(pc, "branch target %d out of range [0,%d)", n, len(m.Code))
+			}
 			merged, changed, err := v.merge(in[n], st)
 			if err != nil {
 				return fail(pc, "merge into %d: %v", n, err)

@@ -230,3 +230,37 @@ func (n *NetSim) Listening(port int64) bool {
 	l := n.listeners[port]
 	return l != nil && l.Open
 }
+
+// CheckIntegrity audits the NetSim tables against their documented
+// lifecycle invariants — used by the storm harness's whole-VM checker.
+// It verifies that no connection that should have been reaped is still
+// resident, that listener tombstones carry no backlog (unlisten drops it),
+// and that map keys agree with the entries stored under them. A backlog id
+// whose connection was client-closed (and possibly already reaped) is a
+// legal state: accept hands it out and every operation takes the
+// closed-connection path.
+func (n *NetSim) CheckIntegrity() error {
+	for id, c := range n.conns {
+		if c == nil {
+			return fmt.Errorf("netsim: conn table holds nil entry for id %d", id)
+		}
+		if c.ID != id {
+			return fmt.Errorf("netsim: conn %d stored under key %d", c.ID, id)
+		}
+		if c.Closed && c.ClientDone && len(c.ToServer) == 0 && len(c.ToClient) == 0 {
+			return fmt.Errorf("netsim: conn %d is fully finished but was not reaped", id)
+		}
+	}
+	for port, l := range n.listeners {
+		if l == nil {
+			return fmt.Errorf("netsim: listener table holds nil entry for port %d", port)
+		}
+		if l.Port != port {
+			return fmt.Errorf("netsim: listener for port %d stored under key %d", l.Port, port)
+		}
+		if !l.Open && len(l.Backlog) != 0 {
+			return fmt.Errorf("netsim: closed listener on port %d still queues %d connections", port, len(l.Backlog))
+		}
+	}
+	return nil
+}
