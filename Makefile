@@ -1,12 +1,14 @@
 # Tier-1 verification for govolve. `make verify` is what CI runs: build,
-# vet, the full test suite, and the same suite under the race detector.
+# vet, the full test suite, the same suite under the race detector, and a
+# focused race pass over the parallel-collection packages (gc, heap) whose
+# concurrency is the riskiest code in the tree.
 # The storm soak and the fuzzers run longer and are split out.
 
 GO ?= go
 
-.PHONY: verify build vet test race storm fuzz
+.PHONY: verify build vet test race race-gc storm bench-gc fuzz
 
-verify: build vet test race
+verify: build vet test race race-gc
 
 build:
 	$(GO) build ./...
@@ -20,9 +22,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass with more iterations over the parallel collector and
+# the heap's TLAB/forwarding machinery (also covered by `race`, but these
+# packages deserve the extra -count).
+race-gc:
+	$(GO) test -race -count=4 ./internal/gc/ ./internal/heap/
+
 # Long-running randomized soak (reproduce failures with -seed).
 storm:
 	$(GO) run ./cmd/jvolve-bench -exp storm -updates 500
+
+# GC-phase pause vs collection workers; writes BENCH_gc.json.
+bench-gc:
+	$(GO) run ./cmd/jvolve-bench -exp gcpause -gc-out BENCH_gc.json
 
 # Explore beyond the checked-in seed corpora (30s per target).
 fuzz:

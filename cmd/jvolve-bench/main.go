@@ -11,6 +11,7 @@
 //	jvolve-bench -exp scratch   # §3.5: old-copy scratch region memory pressure
 //	jvolve-bench -exp active    # §3.5: UpStare-style active-method updates
 //	jvolve-bench -exp storm     # randomized update-storm soak with invariant checking
+//	jvolve-bench -exp gcpause   # GC-phase pause vs collection workers (writes BENCH_gc.json)
 //	jvolve-bench -exp all
 //
 // -scale divides the microbenchmark object counts (1 = the paper's full
@@ -32,12 +33,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6|fig5|tables234|matrix|ablation|storm|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig5|tables234|matrix|ablation|transformers|scratch|active|gcpause|storm|all")
 	scale := flag.Int("scale", 8, "divide microbenchmark object counts by this factor (1 = paper scale)")
 	runs := flag.Int("runs", 3, "runs per measurement cell (paper: 21 for fig5)")
 	duration := flag.Duration("duration", 500*time.Millisecond, "measurement window per fig5/ablation run (paper: 60s)")
 	seed := flag.Int64("seed", 1, "storm: PRNG seed (failures print the seed to replay)")
 	updates := flag.Int("updates", 500, "storm: applied updates to drive per run")
+	gcOut := flag.String("gc-out", "BENCH_gc.json", "gcpause: output JSON path (empty disables the file)")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -181,20 +183,45 @@ func main() {
 		return nil
 	})
 
+	run("gcpause", func() error {
+		fmt.Println("=== Extension: parallel DSU collection (GC-phase pause vs workers) ===")
+		sizes := []int{240_000 / *scale, 960_000 / *scale}
+		if *scale <= 1 {
+			sizes = []int{240_000, 960_000}
+		}
+		rep, err := bench.RunGCPause(bench.GCPauseSweep{
+			Sizes: sizes, WorkerCounts: []int{1, 2, 4, 8},
+			Runs: *runs, FastDefaults: true,
+		}, os.Stderr)
+		if err != nil {
+			return err
+		}
+		bench.PrintGCPause(os.Stdout, rep)
+		if *gcOut != "" {
+			if err := bench.WriteGCPauseJSON(*gcOut, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *gcOut)
+		}
+		fmt.Println()
+		return nil
+	})
+
 	run("storm", func() error {
 		fmt.Println("=== Extension: randomized update-storm soak (whole-VM invariant checking) ===")
 		cfgs := []storm.Config{
 			{Seed: *seed, Updates: *updates},
 			{Seed: *seed, Updates: *updates, ScratchWords: 1 << 14, FastDefaults: true, OSROpt: true},
+			{Seed: *seed, Updates: *updates, FastDefaults: true, Workers: 4},
 		}
 		for _, cfg := range cfgs {
 			rep, err := storm.Run(cfg)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("seed=%d updates=%d scratch=%v fastdefaults=%v osropt=%v: "+
+			fmt.Printf("seed=%d updates=%d scratch=%v fastdefaults=%v osropt=%v workers=%d: "+
 				"applied=%d aborted=%d rejected=%d checks=%d probes=%d steps=%d\n",
-				rep.Seed, *updates, cfg.ScratchWords > 0, cfg.FastDefaults, cfg.OSROpt,
+				rep.Seed, *updates, cfg.ScratchWords > 0, cfg.FastDefaults, cfg.OSROpt, cfg.Workers,
 				rep.Applied, rep.Aborted, rep.Rejected, rep.Checks, rep.Probes, rep.Steps)
 		}
 		fmt.Println()
@@ -202,7 +229,7 @@ func main() {
 	})
 
 	switch *exp {
-	case "table1", "fig6", "fig5", "tables234", "matrix", "ablation", "transformers", "scratch", "active", "storm", "all":
+	case "table1", "fig6", "fig5", "tables234", "matrix", "ablation", "transformers", "scratch", "active", "gcpause", "storm", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "jvolve-bench: unknown experiment %q\n", *exp)
 		flag.Usage()

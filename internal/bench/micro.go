@@ -68,6 +68,11 @@ type MicroConfig struct {
 	// ScratchWords reserves a scratch region so DSU old copies bypass
 	// to-space (the §3.5 alternative).
 	ScratchWords int
+	// Workers selects the collection strategy: <=1 the serial Cheney
+	// collector, N>1 the parallel copy/scan collector with N workers
+	// (gc.AutoWorkers picks one per CPU). The parallel transformer bulk
+	// pass uses the same width.
+	Workers int
 }
 
 // MicroResult reports one run's pause decomposition — the three row groups
@@ -80,6 +85,12 @@ type MicroResult struct {
 	Transformed  int
 	CopiedWords  int // words the DSU collection placed in to-space
 	ScratchWords int // old-copy words diverted to the scratch region
+
+	// Parallel-collection decomposition (gcpause experiment).
+	GCWorkers     int   // copy/scan workers the DSU collection ran
+	GCWorkerWords []int // words copied per worker (nil when serial)
+	GCSteals      int64 // work-stealing deque pops
+	PairsLogged   int   // pairs the collection scheduled for transformation
 }
 
 // RunMicro builds a heap with the requested population and applies the
@@ -98,7 +109,8 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 	// DSU-triggered one, matching the paper's methodology.
 	live := cfg.Objects*8 + cfg.Objects + 2*rt.HeaderWords + 64
 	machine, err := vm.New(vm.Options{
-		HeapWords: 5 * live, ScratchWords: cfg.ScratchWords, Out: io.Discard,
+		HeapWords: 5 * live, ScratchWords: cfg.ScratchWords,
+		GCWorkers: cfg.Workers, Out: io.Discard,
 	})
 	if err != nil {
 		return nil, err
@@ -159,13 +171,17 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 		return nil, fmt.Errorf("bench: transformed %d, want %d", res.Stats.TransformedObjects, nChange)
 	}
 	return &MicroResult{
-		Config:       cfg,
-		GC:           res.Stats.PauseGC,
-		Transform:    res.Stats.PauseTransform,
-		Total:        res.Stats.PauseTotal,
-		Transformed:  res.Stats.TransformedObjects,
-		CopiedWords:  res.Stats.CopiedWords - res.Stats.ScratchWords,
-		ScratchWords: res.Stats.ScratchWords,
+		Config:        cfg,
+		GC:            res.Stats.PauseGC,
+		Transform:     res.Stats.PauseTransform,
+		Total:         res.Stats.PauseTotal,
+		Transformed:   res.Stats.TransformedObjects,
+		CopiedWords:   res.Stats.CopiedWords - res.Stats.ScratchWords,
+		ScratchWords:  res.Stats.ScratchWords,
+		GCWorkers:     res.Stats.GCWorkers,
+		GCWorkerWords: res.Stats.GCWorkerWords,
+		GCSteals:      res.Stats.GCSteals,
+		PairsLogged:   res.Stats.PairsLogged,
 	}, nil
 }
 

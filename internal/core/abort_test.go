@@ -1,12 +1,14 @@
 package core_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"govolve/internal/classfile"
 	"govolve/internal/core"
+	"govolve/internal/gc"
 	"govolve/internal/storm"
 	"govolve/internal/upt"
 	"govolve/internal/vm"
@@ -25,6 +27,12 @@ func TestAbortPathsLeaveVMServiceable(t *testing.T) {
 		name string
 		// drive performs the failing update and asserts on its outcome.
 		drive func(t *testing.T, f *fixture, v1 *fixtureProgs)
+		// heapDead marks the one genuinely unrecoverable path: the DSU
+		// collection itself OOMed, so the heap is gone by contract
+		// (gc.ErrToSpaceExhausted). Metadata-cleanup checks still apply,
+		// but heap-dependent serviceability (invariant sweep, follow-up
+		// update) is replaced by fatal-OOM assertions.
+		heapDead bool
 	}{
 		{
 			name: "timeout",
@@ -94,6 +102,35 @@ class JvolveTransformers {
 			},
 		},
 		{
+			name:     "OOM during DSU copy",
+			heapDead: true,
+			drive: func(t *testing.T, f *fixture, v1 *fixtureProgs) {
+				// Pin live Pair objects past ~70% of the semispace. The DSU
+				// collection must copy each one twice (old copy + wider
+				// shell, ~2.25x its size), so to-space exhausts mid-flight
+				// and the update fails with the typed OOM.
+				cls := f.vm.Reg.LookupClass("Pair")
+				for f.vm.Heap.UsedWords()*10 < f.vm.Heap.SemiWords()*7 {
+					a, ok := f.vm.Heap.AllocObject(cls)
+					if !ok {
+						t.Fatal("heap filled before reaching the target fraction")
+					}
+					f.vm.PushHandle(a)
+				}
+				v2 := f.prog(strings.Replace(abortV1, "field w I", "field w I\n  field extra I", 1))
+				res, err := f.update("1", v1.prog, v2, "", core.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Outcome != core.Failed {
+					t.Fatalf("outcome = %v, want Failed via collection OOM", res.Outcome)
+				}
+				if !errors.Is(res.Err, gc.ErrToSpaceExhausted) {
+					t.Fatalf("err = %v, want gc.ErrToSpaceExhausted in the chain", res.Err)
+				}
+			},
+		},
+		{
 			name: "transformer rejected by verifier",
 			drive: func(t *testing.T, f *fixture, v1 *fixtureProgs) {
 				// The transformer underflows the operand stack — illegal
@@ -138,6 +175,46 @@ class JvolveTransformers {
 			}
 			if f.vm.UpdatePending() {
 				t.Fatal("abort left the update-pending flag set")
+			}
+
+			if tc.heapDead {
+				// The heap is unusable by contract: the flip happened and an
+				// unknown subset of roots is forwarded. Heap-dependent
+				// serviceability cannot hold; instead the VM must have gone
+				// into the fatal-OOM regime.
+				if f.vm.FatalHeap == nil {
+					t.Fatal("collection failed but FatalHeap is not set")
+				}
+				if !errors.Is(f.vm.FatalHeap, gc.ErrToSpaceExhausted) {
+					t.Fatalf("FatalHeap = %v, want gc.ErrToSpaceExhausted in the chain", f.vm.FatalHeap)
+				}
+				// Any thread that needs an allocation now dies with the
+				// typed OOM, flagged distinctly in DeadErrors. Drain the
+				// residual bump space so the next `new Pair` must collect.
+				cls := f.vm.Reg.LookupClass("Pair")
+				for {
+					a, ok := f.vm.Heap.AllocObject(cls)
+					if !ok {
+						break
+					}
+					f.vm.PushHandle(a)
+				}
+				f.spawn("App")
+				f.vm.Step(200)
+				f.vm.ReapDeadThreads()
+				found := false
+				for _, de := range f.vm.DeadErrors {
+					if de.OOM {
+						found = true
+						if !errors.Is(de.Err, gc.ErrToSpaceExhausted) {
+							t.Fatalf("DeadError flagged OOM but err = %v", de.Err)
+						}
+					}
+				}
+				if !found {
+					t.Fatalf("no DeadError flagged OOM after fatal collection (dead errors: %v)", f.vm.DeadErrors)
+				}
+				return
 			}
 
 			// 2. The whole-VM invariant sweep holds.

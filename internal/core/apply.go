@@ -217,12 +217,24 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	tGC := time.Now()
 	gcRes, err := e.VM.GC.Collect(e.VM, true)
 	if err != nil {
+		// A failed collection leaves the heap unusable — the semispace flip
+		// already happened and an unknown subset of roots is forwarded. Mark
+		// it fatal so allocations fail fast with the typed cause
+		// (gc.ErrToSpaceExhausted surfaces in vm.DeadErrors with OOM set),
+		// and still restore metadata consistency before reporting: even a
+		// dead-heap VM must not dangle renamed classes or UpdatedTo links.
+		e.VM.MarkHeapUnusable(err)
+		cleanup()
 		return fail(fmt.Errorf("core: DSU collection: %w", err))
 	}
 	p.stats.PauseGC = time.Since(tGC)
 	p.stats.CopiedObjects = gcRes.CopiedObjects
 	p.stats.CopiedWords = gcRes.CopiedWords
 	p.stats.ScratchWords = gcRes.ScratchWords
+	p.stats.GCWorkers = gcRes.Workers
+	p.stats.GCWorkerWords = gcRes.WorkerWords
+	p.stats.GCSteals = gcRes.Steals
+	p.stats.PairsLogged = gcRes.PairsLogged
 
 	// --- Transformers --------------------------------------------------------
 	tTr := time.Now()
@@ -265,21 +277,30 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	return &Result{Outcome: Applied}
 }
 
+// Transformation status of one update-log pair, keyed by the new object.
+const (
+	stNone = iota
+	stInProgress
+	stDone
+)
+
 // runTransformers executes class transformers for every updated class, then
 // object transformers over the update log. Transformers run on synchronous
 // VM threads with collection disabled (the log holds raw addresses). The
 // Jvolve.forceTransform native lets a transformer eagerly transform an
 // object it must dereference; cycles abort the update (paper §3.4).
+//
+// With FastDefaults, pairs whose class carries a UPT-generated default
+// transformer are bulk-copied natively — and, when the collector is
+// configured with multiple workers, fanned out across a worker pool before
+// the serial log walk (each bulk transform touches only its own disjoint
+// pair, so the fan-out is race-free). Custom bytecode transformers always
+// run serially on the VM, which is not re-entrant.
 func (e *Engine) runTransformers(p *Pending, spec *upt.Spec, transformers *rt.Class, gcRes *gc.Result) error {
 	v := e.VM
 	v.GCDisabled = true
 	defer func() { v.GCDisabled = false }()
 
-	const (
-		stNone = iota
-		stInProgress
-		stDone
-	)
 	status := make(map[rt.Addr]int, len(gcRes.Log))
 
 	var transform func(newAddr rt.Addr) error
@@ -308,6 +329,7 @@ func (e *Engine) runTransformers(p *Pending, spec *upt.Spec, transformers *rt.Cl
 			// run it as a bulk copy, skipping interpretation entirely.
 			nativeObjectTransform(v, newCls, oldCls, spec.OldFlatDefs[oldCls.Name], newAddr, oldCopy)
 			status[newAddr] = stDone
+			p.stats.BulkTransformed++
 			return nil
 		}
 		sig := classfile.Sig("(L" + newCls.Name + ";L" + oldCls.Name + ";)V")
@@ -320,6 +342,7 @@ func (e *Engine) runTransformers(p *Pending, spec *upt.Spec, transformers *rt.Cl
 			return fmt.Errorf("core: object transformer for %s: %w", newCls.Name, err)
 		}
 		status[newAddr] = stDone
+		p.stats.BytecodeTransformed++
 		return nil
 	}
 
@@ -347,6 +370,13 @@ func (e *Engine) runTransformers(p *Pending, spec *upt.Spec, transformers *rt.Cl
 		if err := v.RunSynchronous("jvolveClass:"+name, tm, []rt.Value{rt.NullVal}); err != nil {
 			return fmt.Errorf("core: class transformer for %s: %w", name, err)
 		}
+	}
+	// Parallel bulk pass: default-transformer pairs not already force-
+	// transformed by a class transformer are pure disjoint field copies —
+	// fan them out before the serial walk. Pairs it completes are marked
+	// stDone, so the walk below skips them.
+	if p.Opts.FastDefaults {
+		e.bulkTransformObjects(p, spec, gcRes, status)
 	}
 	for _, pair := range gcRes.Log {
 		if err := transform(pair.New); err != nil {

@@ -73,11 +73,33 @@ type Stats struct {
 	CopiedWords  int
 	ScratchWords int
 
+	// GCWorkers is how many copy/scan workers the DSU collection ran (1 for
+	// the serial Cheney path); GCWorkerWords is the words copied per worker
+	// (nil when serial) — the load-balance evidence behind the gcpause
+	// experiment. GCSteals counts work-stealing deque pops. PairsLogged is
+	// the pairs the collection scheduled for transformation (it can exceed
+	// TransformedObjects only if the update fails mid-phase).
+	GCWorkers     int
+	GCWorkerWords []int
+	GCSteals      int64
+	PairsLogged   int
+
+	// Transformer-phase decomposition: BulkTransformed objects went through
+	// the native bulk-copy path (FastDefaults), BytecodeTransformed through
+	// the interpreted jvolveObject path. TransformWorkers is the fan-out
+	// width of the parallel bulk pass (0 when no bulk pass ran).
+	BulkTransformed     int
+	BytecodeTransformed int
+	TransformWorkers    int
+
 	SafePointDelay time.Duration // request → DSU safe point
 	PauseInstall   time.Duration
 	PauseGC        time.Duration
 	PauseTransform time.Duration
-	PauseTotal     time.Duration
+	// PauseTransformBulk is the slice of PauseTransform spent inside the
+	// parallel bulk fan-out.
+	PauseTransformBulk time.Duration
+	PauseTotal         time.Duration
 }
 
 // Result is the terminal state of an update request.

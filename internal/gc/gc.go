@@ -11,12 +11,22 @@
 package gc
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"govolve/internal/heap"
 	"govolve/internal/rt"
 )
+
+// ErrToSpaceExhausted is the typed fatal-OOM cause: a collection ran out of
+// copy space (to-space, or the scratch region during a DSU copy) mid-flight.
+// The semispace flip has already happened and an unknown subset of roots has
+// been forwarded, so the heap is unusable afterwards — callers must treat it
+// as fatal (the VM marks the heap dead and surfaces the error in DeadErrors)
+// rather than retry.
+var ErrToSpaceExhausted = errors.New("gc: copy space exhausted during collection")
 
 // Roots enumerates the VM's root set: thread stacks, JTOC reference slots,
 // intern-table entries, and native handles. The callback may rewrite each
@@ -51,35 +61,96 @@ type Result struct {
 
 	CopiedObjects int
 	CopiedWords   int
-	Transformed   int
+	// PairsLogged counts DSU pairs recorded in Log — objects the collection
+	// *scheduled* for transformation. (It was once called Transformed, which
+	// conflated it with the engine-side count of objects whose transformer
+	// actually ran; that number lives in core.Stats.)
+	PairsLogged int
 	// ScratchWords counts old-copy words placed in the scratch region
 	// (zero when the heap has none and old copies burn to-space instead).
 	ScratchWords int
 	Duration     time.Duration
+
+	// Workers is how many copy/scan workers ran (1 for the serial path).
+	Workers int
+	// WorkerWords is the words copied per worker (nil for the serial path)
+	// — the load-balance evidence behind the gcpause experiment.
+	WorkerWords []int
+	// TLABWaste is the to-space/scratch words abandoned in TLAB tails by a
+	// parallel collection (0 for the serial path).
+	TLABWaste int
+	// Steals counts work-stealing deque pops that took another worker's
+	// grey object.
+	Steals int64
 }
+
+// Options tunes a collector.
+type Options struct {
+	// Workers selects the collection strategy. <=0 or 1 runs the exact
+	// serial Cheney path (the default); N>1 runs the parallel copy/scan
+	// collector with N workers; AutoWorkers picks runtime.GOMAXPROCS.
+	Workers int
+	// TLABWords overrides the per-worker allocation-buffer carve size for
+	// parallel collections (default 4096, clamped so the worker buffers
+	// cannot strand more than ~1/8 of a semispace).
+	TLABWords int
+}
+
+// AutoWorkers selects one collection worker per available CPU.
+const AutoWorkers = -1
 
 // Collector is the collection machinery bound to one heap and registry.
 type Collector struct {
 	Heap *heap.Heap
 	Reg  *rt.Registry
+	Opts Options
 
 	// Collections counts completed collections.
 	Collections int
 }
 
-// New builds a collector.
+// New builds a serial collector.
 func New(h *heap.Heap, reg *rt.Registry) *Collector {
 	return &Collector{Heap: h, Reg: reg}
 }
 
+// NewWithOptions builds a collector with an explicit strategy.
+func NewWithOptions(h *heap.Heap, reg *rt.Registry, opts Options) *Collector {
+	return &Collector{Heap: h, Reg: reg, Opts: opts}
+}
+
+// EffectiveWorkers resolves Opts.Workers to the worker count a collection
+// will actually use.
+func (c *Collector) EffectiveWorkers() int {
+	w := c.Opts.Workers
+	if w == AutoWorkers {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Collect runs a full collection. With dsu set, instances of classes whose
 // UpdatedTo field is non-nil are transformed as described in the package
-// comment. A collection failure (to-space exhausted) is returned as an
-// error and leaves the heap unusable — the VM treats it as fatal OOM.
+// comment. A collection failure (ErrToSpaceExhausted) leaves the heap
+// unusable — the flip already happened and roots are partially forwarded —
+// and the VM treats it as fatal OOM (vm.MarkHeapUnusable).
+//
+// With Opts.Workers > 1 the parallel copy/scan collector runs instead; the
+// serial path below is byte-for-byte the original Cheney loop.
 func (c *Collector) Collect(roots Roots, dsu bool) (*Result, error) {
+	if w := c.EffectiveWorkers(); w > 1 {
+		return c.collectParallel(roots, dsu, w)
+	}
+	return c.collectSerial(roots, dsu)
+}
+
+func (c *Collector) collectSerial(roots Roots, dsu bool) (*Result, error) {
 	start := time.Now()
 	h := c.Heap
-	res := &Result{}
+	res := &Result{Workers: 1}
 	if dsu {
 		res.OldForNew = make(map[rt.Addr]rt.Addr)
 	}
@@ -125,7 +196,7 @@ func (c *Collector) Collect(roots Roots, dsu bool) (*Result, error) {
 					oldCopy, ok2 = h.Copy(a, size)
 				}
 				if !ok1 || !ok2 {
-					gcErr = fmt.Errorf("gc: space exhausted during DSU copy")
+					gcErr = fmt.Errorf("gc: DSU copy: %w", ErrToSpaceExhausted)
 					return
 				}
 				h.SetForward(a, shell)
@@ -133,14 +204,14 @@ func (c *Collector) Collect(roots Roots, dsu bool) (*Result, error) {
 				res.OldForNew[shell] = oldCopy
 				res.CopiedObjects += 2
 				res.CopiedWords += size + newCls.Size
-				res.Transformed++
+				res.PairsLogged++
 				v.Bits = uint64(shell)
 				return
 			}
 		}
 		to, ok := h.Copy(a, size)
 		if !ok {
-			gcErr = fmt.Errorf("gc: to-space exhausted")
+			gcErr = ErrToSpaceExhausted
 			return
 		}
 		h.SetForward(a, to)

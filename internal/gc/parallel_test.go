@@ -1,0 +1,326 @@
+package gc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"govolve/internal/classfile"
+	"govolve/internal/heap"
+	"govolve/internal/rt"
+)
+
+// The serial/parallel equivalence suite: the parallel copy/scan collector
+// must produce a heap observationally identical to the serial Cheney
+// collector's — an isomorphic reachable graph with identical values,
+// identical DSU pair sets, and a consistent OldForNew cache — differing
+// only in physical addresses (TLAB carving makes to-space placement
+// scheduling-dependent).
+
+// buildWorld deterministically builds a random object graph from seed:
+// Node instances (2 refs + 1 int), arrays of both kinds, shared structure
+// and cycles, plus unreachable garbage. Two calls with the same seed
+// produce word-for-word identical heaps, so one can be collected serially
+// and the other in parallel and the results compared.
+func buildWorld(t testing.TB, seed int64, semi int, scratch int) *world {
+	rng := rand.New(rand.NewSource(seed))
+	reg := rt.NewRegistry()
+	w := &world{reg: reg, h: heap.NewWithScratch(semi, scratch), cls: nodeClass(t, reg, "Node")}
+
+	n := 40 + rng.Intn(120)
+	addrs := make([]rt.Addr, n)
+	for i := range addrs {
+		addrs[i] = w.alloc(t, rng.Int63n(1<<30))
+	}
+	// Random edges (cycles and sharing included).
+	for i := range addrs {
+		if rng.Intn(2) == 0 {
+			w.h.SetFieldValue(addrs[i], offLeft, rt.RefVal(addrs[rng.Intn(n)]))
+		}
+		if rng.Intn(2) == 0 {
+			w.h.SetFieldValue(addrs[i], offRight, rt.RefVal(addrs[rng.Intn(n)]))
+		}
+	}
+	// A few arrays referencing nodes, and an int array.
+	for k := 0; k < 3; k++ {
+		arr, ok := w.h.AllocArray(true, 2+rng.Intn(6))
+		if !ok {
+			t.Fatal("array alloc")
+		}
+		for i := 0; i < w.h.ArrayLen(arr); i++ {
+			if rng.Intn(3) != 0 {
+				w.h.SetElem(arr, i, rt.RefVal(addrs[rng.Intn(n)]))
+			}
+		}
+		w.roots = append(w.roots, rt.RefVal(arr))
+	}
+	iarr, ok := w.h.AllocArray(false, 5)
+	if !ok {
+		t.Fatal("int array alloc")
+	}
+	for i := 0; i < 5; i++ {
+		w.h.SetElem(iarr, i, rt.IntVal(rng.Int63n(1<<20)))
+	}
+	w.roots = append(w.roots, rt.RefVal(iarr))
+	// Garbage: allocated, never rooted.
+	for k := 0; k < 10; k++ {
+		w.alloc(t, 999)
+	}
+	// Root a random subset of nodes.
+	for i := range addrs {
+		if rng.Intn(3) == 0 {
+			w.roots = append(w.roots, rt.RefVal(addrs[i]))
+		}
+	}
+	w.roots = append(w.roots, rt.RefVal(addrs[0]))
+	return w
+}
+
+// addUpdatedTo marks the Node class as updated to a wider NodeV2 in w's
+// registry, mirroring what the DSU engine's install phase does.
+func addUpdatedTo(t testing.TB, w *world) *rt.Class {
+	newDef, err := classfile.NewClass("NodeV2", "").
+		Field("val", "I").
+		Field("left", "LNodeV2;").
+		Field("right", "LNodeV2;").
+		Field("extra", "I").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCls, err := w.reg.Load(newDef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.cls.UpdatedTo = newCls
+	return newCls
+}
+
+// isoCheck walks the two post-collection heaps in lockstep from paired
+// roots, requiring a graph isomorphism: same kinds, same class IDs, same
+// non-reference words, same null-ness, and a bijective address pairing
+// (sharing preserved both ways). With dsu set it additionally pairs each
+// reachable new object's old copy through the two OldForNew caches.
+func isoCheck(t *testing.T, wa, wb *world, ra, rb *Result, dsu bool) {
+	t.Helper()
+	aToB := make(map[rt.Addr]rt.Addr)
+	bToA := make(map[rt.Addr]rt.Addr)
+	var compare func(a, b rt.Addr)
+	compare = func(a, b rt.Addr) {
+		if (a == rt.Null) != (b == rt.Null) {
+			t.Fatalf("null-ness mismatch: @%d vs @%d", a, b)
+		}
+		if a == rt.Null {
+			return
+		}
+		if prev, ok := aToB[a]; ok {
+			if prev != b {
+				t.Fatalf("sharing broken: @%d maps to @%d and @%d", a, prev, b)
+			}
+			return
+		}
+		if prev, ok := bToA[b]; ok {
+			t.Fatalf("sharing broken: @%d already paired with @%d", b, prev)
+		}
+		aToB[a], bToA[b] = b, a
+		ha, hb := wa.h, wb.h
+		if ha.IsArray(a) != hb.IsArray(b) {
+			t.Fatalf("kind mismatch @%d/@%d", a, b)
+		}
+		if ha.IsArray(a) {
+			if ha.ArrayLen(a) != hb.ArrayLen(b) || ha.ArrayElemIsRef(a) != hb.ArrayElemIsRef(b) {
+				t.Fatalf("array shape mismatch @%d/@%d", a, b)
+			}
+			for i := 0; i < ha.ArrayLen(a); i++ {
+				va, vb := ha.Elem(a, i), hb.Elem(b, i)
+				if ha.ArrayElemIsRef(a) {
+					compare(va.Ref(), vb.Ref())
+				} else if va.Bits != vb.Bits {
+					t.Fatalf("int array divergence @%d[%d]", a, i)
+				}
+			}
+			return
+		}
+		if ha.ClassID(a) != hb.ClassID(b) {
+			t.Fatalf("class mismatch @%d(%d) vs @%d(%d)", a, ha.ClassID(a), b, hb.ClassID(b))
+		}
+		cls := wa.reg.ClassByID(ha.ClassID(a))
+		if cls == nil {
+			t.Fatalf("unknown class id %d", ha.ClassID(a))
+		}
+		for i, isRef := range cls.RefMap {
+			va := ha.FieldValue(a, rt.HeaderWords+i, isRef)
+			vb := hb.FieldValue(b, rt.HeaderWords+i, isRef)
+			if isRef {
+				compare(va.Ref(), vb.Ref())
+			} else if va.Bits != vb.Bits {
+				t.Fatalf("field divergence %s@%d slot %d: %d vs %d", cls.Name, a, i, va.Bits, vb.Bits)
+			}
+		}
+		if dsu {
+			oa, oka := ra.OldForNew[a]
+			ob, okb := rb.OldForNew[b]
+			if oka != okb {
+				t.Fatalf("pair-ness mismatch @%d/@%d", a, b)
+			}
+			if oka {
+				compare(oa, ob)
+			}
+		}
+	}
+	if len(wa.roots) != len(wb.roots) {
+		t.Fatalf("root count mismatch %d vs %d", len(wa.roots), len(wb.roots))
+	}
+	for i := range wa.roots {
+		compare(wa.roots[i].Ref(), wb.roots[i].Ref())
+	}
+}
+
+func runEquivalence(t *testing.T, seed int64, dsu bool, scratch int, workers int) {
+	const semi = 1 << 13
+	wa := buildWorld(t, seed, semi, scratch)
+	wb := buildWorld(t, seed, semi, scratch)
+	if dsu {
+		addUpdatedTo(t, wa)
+		addUpdatedTo(t, wb)
+	}
+
+	ra, err := New(wa.h, wa.reg).Collect(wa, dsu)
+	if err != nil {
+		t.Fatalf("serial collect: %v", err)
+	}
+	rb, err := NewWithOptions(wb.h, wb.reg, Options{Workers: workers}).Collect(wb, dsu)
+	if err != nil {
+		t.Fatalf("parallel collect: %v", err)
+	}
+
+	if ra.Workers != 1 || rb.Workers != workers {
+		t.Fatalf("worker counts: serial %d, parallel %d (want 1, %d)", ra.Workers, rb.Workers, workers)
+	}
+	if ra.CopiedObjects != rb.CopiedObjects {
+		t.Fatalf("copied objects: serial %d, parallel %d", ra.CopiedObjects, rb.CopiedObjects)
+	}
+	if ra.CopiedWords != rb.CopiedWords {
+		t.Fatalf("copied words: serial %d, parallel %d", ra.CopiedWords, rb.CopiedWords)
+	}
+	if ra.PairsLogged != rb.PairsLogged || len(ra.Log) != len(rb.Log) {
+		t.Fatalf("pair counts: serial %d, parallel %d", len(ra.Log), len(rb.Log))
+	}
+	// Per-worker accounting must fold back to the totals, and the merged
+	// log must come out sorted by new-shell address (the deterministic
+	// merge contract).
+	if len(rb.WorkerWords) != workers {
+		t.Fatalf("WorkerWords has %d entries, want %d", len(rb.WorkerWords), workers)
+	}
+	sum := 0
+	for _, ww := range rb.WorkerWords {
+		sum += ww
+	}
+	if sum != rb.CopiedWords {
+		t.Fatalf("per-worker words sum %d != CopiedWords %d", sum, rb.CopiedWords)
+	}
+	for i := 1; i < len(rb.Log); i++ {
+		if rb.Log[i-1].New >= rb.Log[i].New {
+			t.Fatal("merged log not sorted by new-shell address")
+		}
+	}
+	for _, p := range rb.Log {
+		if rb.OldForNew[p.New] != p.OldCopy {
+			t.Fatal("OldForNew inconsistent with merged log")
+		}
+	}
+	isoCheck(t, wa, wb, ra, rb, dsu)
+}
+
+func TestParallelCollectEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		runEquivalence(t, seed, false, 0, 4)
+	}
+}
+
+func TestParallelDSUCollectEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		runEquivalence(t, seed, true, 0, 4)
+	}
+}
+
+func TestParallelDSUCollectEquivalenceScratch(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		runEquivalence(t, seed, true, 1<<13, 4)
+	}
+	// And at other worker counts, to exercise the chunking edges.
+	runEquivalence(t, 11, true, 1<<13, 2)
+	runEquivalence(t, 12, true, 1<<13, 7)
+}
+
+// TestParallelCollectToSpaceExhaustion mirrors the serial OOM test: a DSU
+// collection that cannot fit old copy + shell must fail with the typed
+// error — and terminate (claim-spinners observe the failure flag instead of
+// hanging on the sentinel).
+func TestParallelCollectToSpaceExhaustion(t *testing.T) {
+	w := newWorld(t, 64)
+	var prev rt.Addr
+	for {
+		a, ok := w.h.AllocObject(w.cls)
+		if !ok {
+			break
+		}
+		w.h.SetFieldValue(a, offLeft, rt.RefVal(prev))
+		prev = a
+	}
+	w.roots = []rt.Value{rt.RefVal(prev)}
+	newDef, _ := classfile.NewClass("Node2", "").
+		Field("val", "I").Field("left", "LNode2;").Field("right", "LNode2;").
+		Build()
+	newCls, err := w.reg.Load(newDef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.cls.UpdatedTo = newCls
+	_, err = NewWithOptions(w.h, w.reg, Options{Workers: 4}).Collect(w, true)
+	if err == nil {
+		t.Fatal("expected to-space exhaustion error")
+	}
+	if !errors.Is(err, ErrToSpaceExhausted) {
+		t.Fatalf("error %v is not ErrToSpaceExhausted", err)
+	}
+}
+
+// TestSerialCollectTypedOOM pins the serial path to the same typed error.
+func TestSerialCollectTypedOOM(t *testing.T) {
+	w := newWorld(t, 64)
+	var prev rt.Addr
+	for {
+		a, ok := w.h.AllocObject(w.cls)
+		if !ok {
+			break
+		}
+		w.h.SetFieldValue(a, offLeft, rt.RefVal(prev))
+		prev = a
+	}
+	w.roots = []rt.Value{rt.RefVal(prev)}
+	newDef, _ := classfile.NewClass("Node2", "").
+		Field("val", "I").Field("left", "LNode2;").Field("right", "LNode2;").
+		Build()
+	newCls, err := w.reg.Load(newDef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.cls.UpdatedTo = newCls
+	_, err = New(w.h, w.reg).Collect(w, true)
+	if !errors.Is(err, ErrToSpaceExhausted) {
+		t.Fatalf("serial DSU OOM %v is not ErrToSpaceExhausted", err)
+	}
+}
+
+// TestAutoWorkers pins the AutoWorkers resolution.
+func TestAutoWorkers(t *testing.T) {
+	c := NewWithOptions(heap.New(1024), rt.NewRegistry(), Options{Workers: AutoWorkers})
+	if c.EffectiveWorkers() < 1 {
+		t.Fatal("AutoWorkers resolved below 1")
+	}
+	c2 := New(heap.New(1024), rt.NewRegistry())
+	if c2.EffectiveWorkers() != 1 {
+		t.Fatal("default collector is not serial")
+	}
+}

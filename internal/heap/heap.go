@@ -7,6 +7,7 @@ package heap
 
 import (
 	"fmt"
+	"sync"
 
 	"govolve/internal/rt"
 )
@@ -30,13 +31,21 @@ const (
 // alternative for DSU old copies: "copy the old versions to a special block
 // of memory and reclaim it when the collection completes" — old copies live
 // there only for the duration of the transformer phase, so they never
-// consume to-space. Not safe for concurrent use; the VM scheduler
-// serializes all access (the VM is a green-thread machine).
+// consume to-space. Mutator access is not synchronized; the VM scheduler
+// serializes it (the VM is a green-thread machine). During a stop-the-world
+// parallel collection, workers allocate through TLABs (carved under mu) and
+// synchronize header-word forwarding with TryForward/PublishForward — those
+// entry points, and only those, are safe for concurrent use.
 type Heap struct {
 	words []uint64
 	semi  rt.Addr // words per semispace
 	cur   int     // current allocation space, 0 or 1
 	alloc rt.Addr // next free word (absolute)
+
+	// mu guards the bump pointers (alloc, scratchAlloc) during parallel
+	// collections: TLAB refills and retires take it. The serial mutator
+	// and serial collector never do.
+	mu sync.Mutex
 
 	scratchSize  rt.Addr
 	scratchAlloc rt.Addr // next free scratch word (absolute), 0 when absent
@@ -131,9 +140,10 @@ func (h *Heap) Alloc(size int) (rt.Addr, bool) {
 	}
 	a := h.alloc
 	h.alloc += rt.Addr(size)
-	for i := a; i < h.alloc; i++ {
-		h.words[i] = 0
-	}
+	// clear compiles to a memclr, unlike the equivalent index loop. Copy
+	// paths (Copy, CopyWords, TLAB old-copy allocation) skip zeroing
+	// entirely — they overwrite every word immediately.
+	clear(h.words[a:h.alloc])
 	h.Allocs++
 	h.AllocWords += int64(size)
 	return a, true

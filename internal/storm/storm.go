@@ -29,6 +29,11 @@ type Config struct {
 	MaxAttempts  int // safe-point attempts before abort (default 400)
 	FastDefaults bool
 	OSROpt       bool
+	// Workers selects the collection strategy (<=1 serial, N>1 the
+	// parallel copy/scan collector). The storm's invariants are
+	// strategy-blind, so running the same seed at different worker counts
+	// is an end-to-end serial/parallel equivalence check.
+	Workers int
 
 	// InjectTransformerBug (test-only) overrides the first default object
 	// transformer of every update with an empty body, simulating a broken
@@ -102,11 +107,11 @@ type refArray struct {
 }
 
 type runner struct {
-	cfg  Config
-	rng  *rand.Rand
-	v    *vm.VM
-	eng  *core.Engine
-	rep  *Report
+	cfg Config
+	rng *rand.Rand
+	v   *vm.VM
+	eng *core.Engine
+	rep *Report
 
 	model *model
 	prog  *classfile.Program
@@ -176,6 +181,7 @@ func (r *runner) boot() error {
 	v, err := vm.New(vm.Options{
 		HeapWords:    r.cfg.HeapWords,
 		ScratchWords: r.cfg.ScratchWords,
+		GCWorkers:    r.cfg.Workers,
 		Out:          io.Discard,
 	})
 	if err != nil {

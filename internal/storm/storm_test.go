@@ -48,6 +48,8 @@ func TestStormConfigs(t *testing.T) {
 		{"fastdefaults", Config{Seed: 22, Updates: 25, FastDefaults: true}},
 		{"osropt", Config{Seed: 23, Updates: 25, OSROpt: true}},
 		{"all", Config{Seed: 24, Updates: 25, ScratchWords: 1 << 14, FastDefaults: true, OSROpt: true}},
+		{"parallel", Config{Seed: 25, Updates: 25, Workers: 4}},
+		{"parallel-scratch-fast", Config{Seed: 26, Updates: 25, ScratchWords: 1 << 14, FastDefaults: true, Workers: 4}},
 	}
 	for _, tc := range cfgs {
 		tc := tc
@@ -95,5 +97,29 @@ func TestStormDeterministic(t *testing.T) {
 	}
 	if *a != *b {
 		t.Fatalf("same seed, different runs:\n  a=%+v\n  b=%+v", *a, *b)
+	}
+}
+
+// TestStormSerialParallelEquivalent runs the same seeds under the serial
+// collector and the 4-worker parallel collector. The storm's shadow oracle
+// checks every post-transform field value, every static, every array, and
+// every probe after each update, so both runs passing already proves
+// observational equivalence object-by-object; requiring the two reports to
+// be identical additionally pins the whole trajectory (applied/aborted
+// counts, probe counts, step counts) to be collection-strategy-blind.
+func TestStormSerialParallelEquivalent(t *testing.T) {
+	for _, seed := range []int64{5, 6} {
+		serial, err := Run(Config{Seed: seed, Updates: 20, FastDefaults: true})
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		parallel, err := Run(Config{Seed: seed, Updates: 20, FastDefaults: true, Workers: 4})
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		if *serial != *parallel {
+			t.Fatalf("seed %d: collection strategy changed the trajectory:\n  serial=%+v\n  parallel=%+v",
+				seed, *serial, *parallel)
+		}
 	}
 }

@@ -31,6 +31,11 @@ type Options struct {
 	// Quantum is the number of instructions a thread runs before the
 	// scheduler switches at the next yield point (default 400).
 	Quantum int
+	// GCWorkers selects the collection strategy: 0 or 1 runs the serial
+	// collector (default), N>1 the parallel copy/scan collector with N
+	// workers, gc.AutoWorkers one worker per CPU. Parallelism shortens the
+	// stop-the-world DSU pause; application threads stay green either way.
+	GCWorkers int
 	// Out receives System.print output (default os.Stdout).
 	Out io.Writer
 	// OptThreshold overrides the adaptive recompilation threshold.
@@ -122,6 +127,13 @@ type VM struct {
 	// transformer phase holds raw heap addresses in its update log.
 	GCDisabled bool
 
+	// FatalHeap is set when a collection fails (gc.ErrToSpaceExhausted):
+	// the semispace flip already happened and the roots are partially
+	// forwarded, so the heap is unusable. Every subsequent allocation
+	// short-circuits with this error instead of re-collecting a broken
+	// heap; threads die with it and the OOM is flagged in DeadErrors.
+	FatalHeap error
+
 	// DSUForceTransform is installed by the DSU engine while transformers
 	// run; the Jvolve.forceTransform native calls it.
 	DSUForceTransform func(rt.Addr) error
@@ -154,7 +166,7 @@ func New(opts Options) (*VM, error) {
 	v := &VM{
 		Reg:              reg,
 		Heap:             h,
-		GC:               gc.New(h, reg),
+		GC:               gc.NewWithOptions(h, reg, gc.Options{Workers: opts.GCWorkers}),
 		JIT:              jit.New(reg),
 		Net:              NewNetSim(),
 		Out:              opts.Out,
@@ -433,7 +445,17 @@ type DeadError struct {
 	ThreadID int
 	Name     string
 	Err      error
+	// OOM is set when the thread died of the fatal collection failure
+	// (gc.ErrToSpaceExhausted): the heap is unusable and the death is a
+	// machine-level out-of-memory, not a bug in the thread's own code.
+	OOM bool
 }
+
+// ReapDeadThreads immediately reaps finished threads (errors move to
+// DeadErrors) instead of waiting for reapThreshold to accumulate. Drivers
+// use it to observe terminal thread errors promptly — e.g. the typed OOM
+// flag after a fatal collection failure.
+func (v *VM) ReapDeadThreads() { v.reapDead() }
 
 // reapDead drops finished threads from the thread table. Long-running
 // servers spawn a handler thread per connection; without reaping, the table
@@ -448,7 +470,12 @@ func (v *VM) reapDead() {
 			continue
 		}
 		if t.Err != nil {
-			v.DeadErrors = append(v.DeadErrors, DeadError{ThreadID: t.ID, Name: t.Name, Err: t.Err})
+			v.DeadErrors = append(v.DeadErrors, DeadError{
+				ThreadID: t.ID,
+				Name:     t.Name,
+				Err:      t.Err,
+				OOM:      errors.Is(t.Err, gc.ErrToSpaceExhausted),
+			})
 			if len(v.DeadErrors) > maxDeadErrors {
 				v.DeadErrors = v.DeadErrors[len(v.DeadErrors)-maxDeadErrors:]
 			}
@@ -572,6 +599,14 @@ func (v *VM) runSlice(t *Thread) {
 // ForEachRoot enumerates every root: JTOC reference slots, interned
 // strings, pinned handles, and all frame locals and operand stacks.
 func (v *VM) ForEachRoot(fn func(*rt.Value)) {
+	v.forEachGlobalRoot(fn)
+	for _, t := range v.Threads {
+		forEachThreadRoot(t, fn)
+	}
+}
+
+// forEachGlobalRoot covers the non-stack roots: JTOC, interns, handles.
+func (v *VM) forEachGlobalRoot(fn func(*rt.Value)) {
 	for i := range v.Reg.JTOC {
 		if v.Reg.JTOC[i].IsRef {
 			fn(&v.Reg.JTOC[i])
@@ -587,25 +622,69 @@ func (v *VM) ForEachRoot(fn func(*rt.Value)) {
 			fn(&v.Handles[i])
 		}
 	}
-	for _, t := range v.Threads {
-		for _, f := range t.Frames {
-			for i := range f.Locals {
-				if f.Locals[i].IsRef {
-					fn(&f.Locals[i])
-				}
+}
+
+// forEachThreadRoot covers one thread's frame locals and operand stacks.
+func forEachThreadRoot(t *Thread, fn func(*rt.Value)) {
+	for _, f := range t.Frames {
+		for i := range f.Locals {
+			if f.Locals[i].IsRef {
+				fn(&f.Locals[i])
 			}
-			for i := range f.Stack {
-				if f.Stack[i].IsRef {
-					fn(&f.Stack[i])
-				}
+		}
+		for i := range f.Stack {
+			if f.Stack[i].IsRef {
+				fn(&f.Stack[i])
 			}
 		}
 	}
 }
 
-// CollectGarbage runs a non-DSU collection.
+// RootChunks implements gc.ChunkedRoots: it splits the root set into n
+// disjoint enumerators for the parallel collector. Chunk 0 takes the
+// global tables (JTOC, interns, handles); thread stacks — in a server the
+// bulk of the slot count — are dealt round-robin across all n chunks. The
+// chunks only partition existing slots, so they are safe to enumerate
+// concurrently while the world is stopped.
+func (v *VM) RootChunks(n int) []gc.Roots {
+	if n <= 1 {
+		return []gc.Roots{gc.RootsFunc(v.ForEachRoot)}
+	}
+	chunks := make([]gc.Roots, n)
+	for i := 0; i < n; i++ {
+		i := i
+		chunks[i] = gc.RootsFunc(func(fn func(*rt.Value)) {
+			if i == 0 {
+				v.forEachGlobalRoot(fn)
+			}
+			for ti := i; ti < len(v.Threads); ti += n {
+				forEachThreadRoot(v.Threads[ti], fn)
+			}
+		})
+	}
+	return chunks
+}
+
+// The VM is the parallel collector's partitioned root provider.
+var _ gc.ChunkedRoots = (*VM)(nil)
+
+// CollectGarbage runs a non-DSU collection. A collection error is fatal:
+// the heap is left unusable (see gc.ErrToSpaceExhausted) and the VM is
+// marked accordingly.
 func (v *VM) CollectGarbage() (*gc.Result, error) {
-	return v.GC.Collect(v, false)
+	res, err := v.GC.Collect(v, false)
+	if err != nil {
+		v.MarkHeapUnusable(err)
+	}
+	return res, err
+}
+
+// MarkHeapUnusable records a fatal collection failure. It is idempotent;
+// the first cause wins.
+func (v *VM) MarkHeapUnusable(err error) {
+	if v.FatalHeap == nil {
+		v.FatalHeap = fmt.Errorf("vm: heap unusable after failed collection: %w", err)
+	}
 }
 
 // allocObject allocates an instance, collecting once on failure.
@@ -648,6 +727,9 @@ func (v *VM) allocArray(elemRef bool, n int) (rt.Addr, error) {
 // heap: "five times the minimum required size, such that the only
 // collections are those DSU triggers").
 func (v *VM) gcForAlloc() error {
+	if v.FatalHeap != nil {
+		return v.FatalHeap
+	}
 	if v.GCDisabled {
 		return fmt.Errorf("vm: allocation failed while GC is disabled (transformer phase)")
 	}
