@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race race-gc storm bench-gc fuzz
+.PHONY: verify build vet test race race-gc obs-gate storm bench-gc bench-obs trace fuzz
 
-verify: build vet test race race-gc
+verify: build vet test race race-gc obs-gate
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,14 @@ race:
 race-gc:
 	$(GO) test -race -count=4 ./internal/gc/ ./internal/heap/
 
+# Observability cost gate: a disabled flight recorder must add zero
+# allocations and ≤2% dispatch overhead, including under the race detector
+# (also covered by `test`/`race`; this target pins it by name and prints the
+# benchmark so regressions are visible, not just pass/fail).
+obs-gate:
+	$(GO) test -race -run 'TestObsDisabled' -count=1 ./internal/vm/ ./internal/obs/
+	$(GO) test -run '^$$' -bench 'BenchmarkObsDisabledOverhead|BenchmarkInterpDispatch' -benchtime 200ms ./internal/vm/
+
 # Long-running randomized soak (reproduce failures with -seed).
 storm:
 	$(GO) run ./cmd/jvolve-bench -exp storm -updates 500
@@ -35,6 +43,16 @@ storm:
 # GC-phase pause vs collection workers; writes BENCH_gc.json.
 bench-gc:
 	$(GO) run ./cmd/jvolve-bench -exp gcpause -gc-out BENCH_gc.json
+
+# DSU pause-decomposition histograms (E1 webserver, E10 micro); writes
+# BENCH_obs.json.
+bench-obs:
+	$(GO) run ./cmd/jvolve-bench -exp obs -obs-out BENCH_obs.json
+
+# Demo: record one fig5 updated run and export the DSU timeline as a
+# Chrome trace — open trace.json in https://ui.perfetto.dev.
+trace:
+	$(GO) run ./cmd/jvolve-bench -exp fig5 -runs 1 -duration 200ms -trace trace.json
 
 # Explore beyond the checked-in seed corpora (30s per target).
 fuzz:

@@ -12,6 +12,7 @@
 //	jvolve-bench -exp active    # §3.5: UpStare-style active-method updates
 //	jvolve-bench -exp storm     # randomized update-storm soak with invariant checking
 //	jvolve-bench -exp gcpause   # GC-phase pause vs collection workers (writes BENCH_gc.json)
+//	jvolve-bench -exp obs       # pause decomposition via obs histograms (writes BENCH_obs.json)
 //	jvolve-bench -exp all
 //
 // -scale divides the microbenchmark object counts (1 = the paper's full
@@ -19,28 +20,67 @@
 //
 // The storm soak is reproducible: a failure prints its seed, and
 // `jvolve-bench -exp storm -seed N -updates K` replays the exact run.
+//
+// Observability:
+//
+//	-trace out.json    write a Chrome trace-event timeline (Perfetto-loadable)
+//	                   of the flight-recorder events captured during fig5
+//	-metrics PATH      write a Prometheus text snapshot of the run's metrics
+//	                   registry (PATH "-" means stdout)
+//	-serve ADDR        serve live /metrics (Prometheus text) and /timeline
+//	                   (Chrome trace JSON) over HTTP until interrupted
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"govolve/internal/apps"
 	"govolve/internal/bench"
+	"govolve/internal/obs"
 	"govolve/internal/storm"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6|fig5|tables234|matrix|ablation|transformers|scratch|active|gcpause|storm|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig5|tables234|matrix|ablation|transformers|scratch|active|gcpause|storm|obs|all")
 	scale := flag.Int("scale", 8, "divide microbenchmark object counts by this factor (1 = paper scale)")
 	runs := flag.Int("runs", 3, "runs per measurement cell (paper: 21 for fig5)")
 	duration := flag.Duration("duration", 500*time.Millisecond, "measurement window per fig5/ablation run (paper: 60s)")
 	seed := flag.Int64("seed", 1, "storm: PRNG seed (failures print the seed to replay)")
 	updates := flag.Int("updates", 500, "storm: applied updates to drive per run")
 	gcOut := flag.String("gc-out", "BENCH_gc.json", "gcpause: output JSON path (empty disables the file)")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "obs: output JSON path (empty disables the file)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the fig5 flight-recorder events (load in Perfetto)")
+	metricsOut := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot to this path ('-' for stdout)")
+	serveAddr := flag.String("serve", "", "serve live /metrics and /timeline over HTTP on this address until interrupted")
 	flag.Parse()
+
+	// The shared observability plane: fig5 VMs attach this recorder and
+	// registry, -trace/-metrics snapshot them at exit, and -serve exposes
+	// them live.
+	rec := obs.NewRecorder(obs.DefaultCapacity)
+	reg := obs.NewRegistry()
+	if *serveAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/timeline", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = obs.WriteChromeTrace(w, rec.Events())
+		})
+		go func() {
+			if err := http.ListenAndServe(*serveAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "jvolve-bench: -serve %s: %v\n", *serveAddr, err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "jvolve-bench: serving /metrics and /timeline on %s\n", *serveAddr)
+	}
 
 	run := func(name string, f func() error) {
 		switch *exp {
@@ -97,7 +137,7 @@ func main() {
 		fmt.Println("=== Figure 5 ===")
 		app := apps.Webserver()
 		results, err := bench.RunFig5(app, bench.DefaultFig5Configs(app),
-			bench.Fig5Options{Runs: *runs, Duration: *duration}, os.Stderr)
+			bench.Fig5Options{Runs: *runs, Duration: *duration, Recorder: rec, Metrics: reg}, os.Stderr)
 		if err != nil {
 			return err
 		}
@@ -207,6 +247,23 @@ func main() {
 		return nil
 	})
 
+	run("obs", func() error {
+		fmt.Println("=== Extension: DSU pause decomposition via the observability plane ===")
+		rep, err := bench.RunObsPause(bench.ObsPauseOptions{Runs: *runs}, os.Stderr)
+		if err != nil {
+			return err
+		}
+		bench.PrintObsPause(os.Stdout, rep)
+		if *obsOut != "" {
+			if err := bench.WriteObsPauseJSON(*obsOut, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *obsOut)
+		}
+		fmt.Println()
+		return nil
+	})
+
 	run("storm", func() error {
 		fmt.Println("=== Extension: randomized update-storm soak (whole-VM invariant checking) ===")
 		cfgs := []storm.Config{
@@ -229,10 +286,51 @@ func main() {
 	})
 
 	switch *exp {
-	case "table1", "fig6", "fig5", "tables234", "matrix", "ablation", "transformers", "scratch", "active", "gcpause", "storm", "all":
+	case "table1", "fig6", "fig5", "tables234", "matrix", "ablation", "transformers", "scratch", "active", "gcpause", "storm", "obs", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "jvolve-bench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jvolve-bench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChromeTrace(f, rec.Events()); err != nil {
+			fmt.Fprintf(os.Stderr, "jvolve-bench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "jvolve-bench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d flight-recorder events; load in ui.perfetto.dev)\n",
+			*traceOut, len(rec.Events()))
+	}
+	if *metricsOut != "" {
+		out := os.Stdout
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "jvolve-bench: -metrics: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := reg.WritePrometheus(out); err != nil {
+			fmt.Fprintf(os.Stderr, "jvolve-bench: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if *metricsOut != "-" {
+			fmt.Printf("wrote %s (Prometheus text exposition)\n", *metricsOut)
+		}
+	}
+	if *serveAddr != "" {
+		fmt.Fprintf(os.Stderr, "jvolve-bench: still serving on %s; Ctrl-C to exit\n", *serveAddr)
+		select {}
 	}
 }

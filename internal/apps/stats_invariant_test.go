@@ -1,0 +1,55 @@
+package apps
+
+import (
+	"testing"
+
+	"govolve/internal/core"
+)
+
+// TestPauseDecompositionInvariant drives every application's whole update
+// matrix and checks the core.Stats accounting identity on each applied
+// update: the measured phases are disjoint slices of the total pause, so
+//
+//	PauseTotal >= PauseInstall + PauseGC + PauseTransform
+//
+// and the bulk fan-out is a slice of the transformer phase:
+//
+//	PauseTransform >= PauseTransformBulk
+//
+// A violation means a timer was started in the wrong place or a phase is
+// being double-counted — exactly the kind of bug that would silently skew
+// Table 1 and the obs pause histograms.
+func TestPauseDecompositionInvariant(t *testing.T) {
+	applied := 0
+	for _, app := range All() {
+		entries, err := RunMatrix(app, 1<<20)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		for _, e := range entries {
+			if e.Outcome != core.Applied {
+				continue
+			}
+			applied++
+			s := e.Stats
+			if s.PauseTotal < s.PauseInstall+s.PauseGC+s.PauseTransform {
+				t.Errorf("%s %s→%s: PauseTotal %v < install %v + gc %v + transform %v",
+					e.App, e.From, e.To, s.PauseTotal, s.PauseInstall, s.PauseGC, s.PauseTransform)
+			}
+			if s.PauseTransform < s.PauseTransformBulk {
+				t.Errorf("%s %s→%s: PauseTransform %v < bulk slice %v",
+					e.App, e.From, e.To, s.PauseTransform, s.PauseTransformBulk)
+			}
+			if s.PauseTotal <= 0 {
+				t.Errorf("%s %s→%s: applied update with non-positive PauseTotal %v",
+					e.App, e.From, e.To, s.PauseTotal)
+			}
+			if s.SafePointDelay < 0 {
+				t.Errorf("%s %s→%s: negative SafePointDelay %v", e.App, e.From, e.To, s.SafePointDelay)
+			}
+		}
+	}
+	if applied == 0 {
+		t.Fatal("matrix produced no applied updates; the invariant was never exercised")
+	}
+}

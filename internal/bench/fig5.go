@@ -7,6 +7,7 @@ import (
 
 	"govolve/internal/apps"
 	"govolve/internal/core"
+	"govolve/internal/obs"
 	"govolve/internal/vm"
 )
 
@@ -56,6 +57,16 @@ type Fig5Options struct {
 	Runs     int           // paper: 21
 	Duration time.Duration // measurement window per run (paper: 60 s)
 	Heap     int
+
+	// Recorder, when set, is attached to every measured VM — the flight
+	// recorder then captures the DSU lifecycle of the updated configuration
+	// (safe-point attempts, phase spans, transformer events) for the
+	// -trace timeline export.
+	Recorder *obs.Recorder
+	// Metrics, when set, receives the DSU pause histograms (via the engine)
+	// and a per-request latency histogram (MRequestLatency) from the
+	// measurement loop.
+	Metrics *obs.Registry
 }
 
 // DefaultFig5Configs mirrors the paper's three rows, measured on the last
@@ -120,6 +131,10 @@ func runFig5Once(app *apps.App, cfg Fig5Config, opts Fig5Options) (throughput, l
 	if err != nil {
 		return 0, 0, stats, 0, err
 	}
+	if opts.Recorder != nil || opts.Metrics != nil {
+		s.VM.AttachObs(opts.Recorder, opts.Metrics)
+	}
+	reqHist := opts.Metrics.Histogram(obs.MRequestLatency, obs.DurationBuckets())
 	if !cfg.Engine {
 		// Detach the engine: a stock VM has no update handler.
 		s.VM.UpdateHandler = nil
@@ -172,7 +187,9 @@ func runFig5Once(app *apps.App, cfg Fig5Config, opts Fig5Options) (throughput, l
 			if !ok {
 				return 0, 0, stats, 0, fmt.Errorf("request %q timed out", line)
 			}
-			latTotal += time.Since(q0)
+			d := time.Since(q0)
+			latTotal += d
+			reqHist.Observe(d.Seconds())
 			requests++
 		}
 		s.VM.Net.ClientClose(conn)
@@ -183,6 +200,9 @@ func runFig5Once(app *apps.App, cfg Fig5Config, opts Fig5Options) (throughput, l
 		return 0, 0, stats, 0, fmt.Errorf("no requests completed")
 	}
 	stats = s.VM.Stats().Delta(before)
+	if opts.Metrics != nil {
+		s.VM.PublishMetrics()
+	}
 	return float64(requests) / elapsed.Seconds(),
 		Millis(latTotal) / float64(requests), stats, elapsed.Seconds(), nil
 }

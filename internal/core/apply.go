@@ -6,8 +6,10 @@ import (
 
 	"govolve/internal/classfile"
 	"govolve/internal/gc"
+	"govolve/internal/obs"
 	"govolve/internal/rt"
 	"govolve/internal/upt"
+	"govolve/internal/vm"
 )
 
 // apply commits the update at a DSU safe point. Order (paper §3.3–3.4):
@@ -22,8 +24,46 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 		return &Result{Outcome: Failed, Err: err}
 	}
 
+	// The stop-the-world window: every live thread is parked at a VM safe
+	// point for the duration of apply. Mark it on each thread's timeline
+	// lane so the pause is visible per thread, not just on the engine lane.
+	if rec := e.VM.Rec; rec.Enabled() {
+		for _, t := range e.VM.Threads {
+			if t.State == vm.Dead {
+				continue
+			}
+			rec.Emit(obs.KThreadStop, obs.LaneThread(t.ID), 0, "dsu pause")
+		}
+		defer func() {
+			for _, t := range e.VM.Threads {
+				if t.State == vm.Dead {
+					continue
+				}
+				rec.Emit(obs.KThreadResume, obs.LaneThread(t.ID), 0, "dsu pause")
+			}
+		}()
+	}
+	endTotal := e.span("update pause")
+	defer endTotal()
+
+	// phase opens a named engine-lane span, closing the previous one; the
+	// deferred close makes every fail() return path well-formed.
+	var endPhase func()
+	phase := func(name string) {
+		if endPhase != nil {
+			endPhase()
+		}
+		endPhase = e.span(name)
+	}
+	defer func() {
+		if endPhase != nil {
+			endPhase()
+		}
+	}()
+
 	// --- Install -----------------------------------------------------------
 	tInstall := time.Now()
+	phase("install")
 
 	for _, name := range spec.DeletedClasses {
 		if cls := reg.LookupClass(name); cls != nil {
@@ -178,6 +218,7 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	}
 
 	// --- OSR ---------------------------------------------------------------
+	phase("osr")
 	for _, job := range osrJobs {
 		f := job.frame
 		m := f.CM.Method
@@ -207,13 +248,18 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 				return fail(fmt.Errorf("core: active-method update: %w", err))
 			}
 			p.stats.ActiveRewrites++
-		} else if err := e.VM.OSRReplace(f, cm); err != nil {
-			return fail(fmt.Errorf("core: OSR: %w", err))
+			e.VM.Rec.Emit(obs.KOSRRecompile, obs.LaneEngine, 1, target.FullName())
+		} else {
+			if err := e.VM.OSRReplace(f, cm); err != nil {
+				return fail(fmt.Errorf("core: OSR: %w", err))
+			}
+			e.VM.Rec.Emit(obs.KOSRRecompile, obs.LaneEngine, 0, target.FullName())
 		}
 		p.stats.OSRFrames++
 	}
 
 	// --- DSU garbage collection ---------------------------------------------
+	phase("gc")
 	tGC := time.Now()
 	gcRes, err := e.VM.GC.Collect(e.VM, true)
 	if err != nil {
@@ -237,6 +283,7 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	p.stats.PairsLogged = gcRes.PairsLogged
 
 	// --- Transformers --------------------------------------------------------
+	phase("transform")
 	tTr := time.Now()
 	if err := e.runTransformers(p, spec, transformers, gcRes); err != nil {
 		// Partially transformed objects keep default field values (data
@@ -258,6 +305,7 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	}
 
 	// --- Class initializers of brand-new classes -----------------------------
+	phase("clinit")
 	for _, name := range spec.AddedClasses {
 		if cls := reg.LookupClass(name); cls != nil {
 			if err := e.VM.RunClinit(cls); err != nil {
@@ -330,6 +378,7 @@ func (e *Engine) runTransformers(p *Pending, spec *upt.Spec, transformers *rt.Cl
 			nativeObjectTransform(v, newCls, oldCls, spec.OldFlatDefs[oldCls.Name], newAddr, oldCopy)
 			status[newAddr] = stDone
 			p.stats.BulkTransformed++
+			v.Rec.Emit(obs.KTransformerApplied, obs.LaneEngine, 1, "default:"+newCls.Name)
 			return nil
 		}
 		sig := classfile.Sig("(L" + newCls.Name + ";L" + oldCls.Name + ";)V")
@@ -343,6 +392,7 @@ func (e *Engine) runTransformers(p *Pending, spec *upt.Spec, transformers *rt.Cl
 		}
 		status[newAddr] = stDone
 		p.stats.BytecodeTransformed++
+		v.Rec.Emit(obs.KTransformerApplied, obs.LaneEngine, 1, "jvolveObject:"+newCls.Name)
 		return nil
 	}
 
@@ -359,6 +409,7 @@ func (e *Engine) runTransformers(p *Pending, spec *upt.Spec, transformers *rt.Cl
 			oldCls := v.Reg.LookupClass(spec.RenamedName(name))
 			if oldCls != nil {
 				nativeClassTransform(v, cls, oldCls, spec.OldFlatDefs[oldCls.Name])
+				v.Rec.Emit(obs.KTransformerApplied, obs.LaneEngine, 0, "defaultClass:"+name)
 			}
 			continue
 		}
@@ -370,6 +421,7 @@ func (e *Engine) runTransformers(p *Pending, spec *upt.Spec, transformers *rt.Cl
 		if err := v.RunSynchronous("jvolveClass:"+name, tm, []rt.Value{rt.NullVal}); err != nil {
 			return fmt.Errorf("core: class transformer for %s: %w", name, err)
 		}
+		v.Rec.Emit(obs.KTransformerApplied, obs.LaneEngine, 0, "jvolveClass:"+name)
 	}
 	// Parallel bulk pass: default-transformer pairs not already force-
 	// transformed by a class transformer are pure disjoint field copies —

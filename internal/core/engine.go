@@ -25,6 +25,7 @@ import (
 
 	"govolve/internal/bytecode"
 	"govolve/internal/classfile"
+	"govolve/internal/obs"
 	"govolve/internal/rt"
 	"govolve/internal/upt"
 	"govolve/internal/verifier"
@@ -185,9 +186,17 @@ func (e *Engine) RequestUpdate(spec *upt.Spec, opts Options) (*Pending, error) {
 	}
 	p := &Pending{Spec: spec, Opts: opts, start: time.Now(), barrier: make(map[*vm.Frame]bool)}
 	e.pending = p
+	e.VM.Rec.Emit(obs.KUpdateRequested, obs.LaneEngine, 0, spec.OldTag)
 	e.VM.SetUpdatePending(true)
 	e.VM.RequestStop()
 	return p, nil
+}
+
+// span emits a phase-begin event on the engine lane and returns the matching
+// phase-end closure. Nil-recorder safe (Emit no-ops).
+func (e *Engine) span(name string) func() {
+	e.VM.Rec.Emit(obs.KPhaseBegin, obs.LaneEngine, 0, name)
+	return func() { e.VM.Rec.Emit(obs.KPhaseEnd, obs.LaneEngine, 0, name) }
 }
 
 // ApplyNow requests the update and drives the scheduler until it resolves.
@@ -380,6 +389,7 @@ func (e *Engine) handle() bool {
 	active := e.activeMaps(p.Spec)
 	var osrJobs []osrJob
 	blocked := false
+	blockingMethod := "" // first restricted method that blocked this attempt
 	for _, t := range e.VM.Threads {
 		if t.State == vm.Dead {
 			continue
@@ -408,14 +418,20 @@ func (e *Engine) handle() bool {
 		}
 		if topBlocking != nil {
 			blocked = true
+			if blockingMethod == "" {
+				blockingMethod = topBlocking.CM.Method.FullName()
+			}
 			if !topBlocking.Barrier {
 				topBlocking.Barrier = true
 				p.barrier[topBlocking] = true
 				p.stats.BarriersInstalled++
+				e.VM.Rec.Emit(obs.KBarrierInstalled, obs.LaneThread(t.ID),
+					int64(p.stats.Attempts), topBlocking.CM.Method.FullName())
 				e.VM.ReleaseUpdateWaiters() // let other threads run on
 			}
 		}
 	}
+	e.VM.Rec.Emit(obs.KSafePointAttempt, obs.LaneEngine, int64(p.stats.Attempts), blockingMethod)
 
 	if blocked {
 		timedOut := time.Since(p.start) > p.Opts.Timeout ||
@@ -432,6 +448,8 @@ func (e *Engine) handle() bool {
 	// DSU safe point reached.
 	p.stats.Immediate = p.stats.Attempts == 1 && p.stats.BarriersInstalled == 0
 	p.stats.SafePointDelay = time.Since(p.start)
+	e.VM.Rec.Emit(obs.KSafePointReached, obs.LaneEngine, int64(p.stats.Attempts),
+		p.stats.SafePointDelay.String())
 	res := e.apply(p, osrJobs, cat1)
 	e.finish(p, res)
 	return true
@@ -445,9 +463,58 @@ func (e *Engine) finish(p *Pending, res *Result) {
 	res.Stats = p.stats
 	p.result = res
 	e.Updates = append(e.Updates, res)
+	e.emitTerminal(res)
+	e.observeUpdate(res)
 	e.VM.ReleaseUpdateWaiters()
 	e.VM.SetUpdatePending(false)
 	if e.AfterUpdate != nil {
 		e.AfterUpdate(res)
+	}
+}
+
+// emitTerminal records the request's terminal flight-recorder event.
+func (e *Engine) emitTerminal(res *Result) {
+	var k obs.Kind
+	switch res.Outcome {
+	case Applied:
+		k = obs.KUpdateApplied
+	case Aborted:
+		k = obs.KUpdateAborted
+	default:
+		k = obs.KUpdateFailed
+	}
+	msg := ""
+	if res.Err != nil {
+		msg = res.Err.Error()
+	}
+	e.VM.Rec.Emit(k, obs.LaneEngine, int64(res.Stats.Attempts), msg)
+}
+
+// observeUpdate publishes one finished update into the metrics registry
+// (nil-registry safe: every instrument constructor returns a no-op nil).
+func (e *Engine) observeUpdate(res *Result) {
+	m := e.VM.Metrics
+	if m == nil {
+		return
+	}
+	s := &res.Stats
+	m.Histogram(obs.MAttempts, obs.CountBuckets()).Observe(float64(s.Attempts))
+	m.Counter(obs.MBarriers).Add(int64(s.BarriersInstalled))
+	m.Counter(obs.MOSRFrames).Add(int64(s.OSRFrames))
+	switch res.Outcome {
+	case Applied:
+		m.Counter(obs.MUpdatesApplied).Add(1)
+		m.Histogram(obs.MSafePointDelay, obs.DurationBuckets()).Observe(s.SafePointDelay.Seconds())
+		m.Histogram(obs.MPauseInstall, obs.DurationBuckets()).Observe(s.PauseInstall.Seconds())
+		m.Histogram(obs.MPauseGC, obs.DurationBuckets()).Observe(s.PauseGC.Seconds())
+		m.Histogram(obs.MPauseTransform, obs.DurationBuckets()).Observe(s.PauseTransform.Seconds())
+		m.Histogram(obs.MPauseBulk, obs.DurationBuckets()).Observe(s.PauseTransformBulk.Seconds())
+		m.Histogram(obs.MPauseTotal, obs.DurationBuckets()).Observe(s.PauseTotal.Seconds())
+		m.Counter(obs.MPairsLogged).Add(int64(s.PairsLogged))
+		m.Counter(obs.MGCSteals).Add(s.GCSteals)
+	case Aborted:
+		m.Counter(obs.MUpdatesAborted).Add(1)
+	default:
+		m.Counter(obs.MUpdatesFailed).Add(1)
 	}
 }

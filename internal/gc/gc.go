@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"govolve/internal/heap"
+	"govolve/internal/obs"
 	"govolve/internal/rt"
 )
 
@@ -107,6 +108,15 @@ type Collector struct {
 
 	// Collections counts completed collections.
 	Collections int
+	// CopiedObjects accumulates objects copied across all collections —
+	// the cumulative series behind the govolve_gc_copied_objects_total
+	// metric (per-collection numbers live in Result).
+	CopiedObjects int
+
+	// Rec, when attached (vm.AttachObs), receives per-worker flight-
+	// recorder events: one phase span per copy/scan worker plus a
+	// copied-words and steal summary. Nil disables emission entirely.
+	Rec *obs.Recorder
 }
 
 // New builds a serial collector.
@@ -150,7 +160,12 @@ func (c *Collector) Collect(roots Roots, dsu bool) (*Result, error) {
 func (c *Collector) collectSerial(roots Roots, dsu bool) (*Result, error) {
 	start := time.Now()
 	h := c.Heap
+	c.Rec.Emit(obs.KPhaseBegin, obs.LaneGCWorker(0), 0, "gc copy/scan")
 	res := &Result{Workers: 1}
+	defer func() {
+		c.Rec.Emit(obs.KGCWorkerCopy, obs.LaneGCWorker(0), int64(res.CopiedWords), "")
+		c.Rec.Emit(obs.KPhaseEnd, obs.LaneGCWorker(0), int64(res.CopiedWords), "gc copy/scan")
+	}()
 	if dsu {
 		res.OldForNew = make(map[rt.Addr]rt.Addr)
 	}
@@ -280,6 +295,7 @@ func (c *Collector) collectSerial(roots Roots, dsu bool) (*Result, error) {
 		return nil, gcErr
 	}
 	c.Collections++
+	c.CopiedObjects += res.CopiedObjects
 	res.Duration = time.Since(start)
 	return res, nil
 }

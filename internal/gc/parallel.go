@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"govolve/internal/heap"
+	"govolve/internal/obs"
 	"govolve/internal/rt"
 )
 
@@ -153,6 +154,7 @@ type pworker struct {
 	copiedObjects int
 	copiedWords   int
 	scratchWords  int
+	steals        int64
 }
 
 // forward evacuates (or adopts the evacuation of) the reference in v,
@@ -334,6 +336,7 @@ func (w *pworker) stealWork() (rt.Addr, bool) {
 		}
 		if a, ok := d.steal(); ok {
 			w.ps.steals.Add(1)
+			w.steals++
 			return a, true
 		}
 	}
@@ -403,10 +406,19 @@ func (c *Collector) collectParallel(roots Roots, dsu bool, workers int) (*Result
 		wg.Add(1)
 		go func(i int, w *pworker) {
 			defer wg.Done()
+			// Per-worker flight-recorder lane: one copy/scan span plus
+			// copied-words and steal summaries (the recorder is mutex-
+			// protected, so concurrent emission is safe).
+			c.Rec.Emit(obs.KPhaseBegin, obs.LaneGCWorker(i), 0, "gc copy/scan")
 			if i < len(chunks) && chunks[i] != nil {
 				chunks[i].ForEachRoot(w.forward)
 			}
 			w.drain()
+			c.Rec.Emit(obs.KGCWorkerCopy, obs.LaneGCWorker(i), int64(w.copiedWords), "")
+			if w.steals > 0 {
+				c.Rec.Emit(obs.KGCWorkerSteal, obs.LaneGCWorker(i), w.steals, "")
+			}
+			c.Rec.Emit(obs.KPhaseEnd, obs.LaneGCWorker(i), int64(w.copiedWords), "gc copy/scan")
 		}(i, w)
 	}
 	wg.Wait()
@@ -452,6 +464,7 @@ func (c *Collector) collectParallel(roots Roots, dsu bool, workers int) (*Result
 	res.PairsLogged = len(res.Log)
 
 	c.Collections++
+	c.CopiedObjects += res.CopiedObjects
 	res.Duration = time.Since(start)
 	return res, nil
 }

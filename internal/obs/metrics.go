@@ -1,0 +1,395 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics registry: named counters (monotonic), gauges (point-in-time),
+// and fixed-bucket histograms, snapshotted as JSON or Prometheus text
+// exposition. Construction is lock-guarded and idempotent (get-or-create);
+// updates are lock-free atomics so the VM and the parallel collector can
+// record without contending.
+//
+// Every accessor is nil-receiver safe: a nil *Registry hands back nil
+// instruments whose update methods no-op, so instrumentation sites read
+//
+//	reg.Counter("x").Add(1)
+//
+// with no enabled check.
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d (no-op on nil).
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time float64 value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge value (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram. Bounds are upper bounds of the
+// cumulative-style buckets (a +Inf bucket is implicit); Observe is a binary
+// search plus three atomic adds.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DurationBuckets are the default histogram bounds for durations measured
+// in seconds: roughly exponential from 1µs to 10s, fine enough that a
+// median or p99 read from the buckets is meaningful for DSU pauses.
+func DurationBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6,
+		1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2,
+		1e-1, 2.5e-1, 5e-1,
+		1, 2.5, 5, 10,
+	}
+}
+
+// CountBuckets are default bounds for small-integer distributions
+// (safe-point attempts, barrier counts).
+func CountBuckets() []float64 {
+	return []float64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377}
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count reports total observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the running sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the p-quantile (0..1) from the buckets by linear
+// interpolation inside the containing bucket. It returns 0 with no
+// observations; samples beyond the last bound report the last bound.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := p * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := lo
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistSnapshot is one histogram's JSON form.
+type HistSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"` // per-bucket (non-cumulative); last is +Inf
+	P50     float64   `json:"p50"`
+	P99     float64   `json:"p99"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		Bounds: append([]float64(nil), h.bounds...),
+		P50:    h.Quantile(0.5),
+		P99:    h.Quantile(0.99),
+	}
+	s.Buckets = make([]int64, len(h.counts))
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Registry is the named-instrument table.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter; nil on a nil
+// registry. Names should be Prometheus-compatible (snake_case).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the given
+// bucket bounds (DurationBuckets when nil); nil on a nil registry. The
+// bounds of the first creation win.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		if bounds == nil {
+			bounds = DurationBuckets()
+		}
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// sortedKeys returns map keys in deterministic order.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// WriteJSON writes the whole registry as one indented JSON document:
+// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Counters   map[string]int64        `json:"counters"`
+		Gauges     map[string]float64      `json:"gauges"`
+		Histograms map[string]HistSnapshot `json:"histograms"`
+	}{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r != nil {
+		r.mu.Lock()
+		for n, c := range r.counters {
+			doc.Counters[n] = c.Value()
+		}
+		for n, g := range r.gauges {
+			doc.Gauges[n] = g.Value()
+		}
+		for n, h := range r.hists {
+			doc.Histograms[n] = h.Snapshot()
+		}
+		r.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// formatFloat renders a float the Prometheus exposition way.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): # TYPE comments, counters/gauges as bare samples,
+// histograms as cumulative _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g.Value()
+	}
+	hists := make(map[string]HistSnapshot, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h.Snapshot()
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, n := range sortedKeys(counters) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, counters[n])
+	}
+	for _, n := range sortedKeys(gauges) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(gauges[n]))
+	}
+	for _, n := range sortedKeys(hists) {
+		s := hists[n]
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		cum := int64(0)
+		for i, bound := range s.Bounds {
+			cum += s.Buckets[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, formatFloat(bound), cum)
+		}
+		cum += s.Buckets[len(s.Buckets)-1]
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(&b, "%s_sum %s\n", n, formatFloat(s.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", n, s.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Canonical metric names used across the VM and the DSU engine. They live
+// here so emitters and dashboards agree on spelling.
+const (
+	MSafePointDelay   = "govolve_dsu_safe_point_delay_seconds"
+	MPauseInstall     = "govolve_dsu_pause_install_seconds"
+	MPauseGC          = "govolve_dsu_pause_gc_seconds"
+	MPauseTransform   = "govolve_dsu_pause_transform_seconds"
+	MPauseBulk        = "govolve_dsu_pause_transform_bulk_seconds"
+	MPauseTotal       = "govolve_dsu_pause_total_seconds"
+	MAttempts         = "govolve_dsu_attempts_to_safe_point"
+	MUpdatesApplied   = "govolve_dsu_updates_applied_total"
+	MUpdatesAborted   = "govolve_dsu_updates_aborted_total"
+	MUpdatesFailed    = "govolve_dsu_updates_failed_total"
+	MBarriers         = "govolve_dsu_barriers_installed_total"
+	MOSRFrames        = "govolve_dsu_osr_frames_total"
+	MObjectsCopied    = "govolve_gc_copied_objects_total"
+	MPairsLogged      = "govolve_gc_dsu_pairs_logged_total"
+	MGCSteals         = "govolve_gc_steals_total"
+	MRequestLatency   = "govolve_request_latency_seconds"
+	MInstructions     = "govolve_vm_instructions_total"
+	MSlices           = "govolve_vm_slices_total"
+	MThreadsLive      = "govolve_vm_threads_live"
+	MThreadsBlocked   = "govolve_vm_threads_blocked"
+	MRunnableQueue    = "govolve_vm_runnable_queue"
+	MHeapAllocObjects = "govolve_vm_alloc_objects_total"
+	MHeapAllocArrays  = "govolve_vm_alloc_arrays_total"
+	MGCCollections    = "govolve_gc_collections_total"
+)

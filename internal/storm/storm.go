@@ -1,14 +1,17 @@
 package storm
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"strings"
 	"time"
 
 	"govolve/internal/bytecode"
 	"govolve/internal/classfile"
 	"govolve/internal/core"
+	"govolve/internal/obs"
 	"govolve/internal/rt"
 	"govolve/internal/upt"
 	"govolve/internal/vm"
@@ -40,6 +43,13 @@ type Config struct {
 	// transformer; the shadow oracle must catch it.
 	InjectTransformerBug bool
 
+	// EventTail is how many flight-recorder events a failure report embeds
+	// alongside the reproducing seed (default 40; negative disables the
+	// recorder entirely). The recorder rides along for the whole run, so the
+	// tail shows the DSU activity — safe-point attempts, barriers, phase
+	// spans, transformer events — leading up to the violation.
+	EventTail int
+
 	Log io.Writer // optional progress log
 }
 
@@ -61,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 400
+	}
+	if c.EventTail == 0 {
+		c.EventTail = 40
 	}
 	return c
 }
@@ -124,6 +137,8 @@ type runner struct {
 
 	updateIdx int
 	hookErr   error
+
+	rec *obs.Recorder // nil when Config.EventTail < 0
 }
 
 // Run executes one storm: boot the generated program, then alternate
@@ -159,7 +174,14 @@ func Run(cfg Config) (*Report, error) {
 }
 
 func (r *runner) failf(format string, args ...any) error {
-	return fmt.Errorf("storm: seed=%d update=%d: %s", r.cfg.Seed, r.updateIdx, fmt.Sprintf(format, args...))
+	msg := fmt.Sprintf("storm: seed=%d update=%d: %s", r.cfg.Seed, r.updateIdx, fmt.Sprintf(format, args...))
+	if tail := r.rec.Last(r.cfg.EventTail); len(tail) > 0 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s\nflight recorder (last %d of %d events):\n", msg, len(tail), r.rec.Total())
+		obs.WriteEvents(&b, tail)
+		return errors.New(strings.TrimRight(b.String(), "\n"))
+	}
+	return errors.New(msg)
 }
 
 func (r *runner) logf(format string, args ...any) {
@@ -188,6 +210,10 @@ func (r *runner) boot() error {
 		return r.failf("vm: %v", err)
 	}
 	r.v = v
+	if r.cfg.EventTail > 0 {
+		r.rec = obs.NewRecorder(obs.DefaultCapacity)
+		v.AttachObs(r.rec, nil)
+	}
 	r.eng = core.NewEngine(v)
 	// The checker hook: run the structural sweep the instant each update
 	// resolves, before any mutator step can mask a violation.

@@ -78,6 +78,15 @@ func TestStormCatchesInjectedTransformerBug(t *testing.T) {
 		if !strings.Contains(err.Error(), "seed=") {
 			t.Fatalf("seed %d: failure message lacks reproducing seed: %v", seed, err)
 		}
+		// The report embeds the flight-recorder tail: the DSU activity
+		// (phase spans, transformer events) leading up to the violation.
+		if !strings.Contains(err.Error(), "flight recorder (last ") {
+			t.Fatalf("seed %d: failure message lacks flight-recorder tail: %v", seed, err)
+		}
+		if !strings.Contains(err.Error(), "transformer-applied") &&
+			!strings.Contains(err.Error(), "phase-") {
+			t.Fatalf("seed %d: flight-recorder tail carries no DSU events: %v", seed, err)
+		}
 		t.Logf("seed %d caught: %v", seed, err)
 	}
 }

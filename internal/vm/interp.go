@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"govolve/internal/bytecode"
+	"govolve/internal/obs"
 	"govolve/internal/rt"
 )
 
@@ -411,6 +412,7 @@ func (v *VM) interpret(t *Thread, budget int) {
 				// Return barrier fired: park the thread and let the
 				// DSU engine retry at the next scheduling boundary.
 				v.tracef("return barrier fired in %s (thread %d)", popped.Method().FullName(), t.ID)
+				v.Rec.Emit(obs.KBarrierFired, obs.LaneThread(t.ID), 0, popped.Method().FullName())
 				if len(t.Frames) == 0 {
 					t.State = Dead
 				} else {

@@ -1,0 +1,113 @@
+package vm
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"govolve/internal/obs"
+)
+
+// newObsDispatchVM is newDispatchVM plus an attached-but-disabled flight
+// recorder and a live registry: the configuration every production run uses
+// between updates, and the one the disabled-overhead gate must keep free.
+func newObsDispatchVM(tb testing.TB) *VM {
+	tb.Helper()
+	v := newDispatchVM(tb)
+	rec := obs.NewRecorder(obs.DefaultCapacity)
+	rec.SetEnabled(false)
+	v.AttachObs(rec, obs.NewRegistry())
+	v.Step(100) // re-warm after attach
+	return v
+}
+
+// BenchmarkObsDisabledOverhead is BenchmarkInterpDispatch with a disabled
+// recorder and a registry attached. Compare the two to see what observability
+// costs when it is off; the paired allocation test and throughput gate below
+// enforce the answer ("nothing measurable") in `make verify`.
+func BenchmarkObsDisabledOverhead(b *testing.B) {
+	v := newObsDispatchVM(b)
+	b.ReportAllocs()
+	start := v.TotalSteps
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Step(1)
+	}
+	b.StopTimer()
+	executed := v.TotalSteps - start
+	if executed == 0 {
+		b.Fatal("no instructions executed")
+	}
+	b.ReportMetric(float64(executed)/float64(b.N), "instructions/op")
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "instructions/s")
+}
+
+// TestObsDisabledZeroAlloc: with the recorder attached but disabled and a
+// registry present, the interpreter fast path still allocates nothing.
+func TestObsDisabledZeroAlloc(t *testing.T) {
+	v := newObsDispatchVM(t)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	before := v.TotalSteps
+	allocs := testing.AllocsPerRun(50, func() {
+		v.Step(10)
+	})
+	executed := v.TotalSteps - before
+	if executed < 1000 {
+		t.Fatalf("fast path barely ran: %d instructions", executed)
+	}
+	if allocs != 0 {
+		t.Fatalf("disabled-obs fast path allocates: %.1f allocs per 10 slices", allocs)
+	}
+}
+
+// dispatchRate times slices on a warmed VM and returns instructions/second.
+func dispatchRate(tb testing.TB, v *VM, slices int) float64 {
+	tb.Helper()
+	start := v.TotalSteps
+	t0 := time.Now()
+	v.Step(slices)
+	el := time.Since(t0)
+	executed := v.TotalSteps - start
+	if executed == 0 || el <= 0 {
+		tb.Fatal("dispatch sample executed nothing")
+	}
+	return float64(executed) / el.Seconds()
+}
+
+// TestObsDisabledOverheadGate is the ≤2% gate from the observability issue:
+// steady-state dispatch with a disabled recorder attached must stay within
+// 2% of a bare VM. The disabled path is a nil check plus one atomic load and
+// never appears in the dispatch loop at all, so the true ratio is ~1.0; the
+// measurement strategy (interleaved best-of rounds, retried) exists purely
+// to ride out scheduler noise on loaded 1-vCPU CI boxes and under -race.
+func TestObsDisabledOverheadGate(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	base := newDispatchVM(t)
+	inst := newObsDispatchVM(t)
+
+	const (
+		slices   = 400
+		rounds   = 5
+		attempts = 4
+		floor    = 0.98 // instrumented must hit ≥98% of baseline throughput
+	)
+	var lastRatio float64
+	for attempt := 0; attempt < attempts; attempt++ {
+		baseBest, instBest := 0.0, 0.0
+		for r := 0; r < rounds; r++ {
+			// Interleave so clock drift and background load hit both sides.
+			if b := dispatchRate(t, base, slices); b > baseBest {
+				baseBest = b
+			}
+			if i := dispatchRate(t, inst, slices); i > instBest {
+				instBest = i
+			}
+		}
+		lastRatio = instBest / baseBest
+		if lastRatio >= floor {
+			return
+		}
+	}
+	t.Fatalf("disabled-obs dispatch at %.1f%% of baseline after %d attempts, want ≥%.0f%%",
+		lastRatio*100, attempts, floor*100)
+}

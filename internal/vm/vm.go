@@ -15,6 +15,7 @@ import (
 	"govolve/internal/gc"
 	"govolve/internal/heap"
 	"govolve/internal/jit"
+	"govolve/internal/obs"
 	"govolve/internal/rt"
 	"govolve/internal/verifier"
 )
@@ -45,6 +46,13 @@ type Options struct {
 	// JDrums/DVM-style lazy-update VMs (paper §5). Steady-state overhead
 	// becomes nonzero; JVOLVE's eager approach keeps it zero.
 	IndirectionCheck bool
+	// Recorder, if non-nil, is the flight recorder every VM layer emits
+	// typed events into (scheduler, DSU engine, GC workers). A nil
+	// recorder is fully disabled: emission sites pay one nil check.
+	Recorder *obs.Recorder
+	// Metrics, if non-nil, receives counter/gauge/histogram updates; see
+	// VM.PublishMetrics and the engine's pause histograms.
+	Metrics *obs.Registry
 }
 
 // VM is one virtual machine instance.
@@ -116,8 +124,25 @@ type VM struct {
 	// stats holds the cheap steady-state counters exposed via Stats().
 	stats statCounters
 
-	// Trace, when set, receives scheduler/DSU diagnostics.
+	// Trace, when set, receives scheduler/DSU diagnostics as text lines.
+	// The same lines are routed into Rec (as obs.KTrace events) when a
+	// flight recorder is attached, so the legacy writer and the recorder
+	// stay consistent.
 	Trace io.Writer
+
+	// Rec is the attached flight recorder (nil = recording disabled; every
+	// emission site is a single nil/flag check with zero allocations).
+	Rec *obs.Recorder
+
+	// Metrics is the attached metrics registry (nil = disabled). The VM
+	// itself only writes it from PublishMetrics — never on the hot path;
+	// the DSU engine records its pause histograms here.
+	Metrics *obs.Registry
+
+	// published remembers the last snapshot PublishMetrics exported, so
+	// monotonic VM counters map onto monotonic registry counters.
+	published       Stats
+	publishedCopied int64
 
 	// Exited is set by System.exit; ExitCode carries its argument.
 	Exited   bool
@@ -177,10 +202,23 @@ func New(opts Options) (*VM, error) {
 	if opts.OptThreshold > 0 {
 		v.JIT.OptThreshold = opts.OptThreshold
 	}
+	if opts.Recorder != nil || opts.Metrics != nil {
+		v.AttachObs(opts.Recorder, opts.Metrics)
+	}
 	if err := v.bootstrap(); err != nil {
 		return nil, err
 	}
 	return v, nil
+}
+
+// AttachObs attaches a flight recorder and/or metrics registry to the VM
+// and propagates the recorder to the collector (whose workers emit
+// per-worker copy/steal events). Either argument may be nil; attaching nil
+// detaches that plane.
+func (v *VM) AttachObs(rec *obs.Recorder, metrics *obs.Registry) {
+	v.Rec = rec
+	v.Metrics = metrics
+	v.GC.Rec = rec
 }
 
 // LoadProgram verifies and loads an application program, running class
@@ -910,8 +948,46 @@ func (s Stats) Delta(prev Stats) Stats {
 // Indirections reports the ablation counter.
 func (v *VM) Indirections() int64 { return v.indirections }
 
+// tracef emits one scheduler/DSU diagnostic line. The line goes to the
+// legacy Trace writer (when set) and, consistently, into the flight
+// recorder as an obs.KTrace event (when attached and enabled). With
+// neither destination armed the cost is two nil checks and no formatting.
 func (v *VM) tracef(format string, args ...any) {
-	if v.Trace != nil {
-		fmt.Fprintf(v.Trace, format+"\n", args...)
+	w := v.Trace
+	rec := v.Rec.Enabled()
+	if w == nil && !rec {
+		return
 	}
+	msg := fmt.Sprintf(format, args...)
+	if w != nil {
+		fmt.Fprintln(w, msg)
+	}
+	if rec {
+		v.Rec.Emit(obs.KTrace, obs.LaneEngine, 0, msg)
+	}
+}
+
+// PublishMetrics exports the VM's steady-state counters and gauges into
+// the attached metrics registry: monotonic VM counters become monotonic
+// registry counters (only the delta since the previous publish is added),
+// scheduler-list depths become gauges. It is snapshot-based — nothing on
+// the interpreter or scheduler hot path ever touches the registry.
+func (v *VM) PublishMetrics() {
+	if v.Metrics == nil {
+		return
+	}
+	s := v.Stats()
+	d := s.Delta(v.published)
+	v.published = s
+	m := v.Metrics
+	m.Counter(obs.MInstructions).Add(d.Instructions)
+	m.Counter(obs.MSlices).Add(d.Slices)
+	m.Counter(obs.MHeapAllocObjects).Add(d.AllocObjects)
+	m.Counter(obs.MHeapAllocArrays).Add(d.AllocArrays)
+	m.Counter(obs.MGCCollections).Add(d.GCCollections)
+	m.Counter(obs.MObjectsCopied).Add(int64(v.GC.CopiedObjects) - v.publishedCopied)
+	v.publishedCopied = int64(v.GC.CopiedObjects)
+	m.Gauge(obs.MThreadsLive).Set(float64(s.LiveThreads))
+	m.Gauge(obs.MThreadsBlocked).Set(float64(s.BlockedThreads))
+	m.Gauge(obs.MRunnableQueue).Set(float64(s.RunnableQueue))
 }
