@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race race-gc obs-gate storm bench-gc bench-obs trace fuzz
+.PHONY: verify build vet test race race-gc obs-gate satb-gate storm bench-gc bench-obs bench-pause trace fuzz
 
-verify: build vet test race race-gc obs-gate
+verify: build vet test race race-gc obs-gate satb-gate
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,16 @@ obs-gate:
 	$(GO) test -race -run 'TestObsDisabled' -count=1 ./internal/vm/ ./internal/obs/
 	$(GO) test -run '^$$' -bench 'BenchmarkObsDisabledOverhead|BenchmarkInterpDispatch' -benchtime 200ms ./internal/vm/
 
+# Write-barrier cost gate: the disarmed SATB barrier must add zero
+# allocations and ≤2% overhead to a dispatch-shaped store loop, and the
+# armed barrier must stay within its tripwire bound. race-gc above already
+# runs the mark/barrier packages (gc, heap) with -race -count=4; this target
+# pins the gates by name and prints the three store benchmarks so the
+# bare/disarmed/armed costs stay visible.
+satb-gate:
+	$(GO) test -run 'TestSATB' -count=1 ./internal/vm/ ./internal/heap/
+	$(GO) test -run '^$$' -bench 'BenchmarkSATBStore|BenchmarkSATBDisarmedDispatch|BenchmarkSATBArmedDispatch' -benchtime 200ms ./internal/heap/ ./internal/vm/
+
 # Long-running randomized soak (reproduce failures with -seed).
 storm:
 	$(GO) run ./cmd/jvolve-bench -exp storm -updates 500
@@ -43,6 +53,11 @@ storm:
 # GC-phase pause vs collection workers; writes BENCH_gc.json.
 bench-gc:
 	$(GO) run ./cmd/jvolve-bench -exp gcpause -gc-out BENCH_gc.json
+
+# STW vs concurrent-mark DSU pause over sizes × updated fractions; writes
+# BENCH_pause.json.
+bench-pause:
+	$(GO) run ./cmd/jvolve-bench -exp pausecmp -pause-out BENCH_pause.json
 
 # DSU pause-decomposition histograms (E1 webserver, E10 micro); writes
 # BENCH_obs.json.

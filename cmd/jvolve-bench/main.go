@@ -12,6 +12,7 @@
 //	jvolve-bench -exp active    # §3.5: UpStare-style active-method updates
 //	jvolve-bench -exp storm     # randomized update-storm soak with invariant checking
 //	jvolve-bench -exp gcpause   # GC-phase pause vs collection workers (writes BENCH_gc.json)
+//	jvolve-bench -exp pausecmp  # STW vs concurrent-mark DSU pause (writes BENCH_pause.json)
 //	jvolve-bench -exp obs       # pause decomposition via obs histograms (writes BENCH_obs.json)
 //	jvolve-bench -exp all
 //
@@ -45,13 +46,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6|fig5|tables234|matrix|ablation|transformers|scratch|active|gcpause|storm|obs|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig5|tables234|matrix|ablation|transformers|scratch|active|gcpause|pausecmp|storm|obs|all")
 	scale := flag.Int("scale", 8, "divide microbenchmark object counts by this factor (1 = paper scale)")
 	runs := flag.Int("runs", 3, "runs per measurement cell (paper: 21 for fig5)")
 	duration := flag.Duration("duration", 500*time.Millisecond, "measurement window per fig5/ablation run (paper: 60s)")
 	seed := flag.Int64("seed", 1, "storm: PRNG seed (failures print the seed to replay)")
 	updates := flag.Int("updates", 500, "storm: applied updates to drive per run")
 	gcOut := flag.String("gc-out", "BENCH_gc.json", "gcpause: output JSON path (empty disables the file)")
+	pauseOut := flag.String("pause-out", "BENCH_pause.json", "pausecmp: output JSON path (empty disables the file)")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "obs: output JSON path (empty disables the file)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the fig5 flight-recorder events (load in Perfetto)")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot to this path ('-' for stdout)")
@@ -247,6 +249,29 @@ func main() {
 		return nil
 	})
 
+	run("pausecmp", func() error {
+		fmt.Println("=== Extension: concurrent SATB mark (STW vs concurrent DSU pause) ===")
+		sizes := []int{240_000 / *scale, 960_000 / *scale}
+		if *scale <= 1 {
+			sizes = []int{240_000, 960_000}
+		}
+		rep, err := bench.RunPauseCmp(bench.PauseCmpSweep{
+			Sizes: sizes, Runs: *runs, FastDefaults: true,
+		}, os.Stderr)
+		if err != nil {
+			return err
+		}
+		bench.PrintPauseCmp(os.Stdout, rep)
+		if *pauseOut != "" {
+			if err := bench.WritePauseCmpJSON(*pauseOut, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *pauseOut)
+		}
+		fmt.Println()
+		return nil
+	})
+
 	run("obs", func() error {
 		fmt.Println("=== Extension: DSU pause decomposition via the observability plane ===")
 		rep, err := bench.RunObsPause(bench.ObsPauseOptions{Runs: *runs}, os.Stderr)
@@ -286,7 +311,7 @@ func main() {
 	})
 
 	switch *exp {
-	case "table1", "fig6", "fig5", "tables234", "matrix", "ablation", "transformers", "scratch", "active", "gcpause", "storm", "obs", "all":
+	case "table1", "fig6", "fig5", "tables234", "matrix", "ablation", "transformers", "scratch", "active", "gcpause", "pausecmp", "storm", "obs", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "jvolve-bench: unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -30,6 +30,11 @@ type LaunchOptions struct {
 	Out       io.Writer
 	// IndirectionCheck enables the ablation VM mode.
 	IndirectionCheck bool
+	// GCWorkers selects the parallel collector (0/1 = serial).
+	GCWorkers int
+	// GCConcurrentMark runs updated-instance discovery concurrently with
+	// the mutator (SATB) instead of inside the DSU pause.
+	GCConcurrentMark bool
 }
 
 // Launch boots a VM with the given application version and steps until all
@@ -45,6 +50,8 @@ func Launch(app *App, opts LaunchOptions) (*Server, error) {
 		HeapWords:        opts.HeapWords,
 		Out:              opts.Out,
 		IndirectionCheck: opts.IndirectionCheck,
+		GCWorkers:        opts.GCWorkers,
+		GCConcurrentMark: opts.GCConcurrentMark,
 	})
 	if err != nil {
 		return nil, err
@@ -238,7 +245,13 @@ type MatrixEntry struct {
 // tests pass storm.CheckVM here so the whole-VM invariant sweep covers all
 // 22 real server transitions, not just generated storm programs.
 func RunMatrix(app *App, heapWords int, checks ...func(*vm.VM) error) ([]MatrixEntry, error) {
-	s, err := Launch(app, LaunchOptions{HeapWords: heapWords})
+	return RunMatrixOpts(app, LaunchOptions{HeapWords: heapWords}, checks...)
+}
+
+// RunMatrixOpts is RunMatrix with full control over the VM configuration —
+// the concurrent-mark and parallel-GC matrix runs use it.
+func RunMatrixOpts(app *App, opts LaunchOptions, checks ...func(*vm.VM) error) ([]MatrixEntry, error) {
+	s, err := Launch(app, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +320,9 @@ func RunMatrix(app *App, heapWords int, checks ...func(*vm.VM) error) ([]MatrixE
 		case res.Outcome == core.Aborted && target.ExpectAbort:
 			entry.Note = "changed method never leaves the stack; restarted"
 			// Restart at the new version, as the paper's deployment would.
-			s, err = Launch(app, LaunchOptions{HeapWords: heapWords, Version: i + 1})
+			restart := opts
+			restart.Version = i + 1
+			s, err = Launch(app, restart)
 			if err != nil {
 				return nil, err
 			}

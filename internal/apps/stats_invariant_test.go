@@ -6,19 +6,45 @@ import (
 	"govolve/internal/core"
 )
 
-// TestPauseDecompositionInvariant drives every application's whole update
-// matrix and checks the core.Stats accounting identity on each applied
-// update: the measured phases are disjoint slices of the total pause, so
+// checkPauseIdentity asserts the core.Stats accounting identities that hold
+// for every applied update regardless of VM configuration: the measured
+// phases are disjoint slices of the total pause, so
 //
 //	PauseTotal >= PauseInstall + PauseGC + PauseTransform
-//
-// and the bulk fan-out is a slice of the transformer phase:
-//
 //	PauseTransform >= PauseTransformBulk
+//	PauseGC >= PauseGCMark + PauseGCRescan + PauseGCCopy
 //
 // A violation means a timer was started in the wrong place or a phase is
 // being double-counted — exactly the kind of bug that would silently skew
-// Table 1 and the obs pause histograms.
+// Table 1, BENCH_pause.json, and the obs pause histograms.
+func checkPauseIdentity(t *testing.T, mode string, e MatrixEntry) {
+	t.Helper()
+	s := e.Stats
+	if s.PauseTotal < s.PauseInstall+s.PauseGC+s.PauseTransform {
+		t.Errorf("%s %s %s→%s: PauseTotal %v < install %v + gc %v + transform %v",
+			mode, e.App, e.From, e.To, s.PauseTotal, s.PauseInstall, s.PauseGC, s.PauseTransform)
+	}
+	if s.PauseTransform < s.PauseTransformBulk {
+		t.Errorf("%s %s %s→%s: PauseTransform %v < bulk slice %v",
+			mode, e.App, e.From, e.To, s.PauseTransform, s.PauseTransformBulk)
+	}
+	if s.PauseGC < s.PauseGCMark+s.PauseGCRescan+s.PauseGCCopy {
+		t.Errorf("%s %s %s→%s: PauseGC %v < mark %v + rescan %v + copy %v",
+			mode, e.App, e.From, e.To, s.PauseGC, s.PauseGCMark, s.PauseGCRescan, s.PauseGCCopy)
+	}
+	if s.PauseTotal <= 0 {
+		t.Errorf("%s %s %s→%s: applied update with non-positive PauseTotal %v",
+			mode, e.App, e.From, e.To, s.PauseTotal)
+	}
+	if s.SafePointDelay < 0 {
+		t.Errorf("%s %s %s→%s: negative SafePointDelay %v", mode, e.App, e.From, e.To, s.SafePointDelay)
+	}
+}
+
+// TestPauseDecompositionInvariant drives every application's whole update
+// matrix under the default stop-the-world pipeline and checks the pause
+// identities plus the STW decomposition: marking is fused into the pause,
+// so the concurrent-only fields must be zero.
 func TestPauseDecompositionInvariant(t *testing.T) {
 	applied := 0
 	for _, app := range All() {
@@ -31,25 +57,76 @@ func TestPauseDecompositionInvariant(t *testing.T) {
 				continue
 			}
 			applied++
+			checkPauseIdentity(t, "stw", e)
 			s := e.Stats
-			if s.PauseTotal < s.PauseInstall+s.PauseGC+s.PauseTransform {
-				t.Errorf("%s %s→%s: PauseTotal %v < install %v + gc %v + transform %v",
-					e.App, e.From, e.To, s.PauseTotal, s.PauseInstall, s.PauseGC, s.PauseTransform)
+			if s.GCMarkConcurrent {
+				t.Errorf("stw %s %s→%s: GCMarkConcurrent set without GCConcurrentMark", e.App, e.From, e.To)
 			}
-			if s.PauseTransform < s.PauseTransformBulk {
-				t.Errorf("%s %s→%s: PauseTransform %v < bulk slice %v",
-					e.App, e.From, e.To, s.PauseTransform, s.PauseTransformBulk)
+			if s.PauseGCMark <= 0 {
+				t.Errorf("stw %s %s→%s: fused collection reports no in-pause mark time", e.App, e.From, e.To)
 			}
-			if s.PauseTotal <= 0 {
-				t.Errorf("%s %s→%s: applied update with non-positive PauseTotal %v",
-					e.App, e.From, e.To, s.PauseTotal)
-			}
-			if s.SafePointDelay < 0 {
-				t.Errorf("%s %s→%s: negative SafePointDelay %v", e.App, e.From, e.To, s.SafePointDelay)
+			if s.GCMarkOutside != 0 || s.PauseGCRescan != 0 || s.GCRescanMarked != 0 {
+				t.Errorf("stw %s %s→%s: concurrent-only fields nonzero: outside %v rescan %v rescanMarked %d",
+					e.App, e.From, e.To, s.GCMarkOutside, s.PauseGCRescan, s.GCRescanMarked)
 			}
 		}
 	}
 	if applied == 0 {
 		t.Fatal("matrix produced no applied updates; the invariant was never exercised")
+	}
+}
+
+// TestPauseDecompositionInvariantConcurrentMark re-runs the full matrix with
+// the concurrent SATB mark enabled (serial and parallel collection). Updates
+// that complete a concurrent trace must report all mark time outside the
+// pause; the bounded-restart fallback (GCMarkConcurrent=false despite the
+// option) must satisfy the fused decomposition instead.
+func TestPauseDecompositionInvariantConcurrentMark(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		applied, concurrent := 0, 0
+		for _, app := range All() {
+			entries, err := RunMatrixOpts(app, LaunchOptions{
+				HeapWords:        1 << 20,
+				GCWorkers:        workers,
+				GCConcurrentMark: true,
+			})
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, app.Name, err)
+			}
+			for _, e := range entries {
+				if e.Outcome != core.Applied {
+					continue
+				}
+				applied++
+				checkPauseIdentity(t, "cmark", e)
+				s := e.Stats
+				if s.GCMarkConcurrent {
+					concurrent++
+					if s.PauseGCMark != 0 {
+						t.Errorf("cmark %s %s→%s: concurrent run reports in-pause mark %v",
+							e.App, e.From, e.To, s.PauseGCMark)
+					}
+					if s.GCMarkOutside <= 0 {
+						t.Errorf("cmark %s %s→%s: concurrent run reports no outside-pause mark time",
+							e.App, e.From, e.To)
+					}
+					if s.GCMarkedObjects <= 0 {
+						t.Errorf("cmark %s %s→%s: concurrent trace marked nothing", e.App, e.From, e.To)
+					}
+				} else {
+					// STW fallback after mark restarts exhausted: fused rules.
+					if s.PauseGCMark <= 0 || s.GCMarkOutside != 0 {
+						t.Errorf("cmark %s %s→%s: fallback run has wrong decomposition: %+v",
+							e.App, e.From, e.To, s)
+					}
+				}
+			}
+		}
+		if applied == 0 {
+			t.Fatalf("workers=%d: matrix produced no applied updates", workers)
+		}
+		if concurrent == 0 {
+			t.Fatalf("workers=%d: no update completed a concurrent mark; the pipeline never engaged", workers)
+		}
 	}
 }

@@ -73,6 +73,10 @@ type MicroConfig struct {
 	// (gc.AutoWorkers picks one per CPU). The parallel transformer bulk
 	// pass uses the same width.
 	Workers int
+	// ConcurrentMark discovers updated-class instances with the SATB
+	// concurrent mark before the pause; the stop-the-world window then
+	// runs only rescan + copy + transform.
+	ConcurrentMark bool
 }
 
 // MicroResult reports one run's pause decomposition — the three row groups
@@ -91,6 +95,15 @@ type MicroResult struct {
 	GCWorkerWords []int // words copied per worker (nil when serial)
 	GCSteals      int64 // work-stealing deque pops
 	PairsLogged   int   // pairs the collection scheduled for transformation
+
+	// Mark decomposition (pausecmp experiment).
+	GCMarkConcurrent bool          // the trace ran outside the pause
+	MarkOutside      time.Duration // concurrent trace wall-clock, outside the pause
+	PauseMark        time.Duration // in-pause mark time (STW: the fused trace)
+	PauseRescan      time.Duration // SATB drain + root re-trace, inside the pause
+	PauseCopy        time.Duration // sweep/copy + fixup, inside the pause
+	MarkedObjects    int           // objects the concurrent trace discovered
+	RescanMarked     int           // objects only the in-pause rescan found
 }
 
 // RunMicro builds a heap with the requested population and applies the
@@ -110,7 +123,8 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 	live := cfg.Objects*8 + cfg.Objects + 2*rt.HeaderWords + 64
 	machine, err := vm.New(vm.Options{
 		HeapWords: 5 * live, ScratchWords: cfg.ScratchWords,
-		GCWorkers: cfg.Workers, Out: io.Discard,
+		GCWorkers: cfg.Workers, GCConcurrentMark: cfg.ConcurrentMark,
+		Out: io.Discard,
 	})
 	if err != nil {
 		return nil, err
@@ -182,6 +196,14 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 		GCWorkerWords: res.Stats.GCWorkerWords,
 		GCSteals:      res.Stats.GCSteals,
 		PairsLogged:   res.Stats.PairsLogged,
+
+		GCMarkConcurrent: res.Stats.GCMarkConcurrent,
+		MarkOutside:      res.Stats.GCMarkOutside,
+		PauseMark:        res.Stats.PauseGCMark,
+		PauseRescan:      res.Stats.PauseGCRescan,
+		PauseCopy:        res.Stats.PauseGCCopy,
+		MarkedObjects:    res.Stats.GCMarkedObjects,
+		RescanMarked:     res.Stats.GCRescanMarked,
 	}, nil
 }
 

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+)
+
+// The pausecmp experiment is the headline measurement of the concurrent-
+// marking work: the Table 1 microbenchmark update run under the fused
+// stop-the-world pipeline and under the SATB concurrent-mark pipeline, over
+// a sizes × updated-fraction grid. For each cell it reports the full pause
+// decomposition — mark-in-pause / rescan / copy / transform — so the claim
+// is checkable from the JSON itself: in cmark rows the pause excludes
+// marking (mark_in_pause_ms = 0, the trace's wall time appears in
+// mark_outside_ms) and the window shrinks to rescan + copy + transform.
+//
+// Interpretation caveat (same as gcpause): the concurrent trace only
+// overlaps mutator work if the host has a spare CPU. On GOMAXPROCS=1 the
+// trace is time-sliced with everything else — the *pause* still excludes
+// marking (the decomposition claim holds), but total wall-clock improves
+// only with hardware parallelism. The JSON records gomaxprocs/cpus.
+
+// PauseCmpSweep configures the grid.
+type PauseCmpSweep struct {
+	// Sizes is the object-count axis (heap sized 5× live, as in RunMicro).
+	Sizes []int
+	// Fractions is the updated-instance fraction axis (default .05/.2/.5).
+	Fractions []float64
+	// Workers is the in-pause copy width for BOTH modes (default 4) so the
+	// comparison isolates where marking runs, not how wide the copy is.
+	Workers int
+	// Runs per cell; the median is reported (default 3).
+	Runs int
+	// FastDefaults enables the native bulk transformer path in both modes.
+	FastDefaults bool
+}
+
+// PauseCmpRow is one measured cell in one mode.
+type PauseCmpRow struct {
+	Objects     int     `json:"objects"`
+	HeapWords   int     `json:"heap_words"`
+	FracUpdated float64 `json:"frac_updated"`
+	Workers     int     `json:"workers"`
+	Mode        string  `json:"mode"` // "stw" or "cmark"
+
+	PauseTotalMillis  Summary `json:"pause_total_ms"`
+	GCMillis          Summary `json:"gc_ms"`
+	MarkInPauseMillis Summary `json:"mark_in_pause_ms"`
+	RescanMillis      Summary `json:"rescan_ms"`
+	CopyMillis        Summary `json:"copy_ms"`
+	TransformMillis   Summary `json:"transform_ms"`
+	MarkOutsideMillis Summary `json:"mark_outside_ms"`
+
+	MarkedObjects int `json:"marked_objects,omitempty"`
+	RescanMarked  int `json:"rescan_marked,omitempty"`
+	PairsLogged   int `json:"pairs_logged"`
+
+	// SpeedupPause is the stw row's median total pause divided by this
+	// row's, for the same size × fraction (1.0 on stw rows).
+	SpeedupPause float64 `json:"speedup_pause"`
+}
+
+// PauseCmpReport is the BENCH_pause.json document.
+type PauseCmpReport struct {
+	Experiment string        `json:"experiment"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Note       string        `json:"note"`
+	Rows       []PauseCmpRow `json:"rows"`
+}
+
+// RunPauseCmp measures the grid: for each size × fraction, the stw row
+// first (the baseline for speedup_pause), then the cmark row.
+func RunPauseCmp(sw PauseCmpSweep, progress io.Writer) (*PauseCmpReport, error) {
+	if len(sw.Sizes) == 0 {
+		sw.Sizes = DefaultGCPauseSizes()
+	}
+	if len(sw.Fractions) == 0 {
+		sw.Fractions = []float64{0.05, 0.2, 0.5}
+	}
+	if sw.Workers <= 0 {
+		sw.Workers = 4
+	}
+	if sw.Runs <= 0 {
+		sw.Runs = 3
+	}
+	rep := &PauseCmpReport{
+		Experiment: "pausecmp",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "speedup_pause is stw-median / row-median total pause for the same " +
+			"size and fraction; cmark rows must show mark_in_pause_ms = 0 with the " +
+			"trace wall time in mark_outside_ms. Pause shrinkage is a decomposition " +
+			"property and holds on any host; wall-clock overlap of mark with mutator " +
+			"work additionally requires gomaxprocs > 1.",
+	}
+	for _, objects := range sw.Sizes {
+		for _, frac := range sw.Fractions {
+			stwMedian := 0.0
+			for _, mode := range []string{"stw", "cmark"} {
+				var tots, gcs, marks, rescans, copies, trs, outs []float64
+				var last *MicroResult
+				for r := 0; r < sw.Runs; r++ {
+					res, err := RunMicro(MicroConfig{
+						Objects:        objects,
+						FracUpdated:    frac,
+						HeapLabel:      fmt.Sprintf("%d objects", objects),
+						FastDefaults:   sw.FastDefaults,
+						Workers:        sw.Workers,
+						ConcurrentMark: mode == "cmark",
+					})
+					if err != nil {
+						return nil, fmt.Errorf("bench: pausecmp objects=%d frac=%.2f mode=%s: %w",
+							objects, frac, mode, err)
+					}
+					if mode == "cmark" && !res.GCMarkConcurrent {
+						return nil, fmt.Errorf("bench: pausecmp objects=%d frac=%.2f: concurrent mark fell back to STW",
+							objects, frac)
+					}
+					tots = append(tots, Millis(res.Total))
+					gcs = append(gcs, Millis(res.GC))
+					marks = append(marks, Millis(res.PauseMark))
+					rescans = append(rescans, Millis(res.PauseRescan))
+					copies = append(copies, Millis(res.PauseCopy))
+					trs = append(trs, Millis(res.Transform))
+					outs = append(outs, Millis(res.MarkOutside))
+					last = res
+				}
+				row := PauseCmpRow{
+					Objects:     objects,
+					HeapWords:   5 * (objects*8 + objects + 2*2 + 64),
+					FracUpdated: frac,
+					Workers:     sw.Workers,
+					Mode:        mode,
+
+					PauseTotalMillis:  Summarize(tots),
+					GCMillis:          Summarize(gcs),
+					MarkInPauseMillis: Summarize(marks),
+					RescanMillis:      Summarize(rescans),
+					CopyMillis:        Summarize(copies),
+					TransformMillis:   Summarize(trs),
+					MarkOutsideMillis: Summarize(outs),
+
+					MarkedObjects: last.MarkedObjects,
+					RescanMarked:  last.RescanMarked,
+					PairsLogged:   last.PairsLogged,
+				}
+				if mode == "stw" {
+					stwMedian = row.PauseTotalMillis.Median
+				}
+				if stwMedian > 0 && row.PauseTotalMillis.Median > 0 {
+					row.SpeedupPause = stwMedian / row.PauseTotalMillis.Median
+				}
+				rep.Rows = append(rep.Rows, row)
+				if progress != nil {
+					fmt.Fprintf(progress, ".")
+				}
+			}
+		}
+		if progress != nil {
+			fmt.Fprintln(progress)
+		}
+	}
+	return rep, nil
+}
+
+// WritePauseCmpJSON writes the report as indented JSON (BENCH_pause.json).
+func WritePauseCmpJSON(path string, rep *PauseCmpReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PrintPauseCmp renders the grid as text.
+func PrintPauseCmp(w io.Writer, rep *PauseCmpReport) {
+	fmt.Fprintf(w, "DSU pause: STW vs concurrent mark (gomaxprocs=%d, cpus=%d)\n",
+		rep.GOMAXPROCS, rep.NumCPU)
+	fmt.Fprintf(w, "%9s %6s %6s %10s %9s %9s %9s %11s %10s %9s\n",
+		"objects", "frac", "mode", "pause(ms)", "mark(ms)", "rescan", "copy(ms)", "transf(ms)", "mark-out", "speedup")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%9d %5.0f%% %6s %10.2f %9.2f %9.2f %9.2f %11.2f %10.2f %8.2fx\n",
+			r.Objects, r.FracUpdated*100, r.Mode,
+			r.PauseTotalMillis.Median, r.MarkInPauseMillis.Median, r.RescanMillis.Median,
+			r.CopyMillis.Median, r.TransformMillis.Median, r.MarkOutsideMillis.Median,
+			r.SpeedupPause)
+	}
+	fmt.Fprintf(w, "note: %s\n", rep.Note)
+}

@@ -261,7 +261,15 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	// --- DSU garbage collection ---------------------------------------------
 	phase("gc")
 	tGC := time.Now()
-	gcRes, err := e.VM.GC.Collect(e.VM, true)
+	var gcRes *gc.Result
+	if e.VM.GC.MarkReady() {
+		// A sealed concurrent mark is waiting: the pause only drains the
+		// SATB log, re-scans roots, and copies the marked ∪ post-watermark
+		// set — discovery already happened outside the window.
+		gcRes, err = e.VM.GC.CollectWithMark(e.VM, true)
+	} else {
+		gcRes, err = e.VM.GC.Collect(e.VM, true)
+	}
 	if err != nil {
 		// A failed collection leaves the heap unusable — the semispace flip
 		// already happened and an unknown subset of roots is forwarded. Mark
@@ -274,6 +282,15 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 		return fail(fmt.Errorf("core: DSU collection: %w", err))
 	}
 	p.stats.PauseGC = time.Since(tGC)
+	p.stats.PauseGCMark = gcRes.PauseMark
+	p.stats.PauseGCRescan = gcRes.PauseRescan
+	p.stats.PauseGCCopy = gcRes.PauseCopy
+	p.stats.GCMarkConcurrent = gcRes.MarkConcurrent
+	p.stats.GCMarkOutside = gcRes.MarkOutside
+	p.stats.GCMarkSetup = gcRes.MarkSetup
+	p.stats.GCMarkedObjects = gcRes.MarkedObjects
+	p.stats.GCSATBDrained = gcRes.SATBDrained
+	p.stats.GCRescanMarked = gcRes.RescanMarked
 	p.stats.CopiedObjects = gcRes.CopiedObjects
 	p.stats.CopiedWords = gcRes.CopiedWords
 	p.stats.ScratchWords = gcRes.ScratchWords

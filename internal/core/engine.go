@@ -21,10 +21,12 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"govolve/internal/bytecode"
 	"govolve/internal/classfile"
+	"govolve/internal/gc"
 	"govolve/internal/obs"
 	"govolve/internal/rt"
 	"govolve/internal/upt"
@@ -93,9 +95,33 @@ type Stats struct {
 	BytecodeTransformed int
 	TransformWorkers    int
 
+	// Concurrent-mark decomposition. GCMarkConcurrent records that instance
+	// discovery ran as a concurrent snapshot-at-the-beginning trace outside
+	// the pause: GCMarkOutside is the trace's wall-clock time overlapped
+	// with the mutator, GCMarkSetup the snapshot/arm/spawn mini-pause, and
+	// GCMarkRestarts how many snapshots were invalidated by allocation-
+	// triggered collections before one survived. GCMarkedObjects is the
+	// concurrent trace's population, GCSATBDrained the deletion-log entries
+	// drained at the pause, and GCRescanMarked the objects the in-pause
+	// rescan added (the only in-pause tracing).
+	GCMarkConcurrent bool
+	GCMarkOutside    time.Duration
+	GCMarkSetup      time.Duration
+	GCMarkRestarts   int
+	GCMarkedObjects  int
+	GCSATBDrained    int
+	GCRescanMarked   int
+
 	SafePointDelay time.Duration // request → DSU safe point
 	PauseInstall   time.Duration
 	PauseGC        time.Duration
+	// PauseGC's decomposition: in-pause discovery (the whole trace for the
+	// STW collectors, zero when marking ran concurrently), SATB/root rescan
+	// (concurrent path only), and the copy+fixup phase. The remainder of
+	// PauseGC is bookkeeping.
+	PauseGCMark    time.Duration
+	PauseGCRescan  time.Duration
+	PauseGCCopy    time.Duration
 	PauseTransform time.Duration
 	// PauseTransformBulk is the slice of PauseTransform spent inside the
 	// parallel bulk fan-out.
@@ -138,6 +164,12 @@ type Pending struct {
 	result  *Result
 	stats   Stats
 	barrier map[*vm.Frame]bool
+
+	// mark is the in-flight (or sealed) concurrent marker when the collector
+	// runs with ConcurrentMark; markRestarts counts snapshots invalidated by
+	// allocation-triggered collections before one survived to the pause.
+	mark         *gc.Marker
+	markRestarts int
 }
 
 // Done reports whether the request has finished.
@@ -383,6 +415,16 @@ func (e *Engine) handle() bool {
 	if p == nil || p.Done() {
 		return true
 	}
+	if e.VM.GC.Opts.ConcurrentMark {
+		// Run instance discovery outside the pause: start (or poll) the
+		// concurrent snapshot-at-the-beginning mark and keep the mutator
+		// running until the trace completes. Safe-point attempts — and the
+		// stop-the-world they imply — only begin once a sealed mark result
+		// is waiting for the pause.
+		if !e.stepMark(p) {
+			return p.Done() // stepMark may abort the update on timeout
+		}
+	}
 	p.stats.Attempts++
 
 	cat1, updatedOld := e.restrictedSets(p.Spec)
@@ -455,8 +497,87 @@ func (e *Engine) handle() bool {
 	return true
 }
 
+// maxMarkRestarts bounds how many times a concurrent-mark snapshot may be
+// invalidated (by an allocation-triggered collection flipping the heap under
+// the tracers) before the engine gives up and falls back to fused
+// stop-the-world discovery. Each restart re-traces from scratch, so under
+// allocation pressure heavy enough to trigger back-to-back collections the
+// STW path is the faster choice anyway.
+const maxMarkRestarts = 3
+
+// stepMark advances the concurrent-mark pipeline by one poll. It returns
+// true when the safe-point attempt should proceed — either a sealed mark
+// result is waiting for the pause, or the engine has fallen back to
+// stop-the-world discovery — and false when the mutator should keep running
+// while the markers trace. It may finish p (timeout abort), which callers
+// detect via p.Done().
+func (e *Engine) stepMark(p *Pending) bool {
+	gcc := e.VM.GC
+	p.stats.GCMarkRestarts = p.markRestarts
+	if p.mark == nil {
+		if p.markRestarts > maxMarkRestarts {
+			return true // fall back to fused STW discovery
+		}
+		p.mark = gcc.StartMark(e.VM, e.updatedClassIDs(p.Spec))
+		// Let threads run full slices while the markers trace; the yield
+		// flag comes back on the moment the trace completes. The scheduler
+		// still calls the handler between slices (updatePending is set), so
+		// the poll cadence is unchanged.
+		e.VM.ClearStop()
+		return false
+	}
+	if p.mark.Aborted() {
+		// An allocation-triggered collection flipped the heap mid-trace (or
+		// a tracer hit a structural error); the snapshot is stale. Restart
+		// on the next poll.
+		p.mark = nil
+		p.markRestarts++
+		return false
+	}
+	if !p.mark.Done() {
+		if time.Since(p.start) > p.Opts.Timeout {
+			gcc.AbortMark()
+			p.mark = nil
+			e.finish(p, &Result{Outcome: Aborted,
+				Err: fmt.Errorf("core: concurrent mark did not complete within %v", p.Opts.Timeout)})
+			return false
+		}
+		runtime.Gosched() // cede the processor to the markers
+		return false
+	}
+	// Trace complete. Seal immediately — sealing joins the workers and
+	// disarms the write barrier, so a long blocked-safe-point wait does not
+	// keep taxing the mutator (the SATB invariant is stable once the trace
+	// is done). Idempotent across repeated attempts.
+	if !gcc.SealMark(p.mark) {
+		p.mark = nil
+		p.markRestarts++
+		return false
+	}
+	e.VM.RequestStop()
+	return true
+}
+
+// updatedClassIDs resolves the spec's updated classes to their class IDs so
+// the concurrent mark can attribute discovered instances per class (IDs
+// survive the install-phase rename, unlike names).
+func (e *Engine) updatedClassIDs(spec *upt.Spec) map[int]bool {
+	ids := make(map[int]bool, len(spec.ClassUpdates))
+	for _, name := range spec.ClassUpdates {
+		if cls := e.VM.Reg.LookupClass(name); cls != nil {
+			ids[cls.ID] = true
+		}
+	}
+	return ids
+}
+
 // finish seals the request, clears barriers, and releases parked threads.
 func (e *Engine) finish(p *Pending, res *Result) {
+	// Discard any snapshot the update did not consume (aborted or failed
+	// before the collection ran): the marker must not outlive its request.
+	// No-op when CollectWithMark already took it or no mark ever started.
+	e.VM.GC.AbortMark()
+	p.mark = nil
 	for f := range p.barrier {
 		f.Barrier = false
 	}
@@ -507,6 +628,12 @@ func (e *Engine) observeUpdate(res *Result) {
 		m.Histogram(obs.MSafePointDelay, obs.DurationBuckets()).Observe(s.SafePointDelay.Seconds())
 		m.Histogram(obs.MPauseInstall, obs.DurationBuckets()).Observe(s.PauseInstall.Seconds())
 		m.Histogram(obs.MPauseGC, obs.DurationBuckets()).Observe(s.PauseGC.Seconds())
+		m.Histogram(obs.MPauseGCMark, obs.DurationBuckets()).Observe(s.PauseGCMark.Seconds())
+		m.Histogram(obs.MPauseGCRescan, obs.DurationBuckets()).Observe(s.PauseGCRescan.Seconds())
+		m.Histogram(obs.MPauseGCCopy, obs.DurationBuckets()).Observe(s.PauseGCCopy.Seconds())
+		if s.GCMarkConcurrent {
+			m.Histogram(obs.MMarkOutside, obs.DurationBuckets()).Observe(s.GCMarkOutside.Seconds())
+		}
 		m.Histogram(obs.MPauseTransform, obs.DurationBuckets()).Observe(s.PauseTransform.Seconds())
 		m.Histogram(obs.MPauseBulk, obs.DurationBuckets()).Observe(s.PauseTransformBulk.Seconds())
 		m.Histogram(obs.MPauseTotal, obs.DurationBuckets()).Observe(s.PauseTotal.Seconds())

@@ -83,6 +83,27 @@ type Result struct {
 	// Steals counts work-stealing deque pops that took another worker's
 	// grey object.
 	Steals int64
+
+	// Pause decomposition. The measured phases are disjoint slices of
+	// Duration: PauseMark is in-pause instance discovery (for the STW
+	// collectors the trace is fused with the copy, so PauseMark = Duration
+	// and the other slices are zero), PauseRescan is the SATB deletion-log
+	// drain + root re-scan a concurrent-mark collection still does inside
+	// the pause, and PauseCopy is its copy + fixup sweep.
+	PauseMark   time.Duration
+	PauseRescan time.Duration
+	PauseCopy   time.Duration
+
+	// Concurrent-mark bookkeeping (zero unless MarkConcurrent). MarkOutside
+	// is the concurrent trace's wall time — work that PR 5 moved *out* of
+	// the pause; MarkSetup is the snapshot capture + barrier arm mini-stop.
+	MarkConcurrent       bool
+	MarkOutside          time.Duration
+	MarkSetup            time.Duration
+	MarkedObjects        int // objects greyed by the concurrent trace
+	RescanMarked         int // objects the pause rescan additionally marked
+	SATBDrained          int // deletion-log entries drained at the pause
+	MarkUpdatedInstances int // updated-class instances in the mark's per-class set
 }
 
 // Options tunes a collector.
@@ -95,6 +116,14 @@ type Options struct {
 	// parallel collections (default 4096, clamped so the worker buffers
 	// cannot strand more than ~1/8 of a semispace).
 	TLABWords int
+	// ConcurrentMark opts the DSU engine into the snapshot-at-the-beginning
+	// concurrent mark phase (mark.go): updated-instance discovery runs
+	// overlapped with the mutator and the update pause shrinks to
+	// rescan + copy + transform. The collector itself only consults it in
+	// the engine-facing helpers; plain Collect calls are unaffected, so
+	// ConcurrentMark=false preserves today's serial and parallel paths
+	// exactly.
+	ConcurrentMark bool
 }
 
 // AutoWorkers selects one collection worker per available CPU.
@@ -117,6 +146,13 @@ type Collector struct {
 	// recorder events: one phase span per copy/scan worker plus a
 	// copied-words and steal summary. Nil disables emission entirely.
 	Rec *obs.Recorder
+
+	// mark is the in-flight concurrent marker (nil when none — the common
+	// case; every STW entry point pays one nil check). pool keeps the mark
+	// bitmap, SATB buffer, and worker deques alive across collections so
+	// repeated updates allocate no per-cycle scratch.
+	mark *Marker
+	pool markPool
 }
 
 // New builds a serial collector.
@@ -151,6 +187,15 @@ func (c *Collector) EffectiveWorkers() int {
 // With Opts.Workers > 1 the parallel copy/scan collector runs instead; the
 // serial path below is byte-for-byte the original Cheney loop.
 func (c *Collector) Collect(roots Roots, dsu bool) (*Result, error) {
+	if c.mark != nil {
+		// A concurrent mark is in flight but a collection must run now
+		// (e.g. the mutator exhausted the heap mid-mark). The flip would
+		// move memory under the tracers and invalidate every marked
+		// address, so the snapshot is stale: join the workers and discard
+		// it before touching anything. The engine observes the abort and
+		// restarts the mark against the post-collection heap.
+		c.AbortMark()
+	}
 	if w := c.EffectiveWorkers(); w > 1 {
 		return c.collectParallel(roots, dsu, w)
 	}
@@ -297,5 +342,6 @@ func (c *Collector) collectSerial(roots Roots, dsu bool) (*Result, error) {
 	c.Collections++
 	c.CopiedObjects += res.CopiedObjects
 	res.Duration = time.Since(start)
+	res.PauseMark = res.Duration // STW: discovery is fused with the copy
 	return res, nil
 }

@@ -1,0 +1,318 @@
+package gc
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"govolve/internal/rt"
+)
+
+// The concurrent-mark equivalence suite. CollectWithMark must produce a heap
+// observationally identical to the STW collectors' — isomorphic reachable
+// graph, identical DSU pair treatment for every reachable object — for any
+// interleaving of mutator activity with the concurrent trace. With the
+// mutator quiescent during the mark the copy counts must match exactly; with
+// in-flight mutation the concurrent path may additionally copy floating
+// garbage (objects that died during the trace), which is invisible to the
+// reachable-graph walk and reclaimed by the next collection.
+
+// runMarkCycle drives a full concurrent-mark collection on w: snapshot +
+// trace (mutate, if given, runs while the barrier is armed), seal, pause.
+func runMarkCycle(t *testing.T, w *world, c *Collector, dsu bool, updatedIDs map[int]bool, mutate func()) *Result {
+	t.Helper()
+	m := c.StartMark(w, updatedIDs)
+	if mutate != nil {
+		mutate()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !m.Done() {
+		if time.Now().After(deadline) {
+			t.Fatal("concurrent mark did not terminate")
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+	if !c.SealMark(m) {
+		t.Fatalf("mark aborted: %v", m.Err())
+	}
+	if w.h.SATBArmed() {
+		t.Fatal("barrier still armed after seal")
+	}
+	res, err := c.CollectWithMark(w, dsu)
+	if err != nil {
+		t.Fatalf("CollectWithMark: %v", err)
+	}
+	if !res.MarkConcurrent {
+		t.Fatal("result not flagged MarkConcurrent")
+	}
+	return res
+}
+
+// runMarkEquivalence compares a quiescent concurrent-mark collection against
+// the serial Cheney collector on identical worlds. Quiescence means no
+// floating garbage, so even the copy counts must match.
+func runMarkEquivalence(t *testing.T, seed int64, dsu bool, scratch, workers int) {
+	t.Helper()
+	const semi = 1 << 13
+	wa := buildWorld(t, seed, semi, scratch)
+	wb := buildWorld(t, seed, semi, scratch)
+	var updatedIDs map[int]bool
+	if dsu {
+		addUpdatedTo(t, wa)
+		addUpdatedTo(t, wb)
+		updatedIDs = map[int]bool{wb.cls.ID: true}
+	}
+
+	ra, err := New(wa.h, wa.reg).Collect(wa, dsu)
+	if err != nil {
+		t.Fatalf("serial collect: %v", err)
+	}
+	cb := NewWithOptions(wb.h, wb.reg, Options{Workers: workers, ConcurrentMark: true})
+	rb := runMarkCycle(t, wb, cb, dsu, updatedIDs, nil)
+
+	if ra.CopiedObjects != rb.CopiedObjects {
+		t.Fatalf("copied objects: STW %d, concurrent %d", ra.CopiedObjects, rb.CopiedObjects)
+	}
+	if ra.CopiedWords != rb.CopiedWords {
+		t.Fatalf("copied words: STW %d, concurrent %d", ra.CopiedWords, rb.CopiedWords)
+	}
+	if ra.PairsLogged != rb.PairsLogged {
+		t.Fatalf("pairs: STW %d, concurrent %d", ra.PairsLogged, rb.PairsLogged)
+	}
+	for i := 1; i < len(rb.Log); i++ {
+		if rb.Log[i-1].New >= rb.Log[i].New {
+			t.Fatal("concurrent log not sorted by new-shell address")
+		}
+	}
+	if rb.PauseMark != 0 {
+		t.Fatalf("concurrent collection reports in-pause mark %v", rb.PauseMark)
+	}
+	isoCheck(t, wa, wb, ra, rb, dsu)
+}
+
+func TestConcurrentMarkEquivalenceSerialSweep(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		runMarkEquivalence(t, seed, false, 0, 1)
+	}
+}
+
+func TestConcurrentMarkEquivalenceParallelSweep(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		runMarkEquivalence(t, seed, false, 0, 4)
+	}
+}
+
+func TestConcurrentMarkDSUEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		runMarkEquivalence(t, seed, true, 0, 1)
+		runMarkEquivalence(t, seed, true, 0, 4)
+	}
+}
+
+func TestConcurrentMarkDSUEquivalenceScratch(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		runMarkEquivalence(t, seed, true, 1<<13, 4)
+	}
+	runMarkEquivalence(t, 11, true, 1<<13, 2)
+	runMarkEquivalence(t, 12, true, 1<<13, 7)
+}
+
+// mutationScript applies a deterministic in-flight mutation to a buildWorld
+// heap while the mark runs: it rewires edges between rooted nodes (SATB
+// deletion-barrier traffic), severs edges (dead-during-mark objects), and
+// allocates a fresh chain published through a root (allocate-black traffic).
+// The script depends only on the world's initial layout, so running it on an
+// identical world with no mark in flight produces the identical final graph.
+func mutationScript(t *testing.T, w *world) func() {
+	t.Helper()
+	// Collect the node addresses reachable as direct roots (stable across
+	// identical worlds: buildWorld is deterministic).
+	var nodes []rt.Addr
+	for _, r := range w.roots {
+		a := r.Ref()
+		if a != rt.Null && !w.h.IsArray(a) {
+			nodes = append(nodes, a)
+		}
+	}
+	return func() {
+		n := len(nodes)
+		if n < 4 {
+			t.Fatal("mutation script needs at least 4 rooted nodes")
+		}
+		// Rewire: every rooted node's left edge points at its successor —
+		// each store overwrites (and logs, while armed) the previous value.
+		for i, a := range nodes {
+			w.h.SetFieldValue(a, offLeft, rt.RefVal(nodes[(i+1)%n]))
+		}
+		// Sever: half the right edges go null. Anything only reachable
+		// through them dies during the mark (floating garbage for the
+		// concurrent path).
+		for i := 0; i < n; i += 2 {
+			w.h.SetFieldValue(nodes[i], offRight, rt.NullVal)
+		}
+		// Allocate-black: a fresh chain, published via the first root.
+		var prev rt.Addr
+		for k := 0; k < 8; k++ {
+			a, ok := w.h.AllocObject(w.cls)
+			if !ok {
+				t.Fatal("alloc during mark")
+			}
+			w.h.SetFieldValue(a, offVal, rt.IntVal(int64(7000+k)))
+			w.h.SetFieldValue(a, offLeft, rt.RefVal(prev))
+			prev = a
+		}
+		w.h.SetFieldValue(nodes[0], offRight, rt.RefVal(prev))
+		// Churn the ref arrays too (SetElem barrier path).
+		for _, r := range w.roots {
+			a := r.Ref()
+			if a != rt.Null && w.h.IsArray(a) && w.h.ArrayElemIsRef(a) {
+				w.h.SetElem(a, 0, rt.RefVal(nodes[n-1]))
+			}
+		}
+	}
+}
+
+// runMutationEquivalence runs the same deterministic mutation script on two
+// identical worlds — on A while the concurrent mark traces, on B before a
+// plain STW collection — and requires isomorphic post-collection graphs.
+// Copy counts are NOT compared: the concurrent path may copy floating
+// garbage the STW path never sees.
+func runMutationEquivalence(t *testing.T, seed int64, dsu bool, workers int) {
+	t.Helper()
+	const semi = 1 << 13
+	wa := buildWorld(t, seed, semi, 0)
+	wb := buildWorld(t, seed, semi, 0)
+	var updatedIDs map[int]bool
+	if dsu {
+		addUpdatedTo(t, wa)
+		addUpdatedTo(t, wb)
+		updatedIDs = map[int]bool{wa.cls.ID: true}
+	}
+
+	ca := NewWithOptions(wa.h, wa.reg, Options{Workers: workers, ConcurrentMark: true})
+	ra := runMarkCycle(t, wa, ca, dsu, updatedIDs, mutationScript(t, wa))
+
+	mutationScript(t, wb)()
+	rb, err := NewWithOptions(wb.h, wb.reg, Options{Workers: workers}).Collect(wb, dsu)
+	if err != nil {
+		t.Fatalf("STW collect: %v", err)
+	}
+
+	// The concurrent path can only ever copy MORE (floating garbage).
+	if ra.CopiedObjects < rb.CopiedObjects {
+		t.Fatalf("concurrent copied %d < STW %d: live objects escaped the mark",
+			ra.CopiedObjects, rb.CopiedObjects)
+	}
+	if dsu && ra.PairsLogged < rb.PairsLogged {
+		t.Fatalf("concurrent paired %d < STW %d instances", ra.PairsLogged, rb.PairsLogged)
+	}
+	isoCheck(t, wa, wb, ra, rb, dsu)
+}
+
+func TestConcurrentMarkInFlightMutation(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		runMutationEquivalence(t, seed, false, 1)
+		runMutationEquivalence(t, seed, false, 4)
+	}
+}
+
+func TestConcurrentMarkInFlightMutationDSU(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		runMutationEquivalence(t, seed, true, 1)
+		runMutationEquivalence(t, seed, true, 4)
+	}
+}
+
+// TestCollectAbortsInFlightMark pins the safety interlock: an ordinary
+// collection (the allocation-pressure path) aborts an in-flight mark — the
+// flip would move memory under the tracers — and the collection itself
+// stays correct. CollectWithMark afterwards falls back to plain Collect.
+func TestCollectAbortsInFlightMark(t *testing.T) {
+	w := buildWorld(t, 42, 1<<13, 0)
+	c := NewWithOptions(w.h, w.reg, Options{Workers: 2, ConcurrentMark: true})
+	m := c.StartMark(w, nil)
+	res, err := c.Collect(w, false)
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if !m.Aborted() {
+		t.Fatal("in-flight mark not aborted by Collect")
+	}
+	if c.MarkActive() {
+		t.Fatal("collector still holds the aborted marker")
+	}
+	if w.h.SATBArmed() {
+		t.Fatal("barrier left armed after abort")
+	}
+	if res.MarkConcurrent {
+		t.Fatal("fallback collection flagged MarkConcurrent")
+	}
+	// The engine's fallback path: CollectWithMark with no usable marker must
+	// behave as plain Collect.
+	res2, err := c.CollectWithMark(w, false)
+	if err != nil {
+		t.Fatalf("fallback CollectWithMark: %v", err)
+	}
+	if res2.MarkConcurrent {
+		t.Fatal("fallback CollectWithMark flagged MarkConcurrent")
+	}
+	if res2.CopiedObjects != res.CopiedObjects {
+		t.Fatalf("fallback copied %d, first collection %d", res2.CopiedObjects, res.CopiedObjects)
+	}
+}
+
+// TestAbortMarkIdempotent pins the discard path the engine uses when an
+// update resolves without consuming its snapshot.
+func TestAbortMarkIdempotent(t *testing.T) {
+	w := buildWorld(t, 7, 1<<13, 0)
+	c := NewWithOptions(w.h, w.reg, Options{ConcurrentMark: true})
+	c.StartMark(w, nil)
+	c.AbortMark()
+	c.AbortMark() // second abort is a no-op
+	if c.MarkActive() || w.h.SATBArmed() {
+		t.Fatal("abort left state behind")
+	}
+}
+
+// TestMarkScratchPooled asserts the mark-phase scratch (bitmap, deques, SATB
+// buffer) is reused across collections — the storm harness applies hundreds
+// of updates against one VM and must not re-allocate per cycle.
+func TestMarkScratchPooled(t *testing.T) {
+	w := buildWorld(t, 3, 1<<13, 0)
+	c := NewWithOptions(w.h, w.reg, Options{Workers: 2, ConcurrentMark: true})
+
+	runMarkCycle(t, w, c, false, nil, nil)
+	bitmap0 := c.pool.bitmap[:1]
+	deques0 := c.pool.deques
+
+	runMarkCycle(t, w, c, false, nil, nil)
+	if &c.pool.bitmap[:1][0] != &bitmap0[0] {
+		t.Fatal("mark bitmap re-allocated on second cycle")
+	}
+	if len(deques0) == 0 || len(c.pool.deques) == 0 || c.pool.deques[0] != deques0[0] {
+		t.Fatal("mark deques re-allocated on second cycle")
+	}
+}
+
+// BenchmarkConcurrentMarkCycle measures a full mark+pause cycle, with
+// ReportAllocs asserting the pooled scratch keeps steady-state allocation
+// flat (the equivalent of the obs plane's zero-alloc gate, but for the
+// collector's own bookkeeping).
+func BenchmarkConcurrentMarkCycle(b *testing.B) {
+	b.ReportAllocs()
+	w := buildWorld(b, 5, 1<<15, 0)
+	c := NewWithOptions(w.h, w.reg, Options{Workers: 2, ConcurrentMark: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := c.StartMark(w, nil)
+		for !m.Done() {
+			runtime.Gosched()
+		}
+		if !c.SealMark(m) {
+			b.Fatalf("mark aborted: %v", m.Err())
+		}
+		if _, err := c.CollectWithMark(w, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

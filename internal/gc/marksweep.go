@@ -1,0 +1,528 @@
+package gc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"govolve/internal/heap"
+	"govolve/internal/obs"
+	"govolve/internal/rt"
+)
+
+// CollectWithMark is the pause half of a concurrent-mark DSU collection: it
+// consumes the sealed Marker and runs only the work that cannot overlap the
+// mutator. Where the STW collectors trace the whole heap inside the pause,
+// this path:
+//
+//  1. rescan  — drains the SATB deletion log and re-scans the root set,
+//     transitively marking any snapshot-region object the concurrent trace
+//     has not seen (typically a handful: values the mutator moved around
+//     while the trace ran). This is the only in-pause tracing.
+//  2. sweep   — walks from-space linearly (a bump region is self-parsing),
+//     collecting every marked object plus everything in [watermark, alloc)
+//     (allocate-black), in address order. Then flips and copies exactly
+//     that list: updated-class instances get the usual pair treatment
+//     (shell + old copy, forwarding pointer to the shell), everything else
+//     a plain evacuation. With Workers > 1 the copy fans out over the PR 3
+//     TLAB machinery — no CAS is needed because the entry list is
+//     partitioned, so no two workers ever touch the same object.
+//  3. fixup   — rewrites every ref slot of the copies (and the scratch old
+//     copies) and every root through the forwarding pointers. A live ref
+//     to an unforwarded object means the SATB invariant was violated; the
+//     collection fails loudly rather than corrupting the heap.
+//
+// The result is bit-compatible with the STW collectors' (same Pair/
+// OldForNew contract, update log sorted by new-shell address) plus the
+// pause decomposition: PauseRescan + PauseCopy ≈ Duration, PauseMark = 0,
+// with the concurrent trace's wall time reported outside the pause in
+// MarkOutside.
+//
+// If the marker is missing, unsealed, or aborted, it falls back to the
+// ordinary Collect — the engine relies on that for the bounded-restart
+// fallback path.
+func (c *Collector) CollectWithMark(roots Roots, dsu bool) (*Result, error) {
+	m := c.mark
+	if m == nil || !m.sealed || m.aborted {
+		return c.Collect(roots, dsu)
+	}
+	c.mark = nil
+	defer c.recycleMark(m)
+
+	start := time.Now()
+	h := c.Heap
+	res := &Result{
+		Workers:              c.EffectiveWorkers(),
+		MarkConcurrent:       true,
+		MarkOutside:          time.Duration(m.traceNS.Load()),
+		MarkSetup:            m.setup,
+		MarkedObjects:        m.markedObjects,
+		SATBDrained:          len(m.satb),
+		MarkUpdatedInstances: m.updatedInstances,
+	}
+	if dsu {
+		res.OldForNew = make(map[rt.Addr]rt.Addr)
+	}
+
+	// --- 1. rescan ---------------------------------------------------------
+	tRescan := time.Now()
+	var stack []rt.Addr
+	pushIf := func(w rt.Addr) {
+		if w == 0 || w < m.lo || w >= m.watermark {
+			return
+		}
+		if m.setMarkSerial(w) {
+			stack = append(stack, w)
+			res.RescanMarked++
+		}
+	}
+	for _, w := range m.satb {
+		pushIf(w)
+	}
+	roots.ForEachRoot(func(v *rt.Value) {
+		if v.IsRef {
+			pushIf(v.Ref())
+		}
+	})
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if h.IsArray(a) {
+			if h.ArrayElemIsRef(a) {
+				for i := 0; i < h.ArrayLen(a); i++ {
+					pushIf(h.Elem(a, i).Ref())
+				}
+			}
+			continue
+		}
+		cls := c.Reg.ClassByID(h.ClassID(a))
+		if cls == nil {
+			return nil, fmt.Errorf("gc: rescan: object @%d with unknown class id %d", a, h.ClassID(a))
+		}
+		for i, isRef := range cls.RefMap {
+			if isRef {
+				pushIf(h.FieldValue(a, rt.HeaderWords+i, true).Ref())
+			}
+		}
+	}
+	res.PauseRescan = time.Since(tRescan)
+
+	// --- 2. sweep: build the live list, then flip and copy -----------------
+	tCopy := time.Now()
+	entries, err := c.sweepList(m)
+	if err != nil {
+		// Nothing has been flipped or forwarded yet: the heap is intact, so
+		// surface the structural error without poisoning it.
+		return nil, err
+	}
+	h.Flip()
+	useScratch := dsu && h.HasScratch()
+	if res.Workers > 1 {
+		err = c.sweepParallel(entries, dsu, useScratch, res)
+	} else {
+		err = c.sweepSerial(entries, dsu, useScratch, res)
+	}
+	if err != nil {
+		return nil, err // flip happened: heap unusable, caller marks it fatal
+	}
+
+	// --- 3. fixup: rewrite refs through the forwarding pointers ------------
+	if res.Workers > 1 {
+		err = c.fixupParallel(entries, roots, res.Workers)
+	} else {
+		err = c.fixupSerial(entries, roots)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.PauseCopy = time.Since(tCopy)
+	c.pool.entries = entries[:0] // recycle the live list for the next cycle
+
+	sort.Slice(res.Log, func(i, j int) bool { return res.Log[i].New < res.Log[j].New })
+	for _, p := range res.Log {
+		res.OldForNew[p.New] = p.OldCopy
+	}
+	res.PairsLogged = len(res.Log)
+
+	c.Collections++
+	c.CopiedObjects += res.CopiedObjects
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// sweepEntry is one object scheduled for evacuation, with its copy
+// destinations filled in during the copy phase (disjoint indices, so the
+// parallel sweep needs no synchronization on the slice).
+type sweepEntry struct {
+	addr rt.Addr
+	size int32
+	// newCls is non-nil for a DSU pair (old class's UpdatedTo); new is then
+	// the shell and oldCopy the preserved old version. For plain objects
+	// new is the evacuated copy and oldCopy is 0.
+	newCls  *rt.Class
+	new     rt.Addr
+	oldCopy rt.Addr
+}
+
+// sweepList walks from-space linearly and returns, in address order, every
+// marked object plus the whole allocate-black region [watermark, alloc).
+// A bump region is self-parsing except for the dead gaps earlier parallel
+// collections left behind (abandoned TLAB tails) — the walk consults the
+// heap's hole list to step over those. It runs before the flip and mutates
+// nothing, so any error here leaves the heap fully usable (the caller falls
+// back or fails the update cleanly).
+func (c *Collector) sweepList(m *Marker) ([]sweepEntry, error) {
+	h := c.Heap
+	entries := c.pool.entries[:0]
+	holes := h.Holes()
+	objSize := func(a rt.Addr) (int, error) {
+		if h.IsArray(a) {
+			return rt.HeaderWords + h.ArrayLen(a), nil
+		}
+		cls := c.Reg.ClassByID(h.ClassID(a))
+		if cls == nil {
+			return 0, fmt.Errorf("gc: sweep: object @%d with unknown class id %d", a, h.ClassID(a))
+		}
+		return cls.Size, nil
+	}
+	skipHole := func(a rt.Addr) (rt.Addr, bool) {
+		for len(holes) > 0 && holes[0].Addr < a {
+			holes = holes[1:] // stale entry below the walk — cannot happen, but stay safe
+		}
+		if len(holes) > 0 && holes[0].Addr == a {
+			a += rt.Addr(holes[0].Size)
+			holes = holes[1:]
+			return a, true
+		}
+		return a, false
+	}
+	for a := m.lo; a < m.watermark; {
+		if na, skipped := skipHole(a); skipped {
+			a = na
+			continue
+		}
+		size, err := objSize(a)
+		if err != nil {
+			return nil, err
+		}
+		if m.isMarked(a) {
+			entries = append(entries, sweepEntry{addr: a, size: int32(size)})
+		}
+		a += rt.Addr(size)
+	}
+	for a := m.watermark; a < h.AllocPointer(); {
+		if na, skipped := skipHole(a); skipped {
+			a = na
+			continue
+		}
+		size, err := objSize(a)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, sweepEntry{addr: a, size: int32(size)})
+		a += rt.Addr(size)
+	}
+	return entries, nil
+}
+
+// resolvePair fills e.newCls when the entry is an instance of an updated
+// class (UpdatedTo is set during the install phase, which precedes the
+// collection inside the same pause).
+func (c *Collector) resolvePair(e *sweepEntry, dsu bool) {
+	if !dsu || c.Heap.IsArray(e.addr) {
+		return
+	}
+	cls := c.Reg.ClassByID(c.Heap.ClassID(e.addr))
+	if cls != nil && cls.UpdatedTo != nil {
+		e.newCls = cls.UpdatedTo
+	}
+}
+
+// sweepSerial copies the entry list with the global bump pointer — address
+// order in, address order out, so the to-space layout is as compact and
+// deterministic as the serial Cheney path's.
+func (c *Collector) sweepSerial(entries []sweepEntry, dsu, useScratch bool, res *Result) error {
+	h := c.Heap
+	c.Rec.Emit(obs.KPhaseBegin, obs.LaneGCWorker(0), 0, "gc sweep/fixup")
+	defer func() {
+		c.Rec.Emit(obs.KGCWorkerCopy, obs.LaneGCWorker(0), int64(res.CopiedWords), "")
+		c.Rec.Emit(obs.KPhaseEnd, obs.LaneGCWorker(0), int64(res.CopiedWords), "gc sweep/fixup")
+	}()
+	for i := range entries {
+		e := &entries[i]
+		c.resolvePair(e, dsu)
+		size := int(e.size)
+		if e.newCls != nil {
+			shell, ok1 := h.AllocObject(e.newCls)
+			var oldCopy rt.Addr
+			var ok2 bool
+			if useScratch {
+				oldCopy, ok2 = h.ScratchCopy(e.addr, size)
+				if ok2 {
+					res.ScratchWords += size
+				}
+			} else {
+				oldCopy, ok2 = h.Copy(e.addr, size)
+			}
+			if !ok1 || !ok2 {
+				return fmt.Errorf("gc: DSU copy: %w", ErrToSpaceExhausted)
+			}
+			h.SetForward(e.addr, shell)
+			e.new, e.oldCopy = shell, oldCopy
+			res.Log = append(res.Log, Pair{OldCopy: oldCopy, New: shell})
+			res.CopiedObjects += 2
+			res.CopiedWords += size + e.newCls.Size
+			continue
+		}
+		to, ok := h.Copy(e.addr, size)
+		if !ok {
+			return ErrToSpaceExhausted
+		}
+		h.SetForward(e.addr, to)
+		e.new = to
+		res.CopiedObjects++
+		res.CopiedWords += size
+	}
+	return nil
+}
+
+// sweepParallel fans the copy out over the PR 3 TLAB machinery. The entry
+// list is dealt in contiguous chunks, one per worker; every object is owned
+// by exactly one worker, so forwarding pointers are plain stores and the
+// only shared state is the heap's block carve (under its mutex).
+func (c *Collector) sweepParallel(entries []sweepEntry, dsu, useScratch bool, res *Result) error {
+	h := c.Heap
+	workers := res.Workers
+	tlabSize := c.tlabWords(workers)
+	per := (len(entries) + workers - 1) / workers
+
+	type swWorker struct {
+		log           []Pair
+		copiedObjects int
+		copiedWords   int
+		scratchWords  int
+		err           error
+		waste         int
+	}
+	ws := make([]swWorker, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo > len(entries) {
+			lo = len(entries)
+		}
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		wg.Add(1)
+		go func(i int, chunk []sweepEntry) {
+			defer wg.Done()
+			w := &ws[i]
+			c.Rec.Emit(obs.KPhaseBegin, obs.LaneGCWorker(i), 0, "gc sweep")
+			tlab := h.NewTLAB(tlabSize, false)
+			var stlab *heap.TLAB
+			if useScratch {
+				stlab = h.NewTLAB(tlabSize, true)
+			}
+			for j := range chunk {
+				e := &chunk[j]
+				c.resolvePair(e, dsu)
+				size := int(e.size)
+				if e.newCls != nil {
+					shell, ok1 := tlab.AllocZeroed(e.newCls.Size)
+					var oldCopy rt.Addr
+					var ok2 bool
+					if useScratch {
+						oldCopy, ok2 = stlab.Alloc(size)
+						if ok2 {
+							w.scratchWords += size
+						}
+					} else {
+						oldCopy, ok2 = tlab.Alloc(size)
+					}
+					if !ok1 || !ok2 {
+						w.err = fmt.Errorf("gc: DSU copy: %w", ErrToSpaceExhausted)
+						break
+					}
+					h.SetWord(shell, uint64(e.newCls.ID))
+					h.CopyWords(oldCopy, e.addr, size)
+					h.SetForward(e.addr, shell)
+					e.new, e.oldCopy = shell, oldCopy
+					w.log = append(w.log, Pair{OldCopy: oldCopy, New: shell})
+					w.copiedObjects += 2
+					w.copiedWords += size + e.newCls.Size
+					continue
+				}
+				to, ok := tlab.Alloc(size)
+				if !ok {
+					w.err = ErrToSpaceExhausted
+					break
+				}
+				h.CopyWords(to, e.addr, size)
+				h.SetForward(e.addr, to)
+				e.new = to
+				w.copiedObjects++
+				w.copiedWords += size
+			}
+			tlab.Retire()
+			w.waste += tlab.Waste
+			if stlab != nil {
+				stlab.Retire()
+				w.waste += stlab.Waste
+			}
+			c.Rec.Emit(obs.KGCWorkerCopy, obs.LaneGCWorker(i), int64(w.copiedWords), "")
+			c.Rec.Emit(obs.KPhaseEnd, obs.LaneGCWorker(i), int64(w.copiedWords), "gc sweep")
+		}(i, entries[lo:hi])
+	}
+	wg.Wait()
+
+	res.WorkerWords = make([]int, workers)
+	for i := range ws {
+		w := &ws[i]
+		if w.err != nil {
+			return w.err
+		}
+		res.Log = append(res.Log, w.log...)
+		res.CopiedObjects += w.copiedObjects
+		res.CopiedWords += w.copiedWords
+		res.ScratchWords += w.scratchWords
+		res.TLABWaste += w.waste
+		res.WorkerWords[i] = w.copiedWords
+	}
+	return nil
+}
+
+// fixTarget decides which copy of an entry needs its ref slots rewritten:
+// the evacuated object for plain entries, the old copy for DSU pairs (the
+// shell is all zeros — its transformer fills it in).
+func (e *sweepEntry) fixTarget() rt.Addr {
+	if e.newCls != nil {
+		return e.oldCopy
+	}
+	return e.new
+}
+
+// fixupObj rewrites every ref slot of one copied object through the
+// from-space forwarding pointers. An unforwarded target means a live object
+// escaped the mark — the SATB invariant was violated — and the collection
+// fails rather than leaving a dangling from-space reference.
+func (c *Collector) fixupObj(a rt.Addr) error {
+	h := c.Heap
+	fix := func(w rt.Addr) (rt.Addr, error) {
+		if w == 0 {
+			return 0, nil
+		}
+		if to, ok := h.Forwarded(w); ok {
+			return to, nil
+		}
+		return 0, fmt.Errorf("gc: fixup: copy @%d references unmarked object @%d (SATB invariant violated)", a, w)
+	}
+	if h.IsArray(a) {
+		if h.ArrayElemIsRef(a) {
+			for i := 0; i < h.ArrayLen(a); i++ {
+				to, err := fix(h.Elem(a, i).Ref())
+				if err != nil {
+					return err
+				}
+				h.SetElem(a, i, rt.RefVal(to))
+			}
+		}
+		return nil
+	}
+	cls := c.Reg.ClassByID(h.ClassID(a))
+	if cls == nil {
+		return fmt.Errorf("gc: fixup: object @%d with unknown class id %d", a, h.ClassID(a))
+	}
+	for i, isRef := range cls.RefMap {
+		if !isRef {
+			continue
+		}
+		to, err := fix(h.FieldValue(a, rt.HeaderWords+i, true).Ref())
+		if err != nil {
+			return err
+		}
+		h.SetFieldValue(a, rt.HeaderWords+i, rt.RefVal(to))
+	}
+	return nil
+}
+
+// fixupRoots rewrites one root enumerator through the forwarding pointers.
+func (c *Collector) fixupRoots(roots Roots) error {
+	h := c.Heap
+	var firstErr error
+	roots.ForEachRoot(func(v *rt.Value) {
+		if firstErr != nil || !v.IsRef || v.Bits == 0 {
+			return
+		}
+		if to, ok := h.Forwarded(v.Ref()); ok {
+			v.Bits = uint64(to)
+			return
+		}
+		firstErr = fmt.Errorf("gc: fixup: root references unmarked object @%d (SATB invariant violated)", v.Ref())
+	})
+	return firstErr
+}
+
+func (c *Collector) fixupSerial(entries []sweepEntry, roots Roots) error {
+	for i := range entries {
+		if err := c.fixupObj(entries[i].fixTarget()); err != nil {
+			return err
+		}
+	}
+	return c.fixupRoots(roots)
+}
+
+// fixupParallel rewrites refs with the same entry partitioning as the
+// parallel sweep plus the VM's disjoint root chunks. All forwarding
+// pointers were installed before the sweep's wg.Wait barrier, so plain
+// header reads are ordered; writes stay disjoint per chunk.
+func (c *Collector) fixupParallel(entries []sweepEntry, roots Roots, workers int) error {
+	var chunks []Roots
+	if cr, ok := roots.(ChunkedRoots); ok {
+		chunks = cr.RootChunks(workers)
+	} else {
+		chunks = splitRoots(roots, workers)
+	}
+	per := (len(entries) + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo > len(entries) {
+			lo = len(entries)
+		}
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		wg.Add(1)
+		go func(i int, chunk []sweepEntry, rts Roots) {
+			defer wg.Done()
+			for j := range chunk {
+				if err := c.fixupObj(chunk[j].fixTarget()); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			if rts != nil {
+				errs[i] = c.fixupRoots(rts)
+			}
+		}(i, entries[lo:hi], pickChunk(chunks, i))
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pickChunk(chunks []Roots, i int) Roots {
+	if i < len(chunks) {
+		return chunks[i]
+	}
+	return nil
+}

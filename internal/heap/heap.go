@@ -7,6 +7,7 @@ package heap
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"govolve/internal/rt"
@@ -50,10 +51,55 @@ type Heap struct {
 	scratchSize  rt.Addr
 	scratchAlloc rt.Addr // next free scratch word (absolute), 0 when absent
 
+	// satb, when non-nil, is the armed snapshot-at-the-beginning deletion
+	// barrier for an in-flight concurrent DSU mark (see satb.go). Disarmed
+	// it costs the store paths one nil check — the same discipline as the
+	// disabled flight recorder.
+	satb *satbState
+
+	// holes records the dead gaps parallel collections leave in each
+	// semispace (TLAB block tails abandoned at refill/retire). A bump
+	// region is self-parsing only while it is gap-free; the concurrent-mark
+	// sweep walks from-space linearly and skips these. Indexed by
+	// semispace; Flip clears the list of the space it starts refilling.
+	holes [2][]Hole
+
 	// Allocs and AllocWords count allocations since construction, for the
 	// benchmark harness.
 	Allocs     int64
 	AllocWords int64
+}
+
+// Hole is one unparseable gap inside a semispace: a TLAB block tail
+// abandoned during a parallel collection. The words are dead (never
+// referenced) but contain stale bits, so linear heap walks must skip them.
+type Hole struct {
+	Addr rt.Addr
+	Size int
+}
+
+// recordHoleLocked notes a dead gap in the current space. Callers hold h.mu.
+func (h *Heap) recordHoleLocked(a rt.Addr, size int) {
+	if size <= 0 {
+		return
+	}
+	h.holes[h.cur] = append(h.holes[h.cur], Hole{Addr: a, Size: size})
+}
+
+// RecordHole notes a dead gap in the current space (TLAB refill path, which
+// does not hold the heap mutex).
+func (h *Heap) RecordHole(a rt.Addr, size int) {
+	h.mu.Lock()
+	h.recordHoleLocked(a, size)
+	h.mu.Unlock()
+}
+
+// Holes returns the current space's dead gaps sorted by address — the
+// skip-list a linear from-space walk needs. Called only inside a pause.
+func (h *Heap) Holes() []Hole {
+	hs := h.holes[h.cur]
+	sort.Slice(hs, func(i, j int) bool { return hs[i].Addr < hs[j].Addr })
+	return hs
 }
 
 // New creates a heap with the given number of words per semispace.
@@ -241,6 +287,9 @@ func (h *Heap) InCurrentSpace(a rt.Addr) bool {
 func (h *Heap) Flip() {
 	h.cur ^= 1
 	h.alloc = h.base(h.cur)
+	// The space we are about to refill is empty again: its recorded holes
+	// (from the parallel collection two flips ago) died with its contents.
+	h.holes[h.cur] = h.holes[h.cur][:0]
 }
 
 // Copy block-copies size words from src to a fresh allocation, returning
@@ -264,8 +313,15 @@ func (h *Heap) FieldValue(a rt.Addr, offset int, isRef bool) rt.Value {
 	return rt.Value{Bits: h.words[a+rt.Addr(offset)], IsRef: isRef}
 }
 
-// SetFieldValue writes a field word.
+// SetFieldValue writes a field word. With the SATB barrier armed (concurrent
+// DSU mark in flight) a reference store additionally logs the overwritten
+// value and goes atomic; the disarmed path is the plain store plus one nil
+// check.
 func (h *Heap) SetFieldValue(a rt.Addr, offset int, v rt.Value) {
+	if s := h.satb; s != nil && v.IsRef {
+		h.satbStore(s, a+rt.Addr(offset), v.Bits)
+		return
+	}
 	h.words[a+rt.Addr(offset)] = v.Bits
 }
 
@@ -274,7 +330,14 @@ func (h *Heap) Elem(a rt.Addr, i int) rt.Value {
 	return rt.Value{Bits: h.words[a+rt.HeaderWords+rt.Addr(i)], IsRef: h.ArrayElemIsRef(a)}
 }
 
-// SetElem writes array element i.
+// SetElem writes array element i. Ref-array stores pay the SATB barrier when
+// it is armed (the element's ref-ness comes from the array header, so even
+// untagged writers are covered).
 func (h *Heap) SetElem(a rt.Addr, i int, v rt.Value) {
-	h.words[a+rt.HeaderWords+rt.Addr(i)] = v.Bits
+	idx := a + rt.HeaderWords + rt.Addr(i)
+	if s := h.satb; s != nil && h.words[a]&arrayRefBit != 0 {
+		h.satbStore(s, idx, v.Bits)
+		return
+	}
+	h.words[idx] = v.Bits
 }

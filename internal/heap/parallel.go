@@ -214,7 +214,12 @@ func (t *TLAB) refill(need int) bool {
 	if !ok {
 		return false
 	}
-	t.Waste += int(t.end - t.cur)
+	if tail := int(t.end - t.cur); tail > 0 {
+		t.Waste += tail
+		if !t.scratch {
+			t.h.RecordHole(t.cur, tail)
+		}
+	}
 	t.cur, t.end = a, a+rt.Addr(n)
 	return true
 }
@@ -234,6 +239,9 @@ func (t *TLAB) Retire() {
 			h.alloc = t.cur
 		default:
 			t.Waste += int(t.end - t.cur)
+			if !t.scratch {
+				h.recordHoleLocked(t.cur, int(t.end-t.cur))
+			}
 		}
 	}
 	t.cur, t.end = 0, 0

@@ -374,6 +374,10 @@ const (
 	MPauseTransform   = "govolve_dsu_pause_transform_seconds"
 	MPauseBulk        = "govolve_dsu_pause_transform_bulk_seconds"
 	MPauseTotal       = "govolve_dsu_pause_total_seconds"
+	MPauseGCMark      = "govolve_dsu_pause_gc_mark_seconds"
+	MPauseGCRescan    = "govolve_dsu_pause_gc_rescan_seconds"
+	MPauseGCCopy      = "govolve_dsu_pause_gc_copy_seconds"
+	MMarkOutside      = "govolve_dsu_mark_outside_pause_seconds"
 	MAttempts         = "govolve_dsu_attempts_to_safe_point"
 	MUpdatesApplied   = "govolve_dsu_updates_applied_total"
 	MUpdatesAborted   = "govolve_dsu_updates_aborted_total"

@@ -98,10 +98,12 @@ func (k Kind) String() string {
 }
 
 // Lane conventions: the timeline draws one track per lane. Lane 0 is the
-// DSU engine/scheduler; 1..999 are GC workers; 1000+ are VM threads.
+// DSU engine/scheduler; 1..998 are GC workers; 999 is the concurrent DSU
+// marker; 1000+ are VM threads.
 const (
 	LaneEngine     int32 = 0
 	laneGCBase     int32 = 1
+	LaneMark       int32 = 999
 	laneThreadBase int32 = 1000
 )
 
@@ -116,6 +118,8 @@ func LaneName(lane int32) string {
 	switch {
 	case lane == LaneEngine:
 		return "DSU engine"
+	case lane == LaneMark:
+		return "DSU marker"
 	case lane >= laneThreadBase:
 		return fmt.Sprintf("VM thread %d", lane-laneThreadBase)
 	default:

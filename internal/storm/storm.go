@@ -37,6 +37,11 @@ type Config struct {
 	// strategy-blind, so running the same seed at different worker counts
 	// is an end-to-end serial/parallel equivalence check.
 	Workers int
+	// ConcurrentMark moves updated-instance discovery out of each update's
+	// pause (the SATB concurrent mark). The storm's invariants are also
+	// discovery-strategy-blind: every applied update still runs the full
+	// whole-VM sweep through AfterUpdate.
+	ConcurrentMark bool
 
 	// InjectTransformerBug (test-only) overrides the first default object
 	// transformer of every update with an empty body, simulating a broken
@@ -201,10 +206,11 @@ func (r *runner) boot() error {
 	r.prog = prog
 
 	v, err := vm.New(vm.Options{
-		HeapWords:    r.cfg.HeapWords,
-		ScratchWords: r.cfg.ScratchWords,
-		GCWorkers:    r.cfg.Workers,
-		Out:          io.Discard,
+		HeapWords:        r.cfg.HeapWords,
+		ScratchWords:     r.cfg.ScratchWords,
+		GCWorkers:        r.cfg.Workers,
+		GCConcurrentMark: r.cfg.ConcurrentMark,
+		Out:              io.Discard,
 	})
 	if err != nil {
 		return r.failf("vm: %v", err)

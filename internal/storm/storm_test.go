@@ -50,6 +50,14 @@ func TestStormConfigs(t *testing.T) {
 		{"all", Config{Seed: 24, Updates: 25, ScratchWords: 1 << 14, FastDefaults: true, OSROpt: true}},
 		{"parallel", Config{Seed: 25, Updates: 25, Workers: 4}},
 		{"parallel-scratch-fast", Config{Seed: 26, Updates: 25, ScratchWords: 1 << 14, FastDefaults: true, Workers: 4}},
+		// Concurrent snapshot-at-the-beginning discovery. The mark races the
+		// mutator for real here (goroutine scheduling decides how many slices
+		// each trace overlaps), so these runs exercise the barrier, the
+		// SATB rescan, allocate-black sweeping, and the abort/restart
+		// fallback under the full invariant sweep after every update.
+		{"cmark", Config{Seed: 27, Updates: 25, ConcurrentMark: true}},
+		{"cmark-parallel", Config{Seed: 28, Updates: 25, Workers: 4, ConcurrentMark: true}},
+		{"cmark-all", Config{Seed: 29, Updates: 25, ScratchWords: 1 << 14, FastDefaults: true, OSROpt: true, Workers: 4, ConcurrentMark: true}},
 	}
 	for _, tc := range cfgs {
 		tc := tc

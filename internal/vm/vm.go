@@ -37,6 +37,13 @@ type Options struct {
 	// workers, gc.AutoWorkers one worker per CPU. Parallelism shortens the
 	// stop-the-world DSU pause; application threads stay green either way.
 	GCWorkers int
+	// GCConcurrentMark opts the DSU engine into concurrent snapshot-at-the-
+	// beginning marking: updated-instance discovery runs as a concurrent
+	// trace between the update request and the safe point, and the pause
+	// itself only re-scans the SATB deletion log and roots before copying.
+	// Ordinary allocation-triggered collections are unaffected. False
+	// preserves the fused stop-the-world discovery exactly.
+	GCConcurrentMark bool
 	// Out receives System.print output (default os.Stdout).
 	Out io.Writer
 	// OptThreshold overrides the adaptive recompilation threshold.
@@ -191,7 +198,10 @@ func New(opts Options) (*VM, error) {
 	v := &VM{
 		Reg:              reg,
 		Heap:             h,
-		GC:               gc.NewWithOptions(h, reg, gc.Options{Workers: opts.GCWorkers}),
+		GC: gc.NewWithOptions(h, reg, gc.Options{
+			Workers:        opts.GCWorkers,
+			ConcurrentMark: opts.GCConcurrentMark,
+		}),
 		JIT:              jit.New(reg),
 		Net:              NewNetSim(),
 		Out:              opts.Out,
