@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -271,7 +272,15 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 		gcRes, err = e.VM.GC.Collect(e.VM, true)
 	}
 	if err != nil {
-		// A failed collection leaves the heap unusable — the semispace flip
+		if errors.Is(err, gc.ErrPreFlip) {
+			// The collection failed before the semispace flip: nothing was
+			// copied or forwarded and no root was rewritten, so the heap is
+			// fully usable. Fail the update cleanly — restore metadata
+			// consistency and let the VM run on, on the old version.
+			cleanup()
+			return fail(fmt.Errorf("core: DSU collection: %w", err))
+		}
+		// A post-flip failure leaves the heap unusable — the semispace flip
 		// already happened and an unknown subset of roots is forwarded. Mark
 		// it fatal so allocations fail fast with the typed cause
 		// (gc.ErrToSpaceExhausted surfaces in vm.DeadErrors with OOM set),

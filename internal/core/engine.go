@@ -546,9 +546,13 @@ func (e *Engine) stepMark(p *Pending) bool {
 		return false
 	}
 	// Trace complete. Seal immediately — sealing joins the workers and
-	// disarms the write barrier, so a long blocked-safe-point wait does not
-	// keep taxing the mutator (the SATB invariant is stable once the trace
-	// is done). Idempotent across repeated attempts.
+	// merges their statistics. The write barrier stays armed until the
+	// pause: trace completion alone does not re-establish the SATB
+	// invariant (objects hidden behind logged deletions are unmarked until
+	// the pause drains the log, and an unlogged severing during a blocked
+	// safe-point wait could hide their children from the rescan for good),
+	// so the mutator keeps paying the barrier tax until CollectWithMark
+	// disarms inside the pause. Idempotent across repeated attempts.
 	if !gcc.SealMark(p.mark) {
 		p.mark = nil
 		p.markRestarts++

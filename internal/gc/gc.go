@@ -29,6 +29,19 @@ import (
 // rather than retry.
 var ErrToSpaceExhausted = errors.New("gc: copy space exhausted during collection")
 
+// ErrPreFlip tags collection failures raised *before* the semispace flip:
+// nothing has been copied, no forwarding pointer installed, no root
+// rewritten — the heap is fully usable. CollectWithMark's rescan and
+// live-list walk can fail this way (structural errors such as an unknown
+// class ID). Callers detect it with errors.Is and fail the update cleanly
+// instead of declaring the heap dead; post-flip failures stay fatal.
+var ErrPreFlip = errors.New("heap intact, collection failed before flip")
+
+// preFlipErr wraps err so errors.Is(err, ErrPreFlip) holds.
+func preFlipErr(err error) error {
+	return fmt.Errorf("%w: %w", ErrPreFlip, err)
+}
+
 // Roots enumerates the VM's root set: thread stacks, JTOC reference slots,
 // intern-table entries, and native handles. The callback may rewrite each
 // value in place (that is how forwarding reaches the roots).
@@ -100,10 +113,14 @@ type Result struct {
 	MarkConcurrent       bool
 	MarkOutside          time.Duration
 	MarkSetup            time.Duration
-	MarkedObjects        int // objects greyed by the concurrent trace
-	RescanMarked         int // objects the pause rescan additionally marked
-	SATBDrained          int // deletion-log entries drained at the pause
-	MarkUpdatedInstances int // updated-class instances in the mark's per-class set
+	MarkedObjects int // objects greyed by the concurrent trace (roots included)
+	RescanMarked  int // objects the pause rescan additionally marked
+	SATBDrained   int // deletion-log entries drained at the pause
+	// MarkUpdatedInstances counts updated-class instances attributed by the
+	// concurrent trace (root captures included). Instances the pause itself
+	// discovers — rescan marks and the allocate-black walk — are not
+	// attributed; PairsLogged is the authoritative copied-pair count.
+	MarkUpdatedInstances int
 }
 
 // Options tunes a collector.

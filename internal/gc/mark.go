@@ -34,12 +34,18 @@ import (
 //     up-front.
 //   - Objects allocated after the watermark are implicitly live
 //     (allocate-black); the pause walks [watermark, alloc) linearly.
-//   - Once the trace completes, "reachable ⊆ marked ∪ post-watermark" is
-//     stable even with the barrier disarmed: the mutator can only obtain
-//     references from reachable state, and unreachable-at-snapshot objects
-//     can never be resurrected. The engine therefore disarms the barrier
-//     the moment it observes completion, so a blocked safe point does not
-//     keep taxing the mutator.
+//   - The barrier stays armed from snapshot until the pause rescan runs.
+//     Trace completion alone does NOT establish "reachable ⊆ marked ∪
+//     post-watermark": objects hidden behind logged deletions are unmarked
+//     until the pause drains the log, and while any such log-only-reachable
+//     object X exists the mutator can load X's child Z, store it into an
+//     already-marked (black) object, and sever the unmarked paths to Z. If
+//     the barrier were off, that severing would go unlogged, the pause
+//     rescan (which never revisits marked objects) would miss Z, and fixup
+//     would fail on a legal program. So SealMark leaves the barrier armed;
+//     only CollectWithMark (inside the pause, after the mutator stopped)
+//     and the abort paths disarm. The mutator pays the armed-barrier tax
+//     during a blocked safe-point wait — that is the price of soundness.
 //
 // The marked set may include *floating garbage* — objects that died during
 // the mark. They are copied (and, for updated classes, paired and
@@ -79,14 +85,19 @@ type Marker struct {
 	start   time.Time
 	setup   time.Duration // snapshot + arm + spawn (a mini-pause)
 	traceNS atomic.Int64  // wall-clock mark time, stored by the finisher
-	sealed  bool          // mutator goroutine: workers joined, barrier off
+	sealed  bool          // mutator goroutine: workers joined, stats merged
 	aborted bool          // mutator goroutine: result must not be consumed
-	satb    []rt.Addr     // deletion log, stashed at seal/abort time
+	satb    []rt.Addr     // deletion log, stashed at pause/abort disarm time
 
-	// Merged at seal time.
+	// Merged at seal time. updatedByClass is the concurrent trace's
+	// per-class instance attribution (root captures included — the root
+	// loop greys through the same worker path); instances the *pause*
+	// discovers (SATB/rescan marks, allocate-black walk) are not attributed
+	// here. The authoritative copied set is Result.PairsLogged.
 	markedObjects    int
 	updatedInstances int
 	updatedByClass   map[int]int
+	steals           int64
 }
 
 // markWorker is one concurrent tracer.
@@ -219,22 +230,20 @@ func (c *Collector) StartMark(roots Roots, updatedIDs map[int]bool) *Marker {
 	}
 
 	// Capture the root snapshot: every non-null snapshot-region root value
-	// is greyed and dealt round-robin across the worker deques.
+	// is greyed and dealt round-robin across the worker deques. Greying
+	// goes through the workers' grey() — not a bare trySetMark — so
+	// root-referenced instances of updated classes get the same per-class
+	// attribution as trace-discovered ones (the workers have not spawned
+	// yet, so these single-threaded calls are race-free; SealMark merges
+	// the counters after the join).
 	i := 0
 	roots.ForEachRoot(func(v *rt.Value) {
-		if !v.IsRef || v.Bits == 0 {
+		if !v.IsRef {
 			return
 		}
-		a := v.Ref()
-		if a < m.lo || a >= m.watermark {
-			return
-		}
-		if m.trySetMark(a) {
-			m.deques[i%w].push(a)
-			i++
-		}
+		m.workers[i%w].grey(v.Ref())
+		i++
 	})
-	m.markedObjects = i // root greys; SealMark adds the workers' counts
 
 	c.Rec.Emit(obs.KPhaseBegin, obs.LaneMark, int64(w), "concurrent mark")
 	m.wg.Add(w)
@@ -270,13 +279,19 @@ func (m *Marker) fail(err error) {
 	m.abort.Store(true)
 }
 
-// SealMark finalizes a completed mark: joins the workers, disarms the
-// barrier (stashing the deletion log for the pause's rescan), and merges
-// per-worker statistics. It is idempotent and must be called from the
-// mutator goroutine the moment Done() is observed — disarming early keeps
-// the mutator from paying the barrier while a blocked safe point is awaited
-// (once the trace is complete the SATB invariant is stable without it).
-// Returns false if the mark aborted instead of completing.
+// SealMark finalizes a completed mark: joins the workers and merges
+// per-worker statistics. It is idempotent and is called from the mutator
+// goroutine the moment Done() is observed.
+//
+// The SATB barrier stays ARMED. Until the pause drains the deletion log
+// and rescans roots, "reachable ⊆ marked ∪ post-watermark" does not hold:
+// an object reachable only through the log is still unmarked, and a
+// mutator running between seal and pause could move its children behind
+// black objects and sever the unmarked paths — unlogged, if the barrier
+// were off, and invisible to the rescan, which never revisits marked
+// objects. CollectWithMark disarms inside the pause; AbortMark disarms on
+// the failure paths. Returns false if the mark aborted instead of
+// completing.
 func (c *Collector) SealMark(m *Marker) bool {
 	if m.sealed || m.aborted {
 		return m.sealed && !m.aborted
@@ -294,9 +309,9 @@ func (c *Collector) SealMark(m *Marker) bool {
 		}
 		return false
 	}
-	m.satb = c.Heap.DisarmSATB()
 	for _, mw := range m.workers {
 		m.markedObjects += mw.marked
+		m.steals += mw.steals
 		for id, n := range mw.updated {
 			if m.updatedByClass == nil {
 				m.updatedByClass = make(map[int]int)
@@ -323,11 +338,11 @@ func (c *Collector) AbortMark() {
 	c.mark = nil
 	m.abort.Store(true)
 	m.wg.Wait()
-	if !m.sealed {
-		// A sealed marker already disarmed and stashed its log; disarming
-		// again would overwrite the stash and leak the pooled buffer.
-		m.satb = c.Heap.DisarmSATB()
-	}
+	// Sealed or not, an attached marker keeps the barrier armed until the
+	// pause consumes it — so the abort path always disarms. (A marker that
+	// aborted inside SealMark already disarmed, but it also detached itself
+	// from c.mark, so it never reaches here.)
+	m.satb = c.Heap.DisarmSATB()
 	if !m.done.Load() {
 		// The finisher worker closes the span at trace completion; only an
 		// interrupted trace needs its span closed here. done is stable after

@@ -1,6 +1,7 @@
 package gc
 
 import (
+	"errors"
 	"runtime"
 	"testing"
 	"time"
@@ -35,12 +36,15 @@ func runMarkCycle(t *testing.T, w *world, c *Collector, dsu bool, updatedIDs map
 	if !c.SealMark(m) {
 		t.Fatalf("mark aborted: %v", m.Err())
 	}
-	if w.h.SATBArmed() {
-		t.Fatal("barrier still armed after seal")
+	if !w.h.SATBArmed() {
+		t.Fatal("barrier disarmed at seal: mutations between seal and pause would go unlogged")
 	}
 	res, err := c.CollectWithMark(w, dsu)
 	if err != nil {
 		t.Fatalf("CollectWithMark: %v", err)
+	}
+	if w.h.SATBArmed() {
+		t.Fatal("barrier still armed after the pause")
 	}
 	if !res.MarkConcurrent {
 		t.Fatal("result not flagged MarkConcurrent")
@@ -258,6 +262,127 @@ func TestCollectAbortsInFlightMark(t *testing.T) {
 	}
 	if res2.CopiedObjects != res.CopiedObjects {
 		t.Fatalf("fallback copied %d, first collection %d", res2.CopiedObjects, res.CopiedObjects)
+	}
+}
+
+// rootsView exposes a fixed subset of root values — used to hand StartMark
+// a *partial* snapshot, simulating the interleaving where the concurrent
+// trace loses a race with the mutator for part of the graph (the missed
+// part plays the role of the log-only-reachable set).
+type rootsView struct{ vals []*rt.Value }
+
+func (r rootsView) ForEachRoot(fn func(*rt.Value)) {
+	for _, v := range r.vals {
+		fn(v)
+	}
+}
+
+// TestBarrierArmedBetweenSealAndPause pins the soundness hole a disarm-at-
+// seal would open. Snapshot graph: root b (traced, marked black) and root
+// x → z where x's subgraph is hidden from the trace (partial root view).
+// Between seal and pause — the blocked safe-point wait — the mutator:
+//
+//	b.left = z   // store z's only surviving ref into a black object
+//	x.left = nil // sever the unmarked path to z
+//
+// The rescan never revisits marked objects, so z is reachable from the
+// pause's perspective only through the deletion log. If SealMark had
+// disarmed the barrier, the severing would be unlogged, z never copied,
+// and fixup would fail with "SATB invariant violated" on a legal program.
+// With the barrier armed until the pause, the severed edge is logged and
+// z survives.
+func TestBarrierArmedBetweenSealAndPause(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		w := newWorld(t, 4096)
+		b := w.alloc(t, 1)
+		x := w.alloc(t, 2)
+		z := w.alloc(t, 3)
+		w.h.SetFieldValue(x, offLeft, rt.RefVal(z))
+		w.roots = []rt.Value{rt.RefVal(b), rt.RefVal(x)}
+
+		c := NewWithOptions(w.h, w.reg, Options{Workers: workers, ConcurrentMark: true})
+		m := c.StartMark(rootsView{[]*rt.Value{&w.roots[0]}}, nil)
+		deadline := time.Now().Add(10 * time.Second)
+		for !m.Done() {
+			if time.Now().After(deadline) {
+				t.Fatal("concurrent mark did not terminate")
+			}
+			time.Sleep(10 * time.Microsecond)
+		}
+		if !c.SealMark(m) {
+			t.Fatalf("workers=%d: mark aborted: %v", workers, m.Err())
+		}
+		if !w.h.SATBArmed() {
+			t.Fatalf("workers=%d: barrier disarmed at seal", workers)
+		}
+
+		// The blocked-wait mutations: hide z behind black b, sever x → z.
+		w.h.SetFieldValue(b, offLeft, rt.RefVal(z))
+		w.h.SetFieldValue(x, offLeft, rt.NullVal)
+
+		res, err := c.CollectWithMark(w, false)
+		if err != nil {
+			t.Fatalf("workers=%d: hidden object lost: %v", workers, err)
+		}
+		if w.h.SATBArmed() {
+			t.Fatalf("workers=%d: barrier still armed after the pause", workers)
+		}
+		if res.SATBDrained == 0 {
+			t.Fatalf("workers=%d: severed edge was not logged", workers)
+		}
+		nb := w.roots[0].Ref()
+		nz := w.h.FieldValue(nb, offLeft, true).Ref()
+		if nz == 0 || w.h.FieldValue(nz, offVal, false).Int() != 3 {
+			t.Fatalf("workers=%d: z not preserved through b.left", workers)
+		}
+	}
+}
+
+// TestPreFlipErrorLeavesHeapUsable pins the error contract the engine's
+// apply path relies on: a structural error raised by CollectWithMark
+// *before* the semispace flip (here: the live-list walk trips over an
+// unknown class ID) is tagged ErrPreFlip, nothing has been moved or
+// forwarded, and the heap remains fully collectable afterwards — the
+// update fails cleanly instead of killing the VM.
+func TestPreFlipErrorLeavesHeapUsable(t *testing.T) {
+	w := newWorld(t, 4096)
+	b := w.alloc(t, 1)
+	g := w.alloc(t, 99) // garbage: unreachable, but the linear sweep walk parses it
+	w.roots = []rt.Value{rt.RefVal(b)}
+
+	c := NewWithOptions(w.h, w.reg, Options{ConcurrentMark: true})
+	m := c.StartMark(w, nil)
+	deadline := time.Now().Add(10 * time.Second)
+	for !m.Done() {
+		if time.Now().After(deadline) {
+			t.Fatal("concurrent mark did not terminate")
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+	if !c.SealMark(m) {
+		t.Fatalf("mark aborted: %v", m.Err())
+	}
+	w.h.SetWord(g, 9999) // corrupt the header: unknown class id
+
+	_, err := c.CollectWithMark(w, false)
+	if err == nil {
+		t.Fatal("expected a structural error from the live-list walk")
+	}
+	if !errors.Is(err, ErrPreFlip) {
+		t.Fatalf("pre-flip structural error not tagged ErrPreFlip: %v", err)
+	}
+	if w.h.SATBArmed() {
+		t.Fatal("barrier left armed after failed pause")
+	}
+	// Nothing flipped or forwarded: the root still points at the original b
+	// with its field intact, and after repairing the header a plain
+	// collection succeeds on the very same heap.
+	if w.roots[0].Ref() != b || w.h.FieldValue(b, offVal, false).Int() != 1 {
+		t.Fatal("heap mutated by a pre-flip failure")
+	}
+	w.h.SetWord(g, uint64(w.cls.ID))
+	if _, err := c.Collect(w, false); err != nil {
+		t.Fatalf("heap not usable after pre-flip failure: %v", err)
 	}
 }
 

@@ -52,6 +52,11 @@ func (c *Collector) CollectWithMark(roots Roots, dsu bool) (*Result, error) {
 
 	start := time.Now()
 	h := c.Heap
+	// The barrier stayed armed through the blocked safe-point wait (see
+	// SealMark); the mutator is stopped now, so disarm and take the full
+	// deletion log — every snapshot-region edge severed since the snapshot
+	// is in it, which is exactly what makes the rescan below sound.
+	m.satb = h.DisarmSATB()
 	res := &Result{
 		Workers:              c.EffectiveWorkers(),
 		MarkConcurrent:       true,
@@ -60,6 +65,7 @@ func (c *Collector) CollectWithMark(roots Roots, dsu bool) (*Result, error) {
 		MarkedObjects:        m.markedObjects,
 		SATBDrained:          len(m.satb),
 		MarkUpdatedInstances: m.updatedInstances,
+		Steals:               m.steals,
 	}
 	if dsu {
 		res.OldForNew = make(map[rt.Addr]rt.Addr)
@@ -98,7 +104,7 @@ func (c *Collector) CollectWithMark(roots Roots, dsu bool) (*Result, error) {
 		}
 		cls := c.Reg.ClassByID(h.ClassID(a))
 		if cls == nil {
-			return nil, fmt.Errorf("gc: rescan: object @%d with unknown class id %d", a, h.ClassID(a))
+			return nil, preFlipErr(fmt.Errorf("gc: rescan: object @%d with unknown class id %d", a, h.ClassID(a)))
 		}
 		for i, isRef := range cls.RefMap {
 			if isRef {
@@ -114,7 +120,7 @@ func (c *Collector) CollectWithMark(roots Roots, dsu bool) (*Result, error) {
 	if err != nil {
 		// Nothing has been flipped or forwarded yet: the heap is intact, so
 		// surface the structural error without poisoning it.
-		return nil, err
+		return nil, preFlipErr(err)
 	}
 	h.Flip()
 	useScratch := dsu && h.HasScratch()
