@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race race-gc obs-gate satb-gate storm bench-gc bench-obs bench-pause trace fuzz
+.PHONY: verify build vet test race race-gc obs-gate satb-gate lazy-gate storm bench-gc bench-obs bench-pause trace fuzz
 
-verify: build vet test race race-gc obs-gate satb-gate
+verify: build vet test race race-gc obs-gate satb-gate lazy-gate
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,15 @@ obs-gate:
 satb-gate:
 	$(GO) test -run 'TestSATB' -count=1 ./internal/vm/ ./internal/heap/
 	$(GO) test -run '^$$' -bench 'BenchmarkSATBStore|BenchmarkSATBDisarmedDispatch|BenchmarkSATBArmedDispatch' -benchtime 200ms ./internal/heap/ ./internal/vm/
+
+# Read-barrier cost gate: the disabled lazy-transform barrier (a single hook
+# nil-check compiled into every ref load) must add zero allocations and ≤2%
+# overhead to a dispatch-shaped load loop, and the armed-but-clean barrier
+# (header-bit test per load, no tagged objects) must hold the same bound.
+# Prints the disabled/armed load benchmarks so both costs stay visible.
+lazy-gate:
+	$(GO) test -run 'TestLazy' -count=1 ./internal/vm/ ./internal/heap/
+	$(GO) test -run '^$$' -bench 'BenchmarkLazyDisabledDispatch|BenchmarkLazyArmedDispatch' -benchtime 200ms ./internal/vm/
 
 # Long-running randomized soak (reproduce failures with -seed).
 storm:

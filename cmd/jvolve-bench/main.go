@@ -295,15 +295,16 @@ func main() {
 			{Seed: *seed, Updates: *updates},
 			{Seed: *seed, Updates: *updates, ScratchWords: 1 << 14, FastDefaults: true, OSROpt: true},
 			{Seed: *seed, Updates: *updates, FastDefaults: true, Workers: 4},
+			{Seed: *seed, Updates: *updates, ScratchWords: 1 << 14, FastDefaults: true, Lazy: true},
 		}
 		for _, cfg := range cfgs {
 			rep, err := storm.Run(cfg)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("seed=%d updates=%d scratch=%v fastdefaults=%v osropt=%v workers=%d: "+
+			fmt.Printf("seed=%d updates=%d scratch=%v fastdefaults=%v osropt=%v workers=%d lazy=%v: "+
 				"applied=%d aborted=%d rejected=%d checks=%d probes=%d steps=%d\n",
-				rep.Seed, *updates, cfg.ScratchWords > 0, cfg.FastDefaults, cfg.OSROpt, cfg.Workers,
+				rep.Seed, *updates, cfg.ScratchWords > 0, cfg.FastDefaults, cfg.OSROpt, cfg.Workers, cfg.Lazy,
 				rep.Applied, rep.Aborted, rep.Rejected, rep.Checks, rep.Probes, rep.Steps)
 		}
 		fmt.Println()

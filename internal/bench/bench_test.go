@@ -52,6 +52,38 @@ func TestRunMicroCountsAndShape(t *testing.T) {
 	}
 }
 
+// TestRunMicroLazy pins the lazy-transform decomposition: the measured
+// pause excludes transformer execution entirely (the pause only tags), the
+// whole population drains post-pause, and the final count matches eager.
+func TestRunMicroLazy(t *testing.T) {
+	lazy, err := RunMicro(MicroConfig{Objects: 20000, FracUpdated: 1, FastDefaults: true, Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.LazyPending != 20000 {
+		t.Fatalf("lazy pause tagged %d objects, want 20000", lazy.LazyPending)
+	}
+	if lazy.Transformed != 20000 {
+		t.Fatalf("drain transformed %d objects, want 20000", lazy.Transformed)
+	}
+	if lazy.Drain <= 0 {
+		t.Fatalf("forced drain took %v, want > 0", lazy.Drain)
+	}
+	eager, err := RunMicro(MicroConfig{Objects: 20000, FracUpdated: 1, FastDefaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lazy pause omits the transformer pass; with the whole heap
+	// updated that pass dominates, so the in-pause transform time must be
+	// a small fraction of the eager one (≈0; allow scheduler noise).
+	if eager.Transform <= 0 {
+		t.Fatalf("eager transform time %v, want > 0", eager.Transform)
+	}
+	if lazy.Transform > eager.Transform/4 {
+		t.Fatalf("lazy in-pause transform %v not ≈0 (eager %v)", lazy.Transform, eager.Transform)
+	}
+}
+
 func TestRunMicroValidation(t *testing.T) {
 	if _, err := RunMicro(MicroConfig{Objects: 0}); err == nil {
 		t.Fatal("zero objects accepted")

@@ -77,6 +77,11 @@ type MicroConfig struct {
 	// concurrent mark before the pause; the stop-the-world window then
 	// runs only rescan + copy + transform.
 	ConcurrentMark bool
+	// Lazy defers per-object transformation past the pause: objects are
+	// tagged untransformed and drained on first touch through the read
+	// barrier. The measured pause then excludes transformer execution;
+	// the forced drain is timed separately.
+	Lazy bool
 }
 
 // MicroResult reports one run's pause decomposition — the three row groups
@@ -89,6 +94,10 @@ type MicroResult struct {
 	Transformed  int
 	CopiedWords  int // words the DSU collection placed in to-space
 	ScratchWords int // old-copy words diverted to the scratch region
+
+	// Lazy-transform decomposition (pausecmp experiment).
+	LazyPending int           // objects left tagged when the pause ended
+	Drain       time.Duration // forced post-pause drain wall-clock (outside the pause)
 
 	// Parallel-collection decomposition (gcpause experiment).
 	GCWorkers     int   // copy/scan workers the DSU collection ran
@@ -124,7 +133,8 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 	machine, err := vm.New(vm.Options{
 		HeapWords: 5 * live, ScratchWords: cfg.ScratchWords,
 		GCWorkers: cfg.Workers, GCConcurrentMark: cfg.ConcurrentMark,
-		Out: io.Discard,
+		LazyTransform: cfg.Lazy,
+		Out:           io.Discard,
 	})
 	if err != nil {
 		return nil, err
@@ -181,6 +191,19 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 	if res.Outcome != core.Applied {
 		return nil, fmt.Errorf("bench: micro update %v: %v", res.Outcome, res.Err)
 	}
+	var drain time.Duration
+	if cfg.Lazy {
+		// The pause tags instead of transforming; the driver then forces
+		// the whole drain and times it — the work the pause no longer does.
+		if res.Stats.LazyPending != nChange {
+			return nil, fmt.Errorf("bench: lazy pause tagged %d, want %d", res.Stats.LazyPending, nChange)
+		}
+		t0 := time.Now()
+		if err := engine.ForceDrain(); err != nil {
+			return nil, fmt.Errorf("bench: lazy drain: %w", err)
+		}
+		drain = time.Since(t0)
+	}
 	if res.Stats.TransformedObjects != nChange {
 		return nil, fmt.Errorf("bench: transformed %d, want %d", res.Stats.TransformedObjects, nChange)
 	}
@@ -192,6 +215,8 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 		Transformed:   res.Stats.TransformedObjects,
 		CopiedWords:   res.Stats.CopiedWords - res.Stats.ScratchWords,
 		ScratchWords:  res.Stats.ScratchWords,
+		LazyPending:   res.Stats.LazyPending,
+		Drain:         drain,
 		GCWorkers:     res.Stats.GCWorkers,
 		GCWorkerWords: res.Stats.GCWorkerWords,
 		GCSteals:      res.Stats.GCSteals,

@@ -44,7 +44,7 @@ type PauseCmpRow struct {
 	HeapWords   int     `json:"heap_words"`
 	FracUpdated float64 `json:"frac_updated"`
 	Workers     int     `json:"workers"`
-	Mode        string  `json:"mode"` // "stw" or "cmark"
+	Mode        string  `json:"mode"` // "stw", "cmark" or "lazy"
 
 	PauseTotalMillis  Summary `json:"pause_total_ms"`
 	GCMillis          Summary `json:"gc_ms"`
@@ -53,6 +53,12 @@ type PauseCmpRow struct {
 	CopyMillis        Summary `json:"copy_ms"`
 	TransformMillis   Summary `json:"transform_ms"`
 	MarkOutsideMillis Summary `json:"mark_outside_ms"`
+
+	// Lazy rows: the transform work leaves the pause entirely —
+	// transform_ms ≈ 0, lazy_pending pairs stay tagged behind the read
+	// barrier, and the forced drain's wall time appears in drain_ms.
+	DrainMillis Summary `json:"drain_ms"`
+	LazyPending int     `json:"lazy_pending,omitempty"`
 
 	MarkedObjects int `json:"marked_objects,omitempty"`
 	RescanMarked  int `json:"rescan_marked,omitempty"`
@@ -93,15 +99,16 @@ func RunPauseCmp(sw PauseCmpSweep, progress io.Writer) (*PauseCmpReport, error) 
 		NumCPU:     runtime.NumCPU(),
 		Note: "speedup_pause is stw-median / row-median total pause for the same " +
 			"size and fraction; cmark rows must show mark_in_pause_ms = 0 with the " +
-			"trace wall time in mark_outside_ms. Pause shrinkage is a decomposition " +
-			"property and holds on any host; wall-clock overlap of mark with mutator " +
-			"work additionally requires gomaxprocs > 1.",
+			"trace wall time in mark_outside_ms, and lazy rows transform_ms = 0 with " +
+			"lazy_pending pairs drained post-pause in drain_ms. Pause shrinkage is a " +
+			"decomposition property and holds on any host; wall-clock overlap of mark " +
+			"with mutator work additionally requires gomaxprocs > 1.",
 	}
 	for _, objects := range sw.Sizes {
 		for _, frac := range sw.Fractions {
 			stwMedian := 0.0
-			for _, mode := range []string{"stw", "cmark"} {
-				var tots, gcs, marks, rescans, copies, trs, outs []float64
+			for _, mode := range []string{"stw", "cmark", "lazy"} {
+				var tots, gcs, marks, rescans, copies, trs, outs, drains []float64
 				var last *MicroResult
 				for r := 0; r < sw.Runs; r++ {
 					res, err := RunMicro(MicroConfig{
@@ -111,6 +118,7 @@ func RunPauseCmp(sw PauseCmpSweep, progress io.Writer) (*PauseCmpReport, error) 
 						FastDefaults:   sw.FastDefaults,
 						Workers:        sw.Workers,
 						ConcurrentMark: mode == "cmark",
+						Lazy:           mode == "lazy",
 					})
 					if err != nil {
 						return nil, fmt.Errorf("bench: pausecmp objects=%d frac=%.2f mode=%s: %w",
@@ -127,6 +135,7 @@ func RunPauseCmp(sw PauseCmpSweep, progress io.Writer) (*PauseCmpReport, error) 
 					copies = append(copies, Millis(res.PauseCopy))
 					trs = append(trs, Millis(res.Transform))
 					outs = append(outs, Millis(res.MarkOutside))
+					drains = append(drains, Millis(res.Drain))
 					last = res
 				}
 				row := PauseCmpRow{
@@ -143,6 +152,8 @@ func RunPauseCmp(sw PauseCmpSweep, progress io.Writer) (*PauseCmpReport, error) 
 					CopyMillis:        Summarize(copies),
 					TransformMillis:   Summarize(trs),
 					MarkOutsideMillis: Summarize(outs),
+					DrainMillis:       Summarize(drains),
+					LazyPending:       last.LazyPending,
 
 					MarkedObjects: last.MarkedObjects,
 					RescanMarked:  last.RescanMarked,
@@ -178,16 +189,16 @@ func WritePauseCmpJSON(path string, rep *PauseCmpReport) error {
 
 // PrintPauseCmp renders the grid as text.
 func PrintPauseCmp(w io.Writer, rep *PauseCmpReport) {
-	fmt.Fprintf(w, "DSU pause: STW vs concurrent mark (gomaxprocs=%d, cpus=%d)\n",
+	fmt.Fprintf(w, "DSU pause: STW vs concurrent mark vs lazy transform (gomaxprocs=%d, cpus=%d)\n",
 		rep.GOMAXPROCS, rep.NumCPU)
-	fmt.Fprintf(w, "%9s %6s %6s %10s %9s %9s %9s %11s %10s %9s\n",
-		"objects", "frac", "mode", "pause(ms)", "mark(ms)", "rescan", "copy(ms)", "transf(ms)", "mark-out", "speedup")
+	fmt.Fprintf(w, "%9s %6s %6s %10s %9s %9s %9s %11s %10s %9s %9s\n",
+		"objects", "frac", "mode", "pause(ms)", "mark(ms)", "rescan", "copy(ms)", "transf(ms)", "mark-out", "drain(ms)", "speedup")
 	for _, r := range rep.Rows {
-		fmt.Fprintf(w, "%9d %5.0f%% %6s %10.2f %9.2f %9.2f %9.2f %11.2f %10.2f %8.2fx\n",
+		fmt.Fprintf(w, "%9d %5.0f%% %6s %10.2f %9.2f %9.2f %9.2f %11.2f %10.2f %9.2f %8.2fx\n",
 			r.Objects, r.FracUpdated*100, r.Mode,
 			r.PauseTotalMillis.Median, r.MarkInPauseMillis.Median, r.RescanMillis.Median,
 			r.CopyMillis.Median, r.TransformMillis.Median, r.MarkOutsideMillis.Median,
-			r.SpeedupPause)
+			r.DrainMillis.Median, r.SpeedupPause)
 	}
 	fmt.Fprintf(w, "note: %s\n", rep.Note)
 }

@@ -102,6 +102,44 @@ class JvolveTransformers {
 			},
 		},
 		{
+			name: "OSR failure",
+			drive: func(t *testing.T, f *fixture, v1 *fixtureProgs) {
+				// An active-method update of the pinned spin loop whose
+				// user-supplied locals map is bogus: the safe-point check
+				// accepts the frame (every pc is mapped), so the failure
+				// surfaces inside the pause, in OSRRewrite — after install
+				// has renamed classes and loaded the transformer class. The
+				// fail path must unwind all of it.
+				v2 := f.prog(strings.Replace(abortV1, "const 1\n    ifne top", "const 1\n    nop\n    ifne top", 1))
+				spec, err := f.updateSpec("1", v1.prog, v2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec.AddActiveUpdate(upt.MethodRef{Class: "Loop", Name: "spin", Sig: "()V"},
+					upt.ActivePCMap{
+						PC:     map[int]int{0: 0, 1: 1, 2: 2, 3: 3},
+						Locals: map[int]int{99: 0}, // slot 99 does not exist
+					})
+				res, err := f.engine.ApplyNow(spec, core.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Outcome != core.Failed || res.Err == nil ||
+					!strings.Contains(res.Err.Error(), "active-method update") {
+					t.Fatalf("outcome = %v err = %v, want OSR rewrite failure", res.Outcome, res.Err)
+				}
+				// Regression: failed updates must publish their true pause
+				// cost, not zero (the pause stopped the world either way).
+				if res.Stats.PauseTotal <= 0 {
+					t.Fatalf("failed update published PauseTotal = %v, want > 0", res.Stats.PauseTotal)
+				}
+				if res.Stats.PauseTotal < res.Stats.PauseInstall+res.Stats.PauseGC+res.Stats.PauseTransform {
+					t.Fatalf("PauseTotal %v < install %v + gc %v + transform %v",
+						res.Stats.PauseTotal, res.Stats.PauseInstall, res.Stats.PauseGC, res.Stats.PauseTransform)
+				}
+			},
+		},
+		{
 			name:     "OOM during DSU copy",
 			heapDead: true,
 			drive: func(t *testing.T, f *fixture, v1 *fixtureProgs) {
@@ -247,6 +285,51 @@ class JvolveTransformers {
 				t.Fatalf("invariant sweep after follow-up update: %v", err)
 			}
 		})
+	}
+}
+
+// TestFailedUpdatePauseTotalRecorded pins the failure-path accounting fix:
+// a transformer-phase failure reaches the pause's deepest phase, and the
+// published stats must still satisfy PauseTotal ≥ install + gc + transform
+// with every component non-zero where the phase actually ran. (Before the
+// fix, failed updates published PauseTotal=0 alongside non-zero per-phase
+// stats, skewing the pause histograms.)
+func TestFailedUpdatePauseTotalRecorded(t *testing.T) {
+	f := newFixture(t, 1<<16)
+	v1 := &fixtureProgs{prog: f.load(abortV1)}
+	f.spawn("App")
+	f.vm.Step(8)
+
+	v2 := f.prog(strings.Replace(abortV1, "field w I", "field w I\n  field extra I", 1))
+	custom := `
+class JvolveTransformers {
+  static method jvolveObject(LPair;Lv1_Pair;)V {
+    load 1
+    getfield v1_Pair.peer LPair;
+    ifnull done
+    load 1
+    getfield v1_Pair.peer LPair;
+    invokestatic Jvolve.forceTransform(LObject;)V
+  done:
+    return
+  }
+}
+`
+	res, err := f.update("1", v1.prog, v2, custom, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != core.Failed {
+		t.Fatalf("outcome = %v err = %v, want Failed via transformer cycle", res.Outcome, res.Err)
+	}
+	s := res.Stats
+	if s.PauseInstall <= 0 || s.PauseGC <= 0 || s.PauseTransform <= 0 {
+		t.Fatalf("failed update lost phase stats: install=%v gc=%v transform=%v",
+			s.PauseInstall, s.PauseGC, s.PauseTransform)
+	}
+	if s.PauseTotal < s.PauseInstall+s.PauseGC+s.PauseTransform {
+		t.Fatalf("PauseTotal %v < install %v + gc %v + transform %v",
+			s.PauseTotal, s.PauseInstall, s.PauseGC, s.PauseTransform)
 	}
 }
 

@@ -21,7 +21,82 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	spec := p.Spec
 	reg := e.VM.Reg
 	totalStart := time.Now()
+
+	// cleanup is assigned once the install phase has loaded the new code
+	// (see below); fail runs it on every post-install failure path. Before
+	// that it is nil and fail only stamps the pause accounting.
+	var cleanup func()
+	var curPhase string
+	var phaseStart time.Time
+
+	// Until the DSU collection flips the heap, a failed update means the
+	// program continues on the OLD version — so the install phase's method
+	// body swaps and compiled-code invalidations must come back: a frame
+	// parked in a swapped method (e.g. when an OSR rewrite fails) would
+	// otherwise keep executing invalidated code with the registry already
+	// carrying the new bytecode. After the flip the heap IS the new
+	// version and the swaps must stay. fail() rolls back iff !flipped.
+	type bodySwap struct {
+		m     *rt.Method
+		def   *classfile.Method
+		cm    *rt.CompiledMethod
+		invoc int
+	}
+	type defSwap struct {
+		cls *rt.Class
+		def *classfile.Class
+	}
+	type codeInval struct {
+		m  *rt.Method
+		cm *rt.CompiledMethod
+	}
+	var bodySwaps []bodySwap
+	var defSwaps []defSwap
+	var invalidated []codeInval
+	flipped := false
+
 	fail := func(err error) *Result {
+		// A failed update stopped the world just like an applied one; the
+		// pause histograms must see its true cost, not zero. Fill in the
+		// in-progress phase duration (its normal stamp is unreachable on
+		// this path) and the total, preserving PauseTotal ≥ install+gc+
+		// transform for every outcome.
+		el := time.Since(phaseStart)
+		switch curPhase {
+		case "install":
+			if p.stats.PauseInstall == 0 {
+				p.stats.PauseInstall = el
+			}
+		case "gc":
+			if p.stats.PauseGC == 0 {
+				p.stats.PauseGC = el
+			}
+		case "transform":
+			if p.stats.PauseTransform == 0 {
+				p.stats.PauseTransform = el
+			}
+		}
+		p.stats.PauseTotal = time.Since(totalStart)
+		if !flipped {
+			for _, bs := range bodySwaps {
+				bs.m.Def = bs.def
+				bs.m.Invocations = bs.invoc
+				if bs.cm != nil {
+					bs.cm.Invalid = false
+					bs.m.Compiled = bs.cm
+				}
+			}
+			for _, ds := range defSwaps {
+				ds.cls.Def = ds.def
+			}
+			for _, ci := range invalidated {
+				ci.cm.Invalid = false
+				ci.m.Compiled = ci.cm
+			}
+		}
+		if cleanup != nil {
+			cleanup()
+		}
 		return &Result{Outcome: Failed, Err: err}
 	}
 
@@ -55,6 +130,8 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 			endPhase()
 		}
 		endPhase = e.span(name)
+		curPhase = name
+		phaseStart = time.Now()
 	}
 	defer func() {
 		if endPhase != nil {
@@ -141,6 +218,7 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 		if m == nil || nm == nil {
 			return fail(fmt.Errorf("core: method body update %s: method missing", ref))
 		}
+		bodySwaps = append(bodySwaps, bodySwap{m: m, def: m.Def, cm: m.Compiled, invoc: m.Invocations})
 		m.Def = nm
 		if m.Compiled != nil {
 			m.Compiled.Invalid = true
@@ -159,6 +237,7 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 		seen[ref.Class] = true
 		if cls := reg.LookupClass(ref.Class); cls != nil {
 			if ndef := spec.New.Classes[ref.Class]; ndef != nil {
+				defSwaps = append(defSwaps, defSwap{cls: cls, def: cls.Def})
 				cls.Def = ndef
 			}
 		}
@@ -186,6 +265,7 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 			}
 		}
 		if stale {
+			invalidated = append(invalidated, codeInval{m: m, cm: cm})
 			cm.Invalid = true
 			m.Compiled = nil
 			p.stats.InvalidatedMethods++
@@ -205,12 +285,19 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 
 	// cleanup unlinks the renamed old versions and the transformer class so
 	// the next collection can reclaim them. It runs on the success path AND
-	// on every post-install failure path: once the new code is installed a
-	// failed update must still leave the VM with consistent metadata. The
-	// documented failure mode for a transformer error is data loss — some
-	// objects keep default field values — never dangling old-version
-	// classes, stale UpdatedTo links, or a live scratch region (§3.4).
-	cleanup := func() {
+	// on every post-install failure path (via fail): once the new code is
+	// installed a failed update must still leave the VM with consistent
+	// metadata. The documented failure mode for a transformer error is data
+	// loss — some objects keep default field values — never dangling
+	// old-version classes, stale UpdatedTo links, or a live scratch region
+	// (§3.4). Idempotent: in lazy mode a drain finishing during the clinit
+	// phase runs it before the success path does.
+	cleanupDone := false
+	cleanup = func() {
+		if cleanupDone {
+			return
+		}
+		cleanupDone = true
 		for _, r := range renames {
 			r.old.UpdatedTo = nil
 			reg.Unregister(r.old)
@@ -275,21 +362,21 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 		if errors.Is(err, gc.ErrPreFlip) {
 			// The collection failed before the semispace flip: nothing was
 			// copied or forwarded and no root was rewritten, so the heap is
-			// fully usable. Fail the update cleanly — restore metadata
-			// consistency and let the VM run on, on the old version.
-			cleanup()
+			// fully usable. Fail the update cleanly — fail() restores
+			// metadata consistency and the VM runs on, on the old version.
 			return fail(fmt.Errorf("core: DSU collection: %w", err))
 		}
 		// A post-flip failure leaves the heap unusable — the semispace flip
 		// already happened and an unknown subset of roots is forwarded. Mark
 		// it fatal so allocations fail fast with the typed cause
-		// (gc.ErrToSpaceExhausted surfaces in vm.DeadErrors with OOM set),
-		// and still restore metadata consistency before reporting: even a
-		// dead-heap VM must not dangle renamed classes or UpdatedTo links.
+		// (gc.ErrToSpaceExhausted surfaces in vm.DeadErrors with OOM set);
+		// fail() still restores metadata consistency before reporting: even
+		// a dead-heap VM must not dangle renamed classes or UpdatedTo links.
+		flipped = true
 		e.VM.MarkHeapUnusable(err)
-		cleanup()
 		return fail(fmt.Errorf("core: DSU collection: %w", err))
 	}
+	flipped = true
 	p.stats.PauseGC = time.Since(tGC)
 	p.stats.PauseGCMark = gcRes.PauseMark
 	p.stats.PauseGCRescan = gcRes.PauseRescan
@@ -311,31 +398,54 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	// --- Transformers --------------------------------------------------------
 	phase("transform")
 	tTr := time.Now()
-	if err := e.runTransformers(p, spec, transformers, gcRes); err != nil {
-		// Partially transformed objects keep default field values (data
-		// loss), but the metadata must come back consistent before the
-		// failure is reported so the VM stays serviceable.
-		if gcRes.ScratchWords > 0 {
+	var ld *lazyDrain
+	if e.VM.LazyTransform {
+		// Lazy mode: class transformers still run here, but the object log
+		// is tagged for on-first-touch transformation instead of walked —
+		// the transform share of the pause collapses to the class pass.
+		ld, err = e.prepareLazy(p, spec, transformers, gcRes, cleanup)
+		if err != nil {
+			if gcRes.ScratchWords > 0 {
+				e.VM.Heap.ResetScratch()
+			}
+			return fail(err)
+		}
+		if ld == nil && gcRes.ScratchWords > 0 {
+			// The class transformers forced every pair inside the pause;
+			// no drain window, so the scratch region retires now.
 			e.VM.Heap.ResetScratch()
 		}
-		cleanup()
-		return fail(err)
+	} else {
+		if err := e.runTransformers(p, spec, transformers, gcRes); err != nil {
+			// Partially transformed objects keep default field values (data
+			// loss), but the metadata must come back consistent (fail runs
+			// cleanup) so the VM stays serviceable.
+			if gcRes.ScratchWords > 0 {
+				e.VM.Heap.ResetScratch()
+			}
+			return fail(err)
+		}
+		p.stats.TransformedObjects = len(gcRes.Log)
+		if gcRes.ScratchWords > 0 {
+			// Old copies lived in the scratch region; reclaim it immediately
+			// (§3.5: "reclaim it when the collection completes") instead of
+			// waiting for the next collection to sweep them from to-space.
+			e.VM.Heap.ResetScratch()
+		}
 	}
 	p.stats.PauseTransform = time.Since(tTr)
-	p.stats.TransformedObjects = len(gcRes.Log)
-	if gcRes.ScratchWords > 0 {
-		// Old copies lived in the scratch region; reclaim it immediately
-		// (§3.5: "reclaim it when the collection completes") instead of
-		// waiting for the next collection to sweep them from to-space.
-		e.VM.Heap.ResetScratch()
-	}
 
 	// --- Class initializers of brand-new classes -----------------------------
+	// In lazy mode the barrier is already armed here, deliberately: a clinit
+	// that touches updated-class instances transforms them on first use,
+	// keeping its observable behaviour identical to eager mode.
 	phase("clinit")
 	for _, name := range spec.AddedClasses {
 		if cls := reg.LookupClass(name); cls != nil {
 			if err := e.VM.RunClinit(cls); err != nil {
-				cleanup()
+				if ld != nil {
+					ld.abortPause()
+				}
 				return fail(fmt.Errorf("core: <clinit> of added class %s: %w", name, err))
 			}
 		}
@@ -344,8 +454,15 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	// --- Cleanup --------------------------------------------------------------
 	// The old class versions and the transformer class have done their
 	// job; unregistering them lets the next collection reclaim everything
-	// (the update log is dropped with gcRes).
-	cleanup()
+	// (the update log is dropped with gcRes). In lazy mode with a live
+	// drain both must survive the pause — the drain resolves old-copy
+	// class ids through the renamed versions and runs transformer methods
+	// — so finishDrain runs cleanup when pending hits zero instead. (A
+	// drain completing during the clinit phase already ran it; cleanup is
+	// idempotent, and ld.done marks that case.)
+	if ld == nil || ld.done {
+		cleanup()
+	}
 
 	p.stats.PauseTotal = time.Since(totalStart)
 	return &Result{Outcome: Applied}
@@ -426,6 +543,33 @@ func (e *Engine) runTransformers(p *Pending, spec *upt.Spec, transformers *rt.Cl
 	defer func() { v.DSUForceTransform = nil }()
 
 	// Class transformers first, then objects (paper §3.4).
+	if err := e.runClassTransformers(p, spec, transformers); err != nil {
+		return err
+	}
+	// Parallel bulk pass: default-transformer pairs not already force-
+	// transformed by a class transformer are pure disjoint field copies —
+	// fan them out before the serial walk. Pairs it completes are marked
+	// stDone, so the walk below skips them.
+	if p.Opts.FastDefaults {
+		e.bulkTransformObjects(p, spec, gcRes, status)
+	}
+	for _, pair := range gcRes.Log {
+		if err := transform(pair.New); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runClassTransformers executes the class transformer for every updated
+// class — the UPT-generated default as a native static copy under
+// FastDefaults, interpreted jvolveClass otherwise. Shared by the eager
+// transform phase and the lazy prepare phase (class transformers always run
+// inside the pause: statics must be correct before the program resumes).
+// The caller installs v.DSUForceTransform first so a class transformer can
+// force-transform the objects it dereferences.
+func (e *Engine) runClassTransformers(p *Pending, spec *upt.Spec, transformers *rt.Class) error {
+	v := e.VM
 	for _, name := range spec.ClassUpdates {
 		cls := v.Reg.LookupClass(name)
 		if cls == nil {
@@ -448,18 +592,6 @@ func (e *Engine) runTransformers(p *Pending, spec *upt.Spec, transformers *rt.Cl
 			return fmt.Errorf("core: class transformer for %s: %w", name, err)
 		}
 		v.Rec.Emit(obs.KTransformerApplied, obs.LaneEngine, 0, "jvolveClass:"+name)
-	}
-	// Parallel bulk pass: default-transformer pairs not already force-
-	// transformed by a class transformer are pure disjoint field copies —
-	// fan them out before the serial walk. Pairs it completes are marked
-	// stDone, so the walk below skips them.
-	if p.Opts.FastDefaults {
-		e.bulkTransformObjects(p, spec, gcRes, status)
-	}
-	for _, pair := range gcRes.Log {
-		if err := transform(pair.New); err != nil {
-			return err
-		}
 	}
 	return nil
 }

@@ -127,6 +127,17 @@ type Stats struct {
 	// parallel bulk fan-out.
 	PauseTransformBulk time.Duration
 	PauseTotal         time.Duration
+
+	// Lazy-transform decomposition (vm.Options.LazyTransform). LazyPending
+	// is the pair count left tagged when the pause ended; LazyDrained were
+	// then transformed by the read barrier on first touch, LazyForced by a
+	// forced drain (collection, follow-up update, or ForceDrain).
+	// Drained+Forced converges to Pending, and TransformedObjects to the
+	// eager count, as the drain completes; these fields keep updating after
+	// the Result is sealed, until the drain finishes.
+	LazyPending int
+	LazyDrained int
+	LazyForced  int
 }
 
 // Result is the terminal state of an update request.
@@ -191,6 +202,9 @@ type Engine struct {
 	AfterUpdate func(*Result)
 
 	pending *Pending
+	// lazy is the in-flight post-pause drain of the most recent
+	// LazyTransform update, nil outside a drain window.
+	lazy *lazyDrain
 	// Updates records every finished update, in order.
 	Updates []*Result
 }
@@ -415,6 +429,14 @@ func (e *Engine) handle() bool {
 	if p == nil || p.Done() {
 		return true
 	}
+	if e.lazy != nil {
+		// A follow-up update arrived mid-drain: force-complete the previous
+		// update's residue first, so its pair log, scratch region and
+		// renamed old versions retire before this update builds its own.
+		// Transformer errors during the forced drain are the affected
+		// objects' data loss, not this update's failure.
+		_ = e.lazy.forceAll()
+	}
 	if e.VM.GC.Opts.ConcurrentMark {
 		// Run instance discovery outside the pause: start (or poll) the
 		// concurrent snapshot-at-the-beginning mark and keep the mutator
@@ -586,6 +608,11 @@ func (e *Engine) finish(p *Pending, res *Result) {
 		f.Barrier = false
 	}
 	res.Stats = p.stats
+	if e.lazy != nil && e.lazy.stats == &p.stats {
+		// Post-pause drain accounting must land in the sealed Result the
+		// caller reads, not the dead Pending's copy.
+		e.lazy.stats = &res.Stats
+	}
 	p.result = res
 	e.Updates = append(e.Updates, res)
 	e.emitTerminal(res)
@@ -643,9 +670,14 @@ func (e *Engine) observeUpdate(res *Result) {
 		m.Histogram(obs.MPauseTotal, obs.DurationBuckets()).Observe(s.PauseTotal.Seconds())
 		m.Counter(obs.MPairsLogged).Add(int64(s.PairsLogged))
 		m.Counter(obs.MGCSteals).Add(s.GCSteals)
+		m.Counter(obs.MLazyPending).Add(int64(s.LazyPending))
 	case Aborted:
 		m.Counter(obs.MUpdatesAborted).Add(1)
 	default:
 		m.Counter(obs.MUpdatesFailed).Add(1)
+		// Failed pauses stop the world too; a failed update publishing
+		// PauseTotal=0 would skew the pause percentiles, so the honest
+		// total (stamped by apply's fail path) goes in as well.
+		m.Histogram(obs.MPauseTotal, obs.DurationBuckets()).Observe(s.PauseTotal.Seconds())
 	}
 }

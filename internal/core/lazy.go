@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"govolve/internal/classfile"
+	"govolve/internal/gc"
+	"govolve/internal/obs"
+	"govolve/internal/rt"
+	"govolve/internal/upt"
+)
+
+// lazyDrain owns the post-pause residue of one LazyTransform update: the
+// pair log, the per-pair transformation status, and everything the drain
+// still needs from the pause — the renamed old class versions (old-copy
+// class ids resolve through them), the transformer class, and the scratch
+// region holding the old copies. The paper's §5 on-first-use hybrid: the
+// pause ends with objects copied but untransformed, and the read barrier
+// (vm.DSULazyTouch) transforms each on first touch.
+//
+// Lifetime: created inside the pause by prepareLazy, which tags every pair
+// not already force-transformed by a class transformer and arms the barrier.
+// The drain retires pairs until pending hits zero, then finishDrain
+// uninstalls the hooks, runs the update's cleanup (unregistering the old
+// versions and the transformer class) and reclaims the scratch region. A
+// collection or a follow-up update force-completes the residue first
+// (forceAll); a clinit failure while still inside the pause unwinds with
+// abortPause instead.
+//
+// Everything here runs on the mutator goroutine — barrier hits, forced
+// drains and collections all happen inside VM.Step — so no locking.
+type lazyDrain struct {
+	e            *Engine
+	spec         *upt.Spec
+	opts         Options
+	transformers *rt.Class
+	log          []gc.Pair
+	oldForNew    map[rt.Addr]rt.Addr
+	status       map[rt.Addr]int
+	pending      int
+	stats        *Stats
+	cleanup      func()
+	scratch      bool
+	sealed       time.Time // pause end; drain latency is measured from here
+	forcing      bool      // inside forceAll: classify completions as LazyForced
+	done         bool
+	firstErr     error
+}
+
+// prepareLazy replaces the eager transform phase inside the DSU pause. It
+// runs the class transformers exactly as eager mode does (statics must be
+// correct before the program resumes), then tags every log pair the class
+// transformers did not already force-transform and arms the read barrier.
+// Returns (nil, nil) when the class transformers drained every pair — the
+// caller then finishes the pause exactly like eager mode. On error the
+// caller fails the update; no tag or hook survives (tagging happens after
+// the only fallible step).
+func (e *Engine) prepareLazy(p *Pending, spec *upt.Spec, transformers *rt.Class, gcRes *gc.Result, cleanup func()) (*lazyDrain, error) {
+	v := e.VM
+	ld := &lazyDrain{
+		e:            e,
+		spec:         spec,
+		opts:         p.Opts,
+		transformers: transformers,
+		log:          gcRes.Log,
+		oldForNew:    gcRes.OldForNew,
+		status:       make(map[rt.Addr]int, len(gcRes.Log)),
+		stats:        &p.stats,
+		cleanup:      cleanup,
+		scratch:      gcRes.ScratchWords > 0,
+	}
+
+	// Class transformers run in-pause in both modes. forceTransform from
+	// one drains pairs early through ld.transform (status stDone, never
+	// tagged); collection stays disabled for the duration exactly as in
+	// the eager phase.
+	v.GCDisabled = true
+	v.DSUForceTransform = ld.transform
+	err := e.runClassTransformers(p, spec, transformers)
+	v.GCDisabled = false
+	if err != nil {
+		v.DSUForceTransform = nil
+		return nil, err
+	}
+
+	for _, pair := range ld.log {
+		if ld.status[pair.New] != stDone {
+			v.Heap.MarkUntransformed(pair.New)
+			ld.pending++
+		}
+	}
+	p.stats.LazyPending = ld.pending
+	p.stats.TransformedObjects = len(ld.log) - ld.pending
+	if ld.pending == 0 {
+		// The class transformers forced every pair; nothing to drain.
+		v.DSUForceTransform = nil
+		return nil, nil
+	}
+
+	// Arm. DSUForceTransform stays installed for the whole drain window so
+	// Jvolve.forceTransform keeps working from barrier-invoked transformer
+	// context, with the same cycle detection as the eager phase.
+	ld.sealed = time.Now()
+	v.DSULazyTouch = ld.transform
+	v.DSULazyDrain = ld.forceAll
+	e.lazy = ld
+	return ld, nil
+}
+
+// transform retires one pair: the read barrier's slow path, the
+// Jvolve.forceTransform hook, and the forced-drain worker are all this
+// function. Unlike the eager phase, a transformer error after the pause
+// cannot fail the update — the program already resumed on the new version —
+// so the policy is done-with-defaults: the object keeps whatever fields the
+// collector initialized (the §3.4 data-loss failure mode), the error is
+// recorded and returned, and the touching thread is killed by the caller.
+func (ld *lazyDrain) transform(newAddr rt.Addr) error {
+	if newAddr == rt.Null {
+		return nil
+	}
+	v := ld.e.VM
+	switch ld.status[newAddr] {
+	case stDone:
+		return nil
+	case stInProgress:
+		return fmt.Errorf("core: transformer cycle detected at object @%d; aborting update", newAddr)
+	}
+	oldCopy, updated := ld.oldForNew[newAddr]
+	if !updated {
+		return nil // not an updated object: nothing to do
+	}
+	ld.status[newAddr] = stInProgress
+	// Clear the tag before running the transformer: its own reads and
+	// writes of the half-built object must not re-fire the barrier (the
+	// cycle check above still catches true cycles via forceTransform).
+	tagged := v.Heap.Untransformed(newAddr)
+	if tagged {
+		v.Heap.ClearUntransformed(newAddr)
+	}
+	err := ld.run(newAddr, oldCopy)
+	ld.status[newAddr] = stDone
+	if err != nil && ld.firstErr == nil {
+		ld.firstErr = err
+	}
+	if tagged {
+		// Only pairs tagged at pause end count against pending; a pair
+		// drained by a class transformer inside the pause went through
+		// here untagged and is accounted eagerly.
+		ld.completed()
+	}
+	return err
+}
+
+// run executes one object transformer — the native bulk copy for generated
+// defaults under FastDefaults, interpreted jvolveObject otherwise. The log
+// and the scratch-resident old copies hold raw addresses, so collection is
+// disabled around every (possibly nested) transformer run; the flag nests
+// because a barrier-invoked transformer can force-transform its neighbors.
+func (ld *lazyDrain) run(newAddr, oldCopy rt.Addr) error {
+	v := ld.e.VM
+	wasDisabled := v.GCDisabled
+	v.GCDisabled = true
+	defer func() { v.GCDisabled = wasDisabled }()
+
+	newCls := v.Reg.ClassByID(v.Heap.ClassID(newAddr))
+	oldCls := v.Reg.ClassByID(v.Heap.ClassID(oldCopy))
+	if newCls == nil || oldCls == nil {
+		return fmt.Errorf("core: transformer: unknown class for pair @%d/@%d", newAddr, oldCopy)
+	}
+	if ld.opts.FastDefaults && ld.spec.DefaultObjectTransformers[newCls.Name] {
+		nativeObjectTransform(v, newCls, oldCls, ld.spec.OldFlatDefs[oldCls.Name], newAddr, oldCopy)
+		ld.stats.BulkTransformed++
+		v.Rec.Emit(obs.KTransformerApplied, obs.LaneEngine, 1, "default:"+newCls.Name)
+		return nil
+	}
+	sig := classfile.Sig("(L" + newCls.Name + ";L" + oldCls.Name + ";)V")
+	tm := ld.transformers.Method("jvolveObject", sig)
+	if tm == nil {
+		return fmt.Errorf("core: no object transformer jvolveObject%s", sig)
+	}
+	if err := v.RunSynchronous("jvolveObject:"+newCls.Name, tm,
+		[]rt.Value{rt.RefVal(newAddr), rt.RefVal(oldCopy)}); err != nil {
+		return fmt.Errorf("core: object transformer for %s: %w", newCls.Name, err)
+	}
+	ld.stats.BytecodeTransformed++
+	v.Rec.Emit(obs.KTransformerApplied, obs.LaneEngine, 1, "jvolveObject:"+newCls.Name)
+	return nil
+}
+
+// completed books one retired tagged pair and finishes the drain at zero.
+func (ld *lazyDrain) completed() {
+	ld.stats.TransformedObjects++
+	if ld.forcing {
+		ld.stats.LazyForced++
+	} else {
+		ld.stats.LazyDrained++
+	}
+	if m := ld.e.VM.Metrics; m != nil {
+		if ld.forcing {
+			m.Counter(obs.MLazyForced).Add(1)
+		} else {
+			m.Counter(obs.MLazyDrained).Add(1)
+		}
+		m.Histogram(obs.MLazyDrainLatency, obs.DurationBuckets()).Observe(time.Since(ld.sealed).Seconds())
+	}
+	ld.pending--
+	if ld.pending == 0 {
+		ld.finishDrain()
+	}
+}
+
+// forceAll retires every remaining tagged pair. Callers: vm.CollectGarbage
+// (a flip would invalidate the log's raw addresses), Engine.handle on a
+// follow-up update (the new pause must not find a half-drained heap), and
+// the harness-facing Engine.ForceDrain. Individual transformer errors do
+// not stop the drain — affected objects keep defaults — and the first one
+// is returned for the caller to report.
+func (ld *lazyDrain) forceAll() error {
+	if ld.done {
+		return ld.firstErr
+	}
+	ld.forcing = true
+	for _, pair := range ld.log {
+		if ld.done {
+			break
+		}
+		if ld.e.VM.Heap.Untransformed(pair.New) {
+			_ = ld.transform(pair.New) // recorded in firstErr; drain must finish
+		}
+	}
+	ld.forcing = false
+	if !ld.done {
+		// Defensive: no tagged pair may remain after a full log walk.
+		ld.pending = 0
+		ld.finishDrain()
+	}
+	return ld.firstErr
+}
+
+// finishDrain retires the drain: disarm the barrier, drop the hooks, and
+// run the pause's deferred teardown — unregister the renamed old versions
+// and transformer class, reclaim the scratch region. After this the VM is
+// indistinguishable from one that updated eagerly.
+func (ld *lazyDrain) finishDrain() {
+	if ld.done {
+		return
+	}
+	ld.done = true
+	v := ld.e.VM
+	v.DSULazyTouch = nil
+	v.DSULazyDrain = nil
+	v.DSUForceTransform = nil
+	ld.e.lazy = nil
+	ld.cleanup()
+	if ld.scratch {
+		v.Heap.ResetScratch()
+	}
+}
+
+// abortPause unwinds an armed drain while still inside the pause (a clinit
+// of an added class failed after prepareLazy armed the barrier): clear
+// every tag, uninstall the hooks, reclaim scratch. The update's cleanup is
+// NOT run here — the failure path in apply runs it via fail().
+func (ld *lazyDrain) abortPause() {
+	if ld.done {
+		return
+	}
+	ld.done = true
+	v := ld.e.VM
+	for _, pair := range ld.log {
+		v.Heap.ClearUntransformed(pair.New)
+	}
+	v.DSULazyTouch = nil
+	v.DSULazyDrain = nil
+	v.DSUForceTransform = nil
+	ld.e.lazy = nil
+	if ld.scratch {
+		v.Heap.ResetScratch()
+	}
+}
+
+// ForceDrain force-completes any in-flight lazy-transform drain and
+// returns the first transformer error the drain recorded (affected objects
+// keep default field values). No-op outside a drain window.
+func (e *Engine) ForceDrain() error {
+	if e.lazy == nil {
+		return nil
+	}
+	return e.lazy.forceAll()
+}

@@ -1,0 +1,414 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"govolve/internal/core"
+	"govolve/internal/storm"
+	"govolve/internal/upt"
+	"govolve/internal/vm"
+)
+
+// newLazyFixture is newFixture with lazy per-object transformation enabled.
+func newLazyFixture(t *testing.T, heapWords, scratchWords int) *fixture {
+	t.Helper()
+	var out bytes.Buffer
+	v, err := vm.New(vm.Options{
+		HeapWords:     heapWords,
+		ScratchWords:  scratchWords,
+		LazyTransform: true,
+		Out:           &out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{t: t, vm: v, out: &out, engine: core.NewEngine(v)}
+}
+
+// lazyV1: two Box instances pinned in statics, set to 7 and 9, a long spin
+// loop (the update window), then a read of a.v — the touch that fires the
+// read barrier in lazy mode.
+const lazyV1 = `
+class Box {
+  field v I
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    return
+  }
+}
+class App {
+  static field a LBox;
+  static field b LBox;
+  static method main()V {
+    new Box
+    dup
+    invokespecial Box.<init>()V
+    putstatic App.a LBox;
+    new Box
+    dup
+    invokespecial Box.<init>()V
+    putstatic App.b LBox;
+    getstatic App.a LBox;
+    const 7
+    putfield Box.v I
+    getstatic App.b LBox;
+    const 9
+    putfield Box.v I
+    const 0
+    store 0
+  loop:
+    load 0
+    const 60000
+    if_icmpge done
+    load 0
+    const 1
+    add
+    store 0
+    goto loop
+  done:
+    getstatic App.a LBox;
+    getfield Box.v I
+    invokestatic System.printInt(I)V
+    return
+  }
+}
+`
+
+// rawBoxV reads a Box static's v field straight from the heap (no barrier).
+func rawBoxV(t *testing.T, f *fixture, static string) int64 {
+	t.Helper()
+	app := f.vm.Reg.LookupClass("App")
+	sf := app.StaticField(static)
+	if sf == nil {
+		t.Fatalf("App.%s missing", static)
+	}
+	a := f.vm.Reg.JTOC[sf.Slot].Ref()
+	box := f.vm.Reg.ClassByID(f.vm.Heap.ClassID(a))
+	fl := box.Field("v")
+	if fl == nil {
+		t.Fatalf("%s has no field v", box.Name)
+	}
+	return f.vm.Heap.FieldValue(a, fl.Offset, false).Int()
+}
+
+// TestLazyTransformDrainsOnTouch is the tentpole's end-to-end contract: the
+// pause ends with every pair tagged (TransformedObjects=0, transform share
+// of the pause ≈ 0), the renamed old version and scratch region outlive the
+// pause under a drain-aware CheckVM, the read barrier transforms exactly
+// what the program touches, and ForceDrain retires the rest — converging on
+// the same final heap state and output as an eager run.
+func TestLazyTransformDrainsOnTouch(t *testing.T) {
+	f := newLazyFixture(t, 1<<16, 1<<12)
+	v1 := f.load(lazyV1)
+	v2 := f.prog(strings.Replace(lazyV1, "class Box {\n  field v I",
+		"class Box {\n  field pad LString;\n  field v I", 1))
+	f.spawn("App")
+	f.vm.Step(1)
+
+	res := f.mustApply("1", v1, v2, "")
+	if res.Stats.LazyPending != 2 {
+		t.Fatalf("LazyPending = %d, want 2", res.Stats.LazyPending)
+	}
+	if res.Stats.TransformedObjects != 0 {
+		t.Fatalf("pause transformed %d objects in lazy mode, want 0", res.Stats.TransformedObjects)
+	}
+	if !f.vm.LazyDrainActive() {
+		t.Fatal("drain not active after lazy update")
+	}
+	// Mid-drain the renamed old version and the scratch region must
+	// survive (the drain needs them), and the drain-aware sweep must hold.
+	if f.vm.Reg.LookupClass("v1_Box") == nil {
+		t.Fatal("drain dropped the renamed old version it still needs")
+	}
+	if f.vm.Heap.ScratchUsed() == 0 {
+		t.Fatal("scratch region reclaimed while old copies are still needed")
+	}
+	if err := storm.CheckVM(f.vm); err != nil {
+		t.Fatalf("mid-drain invariant sweep: %v", err)
+	}
+
+	// The program touches a (prints its v) but never b.
+	if got := strings.TrimSpace(f.finish()); got != "7" {
+		t.Fatalf("output = %q, want 7 (field carried through lazy transform)", got)
+	}
+	if res.Stats.LazyDrained != 1 {
+		t.Fatalf("LazyDrained = %d, want 1 (only a was touched)", res.Stats.LazyDrained)
+	}
+	if !f.vm.LazyDrainActive() {
+		t.Fatal("drain retired early: b was never touched")
+	}
+
+	if err := f.engine.ForceDrain(); err != nil {
+		t.Fatalf("ForceDrain: %v", err)
+	}
+	if res.Stats.LazyForced != 1 || res.Stats.LazyDrained != 1 {
+		t.Fatalf("drained/forced = %d/%d, want 1/1", res.Stats.LazyDrained, res.Stats.LazyForced)
+	}
+	if res.Stats.TransformedObjects != 2 {
+		t.Fatalf("TransformedObjects = %d after drain, want 2 (eager count)", res.Stats.TransformedObjects)
+	}
+	if f.vm.LazyDrainActive() {
+		t.Fatal("drain still active after ForceDrain")
+	}
+	// Post-drain the VM must be indistinguishable from an eager update:
+	// no renamed old version, no transformer class, empty scratch, and the
+	// untouched object's field carried by the (forced) default transformer.
+	if f.vm.Reg.LookupClass("v1_Box") != nil {
+		t.Fatal("drain completion left the renamed old version registered")
+	}
+	if f.vm.Reg.LookupClass(upt.TransformersClassName) != nil {
+		t.Fatal("drain completion left the transformer class registered")
+	}
+	if f.vm.Heap.ScratchUsed() != 0 {
+		t.Fatal("drain completion left the scratch region populated")
+	}
+	if err := storm.CheckVM(f.vm); err != nil {
+		t.Fatalf("post-drain invariant sweep: %v", err)
+	}
+	if got := rawBoxV(t, f, "b"); got != 9 {
+		t.Fatalf("b.v = %d after forced drain, want 9", got)
+	}
+}
+
+// TestLazyEagerSameOutput pins observational equivalence at the fixture
+// level (the storm test covers it at scale): the same program and update
+// produce identical output and identical final field values either way.
+func TestLazyEagerSameOutput(t *testing.T) {
+	run := func(lazy bool) (string, int64) {
+		var f *fixture
+		if lazy {
+			f = newLazyFixture(t, 1<<16, 1<<12)
+		} else {
+			f = newFixture(t, 1<<16)
+		}
+		v1 := f.load(lazyV1)
+		v2 := f.prog(strings.Replace(lazyV1, "class Box {\n  field v I",
+			"class Box {\n  field pad LString;\n  field v I", 1))
+		f.spawn("App")
+		f.vm.Step(1)
+		f.mustApply("1", v1, v2, "")
+		out := strings.TrimSpace(f.finish())
+		if err := f.engine.ForceDrain(); err != nil {
+			t.Fatalf("ForceDrain: %v", err)
+		}
+		return out, rawBoxV(t, f, "b")
+	}
+	eagerOut, eagerB := run(false)
+	lazyOut, lazyB := run(true)
+	if eagerOut != lazyOut || eagerB != lazyB {
+		t.Fatalf("eager (out=%q b=%d) != lazy (out=%q b=%d)", eagerOut, eagerB, lazyOut, lazyB)
+	}
+}
+
+// lazyCycleV1 builds two mutually linked Pair objects, spins, then touches
+// one — in lazy mode the touch runs the (pathological) transformer from
+// barrier context.
+const lazyCycleV1 = `
+class Pair {
+  field peer LPair;
+  field w I
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    return
+  }
+}
+class App {
+  static field a LPair;
+  static method main()V {
+    new Pair
+    dup
+    invokespecial Pair.<init>()V
+    putstatic App.a LPair;
+    new Pair
+    dup
+    invokespecial Pair.<init>()V
+    getstatic App.a LPair;
+    swap
+    putfield Pair.peer LPair;
+    getstatic App.a LPair;
+    getfield Pair.peer LPair;
+    getstatic App.a LPair;
+    putfield Pair.peer LPair;
+    const 0
+    store 0
+  loop:
+    load 0
+    const 60000
+    if_icmpge done
+    load 0
+    const 1
+    add
+    store 0
+    goto loop
+  done:
+    getstatic App.a LPair;
+    getfield Pair.w I
+    invokestatic System.printInt(I)V
+    return
+  }
+}
+`
+
+// TestLazyBarrierCycleLeavesVMServiceable: a transformer cycle detected
+// from read-barrier context (post-pause!) kills only the touching thread;
+// the drain completes done-with-defaults, the VM stays serviceable, and a
+// follow-up update still applies. The eager analogue fails the whole
+// update; lazily the update is already committed, so the failure is scoped
+// to data loss plus the toucher.
+func TestLazyBarrierCycleLeavesVMServiceable(t *testing.T) {
+	f := newLazyFixture(t, 1<<16, 0)
+	v1 := f.load(lazyCycleV1)
+	v2 := f.prog(strings.Replace(lazyCycleV1, "field w I", "field w I\n  field extra I", 1))
+	custom := `
+class JvolveTransformers {
+  static method jvolveObject(LPair;Lv1_Pair;)V {
+    load 1
+    getfield v1_Pair.peer LPair;
+    ifnull done
+    load 1
+    getfield v1_Pair.peer LPair;
+    invokestatic Jvolve.forceTransform(LObject;)V
+  done:
+    load 0
+    load 1
+    getfield v1_Pair.w I
+    putfield Pair.w I
+    return
+  }
+}
+`
+	f.spawn("App")
+	f.vm.Step(1)
+	res := f.mustApply("1", v1, v2, custom)
+	if res.Stats.LazyPending != 2 {
+		t.Fatalf("LazyPending = %d, want 2", res.Stats.LazyPending)
+	}
+
+	// Resume: main's getfield fires the barrier, the transformer chain
+	// cycles, and the touching thread dies with the cycle error.
+	if err := f.vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var killed *vm.Thread
+	for _, th := range f.vm.Threads {
+		if th.Err != nil {
+			killed = th
+		}
+	}
+	if killed == nil || !strings.Contains(killed.Err.Error(), "cycle") {
+		t.Fatalf("touching thread not killed by cycle detection (threads: %v)", f.vm.Threads)
+	}
+
+	// The cycle unwound done-with-defaults: both chain members retired, so
+	// the drain completed and the VM is clean.
+	if f.vm.LazyDrainActive() {
+		t.Fatal("drain still active after cycle unwound the whole chain")
+	}
+	// The error was already delivered to the touching thread; the retired
+	// drain makes ForceDrain a no-op.
+	if err := f.engine.ForceDrain(); err != nil {
+		t.Fatalf("ForceDrain after retired drain: %v", err)
+	}
+	if f.vm.Reg.LookupClass("v1_Pair") != nil || f.vm.Reg.LookupClass(upt.TransformersClassName) != nil {
+		t.Fatal("cycle abort left update debris registered")
+	}
+	if err := storm.CheckVM(f.vm); err != nil {
+		t.Fatalf("invariant sweep after barrier cycle: %v", err)
+	}
+
+	// A benign follow-up update still applies.
+	v3 := f.prog(strings.Replace(lazyCycleV1, "field w I", "field w I\n  field extra I", 1) +
+		"\nclass Followup {\n  static method ok()I {\n    const 7\n    return\n  }\n}\n")
+	res2, err := f.update("2", v2, v3, "", core.Options{})
+	if err != nil {
+		t.Fatalf("follow-up update: %v", err)
+	}
+	if res2.Outcome != core.Applied {
+		t.Fatalf("follow-up outcome = %v err = %v, want Applied", res2.Outcome, res2.Err)
+	}
+}
+
+// TestLazySecondUpdateForcesDrain: a follow-up update arriving mid-drain
+// must force-complete the previous residue before its own pause — and the
+// values must carry through both layout changes.
+func TestLazySecondUpdateForcesDrain(t *testing.T) {
+	f := newLazyFixture(t, 1<<16, 1<<12)
+	v1 := f.load(lazyV1)
+	v2src := strings.Replace(lazyV1, "class Box {\n  field v I",
+		"class Box {\n  field pad LString;\n  field v I", 1)
+	v2 := f.prog(v2src)
+	v3 := f.prog(strings.Replace(v2src, "field v I", "field v I\n  field q I", 1))
+	f.spawn("App")
+	f.vm.Step(1)
+
+	res1 := f.mustApply("1", v1, v2, "")
+	if res1.Stats.LazyPending != 2 || res1.Stats.LazyDrained != 0 {
+		t.Fatalf("update 1: pending=%d drained=%d, want 2/0", res1.Stats.LazyPending, res1.Stats.LazyDrained)
+	}
+
+	// Nothing touched; the second update must force the residue first.
+	res2 := f.mustApply("2", v2, v3, "")
+	if res1.Stats.LazyForced != 2 {
+		t.Fatalf("update 2 did not force update 1's residue: forced=%d, want 2", res1.Stats.LazyForced)
+	}
+	if res2.Stats.LazyPending != 2 {
+		t.Fatalf("update 2: LazyPending = %d, want 2", res2.Stats.LazyPending)
+	}
+	if err := f.engine.ForceDrain(); err != nil {
+		t.Fatalf("ForceDrain: %v", err)
+	}
+	if got := rawBoxV(t, f, "a"); got != 7 {
+		t.Fatalf("a.v = %d after two lazy updates, want 7", got)
+	}
+	if got := rawBoxV(t, f, "b"); got != 9 {
+		t.Fatalf("b.v = %d after two lazy updates, want 9", got)
+	}
+	if err := storm.CheckVM(f.vm); err != nil {
+		t.Fatalf("invariant sweep: %v", err)
+	}
+	if got := strings.TrimSpace(f.finish()); got != "7" {
+		t.Fatalf("output = %q, want 7", got)
+	}
+}
+
+// TestLazyDrainForcedByCollection: a collection arriving mid-drain would
+// invalidate the pair log's raw addresses and reclaim the old copies, so
+// CollectGarbage must force-complete the residue first.
+func TestLazyDrainForcedByCollection(t *testing.T) {
+	f := newLazyFixture(t, 1<<16, 1<<12)
+	v1 := f.load(lazyV1)
+	v2 := f.prog(strings.Replace(lazyV1, "class Box {\n  field v I",
+		"class Box {\n  field pad LString;\n  field v I", 1))
+	f.spawn("App")
+	f.vm.Step(1)
+
+	res := f.mustApply("1", v1, v2, "")
+	if res.Stats.LazyPending != 2 {
+		t.Fatalf("LazyPending = %d, want 2", res.Stats.LazyPending)
+	}
+	if _, err := f.vm.CollectGarbage(); err != nil {
+		t.Fatalf("collection mid-drain: %v", err)
+	}
+	if f.vm.LazyDrainActive() {
+		t.Fatal("collection ran without forcing the drain")
+	}
+	if res.Stats.LazyForced != 2 {
+		t.Fatalf("LazyForced = %d after collection, want 2", res.Stats.LazyForced)
+	}
+	if got := rawBoxV(t, f, "a"); got != 7 {
+		t.Fatalf("a.v = %d after collection-forced drain, want 7", got)
+	}
+	if got := rawBoxV(t, f, "b"); got != 9 {
+		t.Fatalf("b.v = %d after collection-forced drain, want 9", got)
+	}
+	if err := storm.CheckVM(f.vm); err != nil {
+		t.Fatalf("invariant sweep: %v", err)
+	}
+	if got := strings.TrimSpace(f.finish()); got != "7" {
+		t.Fatalf("output = %q, want 7", got)
+	}
+}

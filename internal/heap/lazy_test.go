@@ -1,0 +1,58 @@
+package heap
+
+import (
+	"testing"
+
+	"govolve/internal/rt"
+)
+
+// TestLazyBitRoundTrip pins the header-bit discipline: tagging an object
+// untransformed must not disturb its class id, array-ness, or forwarding
+// state, and clearing must restore the exact original header.
+func TestLazyBitRoundTrip(t *testing.T) {
+	h := New(1 << 12)
+	cls := &rt.Class{ID: 0x7fff_0001, Size: rt.HeaderWords + 2, RefMap: []bool{false, false}}
+	a, ok := h.AllocObject(cls)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	orig := h.Word(a)
+	if h.Untransformed(a) {
+		t.Fatal("fresh object tagged untransformed")
+	}
+	h.MarkUntransformed(a)
+	if !h.Untransformed(a) {
+		t.Fatal("tag did not stick")
+	}
+	if got := h.ClassID(a); got != cls.ID {
+		t.Fatalf("tag disturbed class id: got %d want %d", got, cls.ID)
+	}
+	if h.IsArray(a) {
+		t.Fatal("tag flipped the array bit")
+	}
+	if _, fwd := h.Forwarded(a); fwd {
+		t.Fatal("tag reads as a forwarding pointer")
+	}
+	h.ClearUntransformed(a)
+	if h.Untransformed(a) {
+		t.Fatal("clear did not stick")
+	}
+	if h.Word(a) != orig {
+		t.Fatalf("header not restored: got %#x want %#x", h.Word(a), orig)
+	}
+
+	// Arrays share the header layout; the bit must coexist with both array
+	// bits without corrupting length or element kind.
+	arr, ok := h.AllocArray(true, 5)
+	if !ok {
+		t.Fatal("array alloc failed")
+	}
+	h.MarkUntransformed(arr)
+	if !h.IsArray(arr) || !h.ArrayElemIsRef(arr) || h.ArrayLen(arr) != 5 {
+		t.Fatal("tag corrupted array header")
+	}
+	h.ClearUntransformed(arr)
+	if h.Untransformed(arr) {
+		t.Fatal("array clear did not stick")
+	}
+}

@@ -384,6 +384,10 @@ const (
 	MUpdatesFailed    = "govolve_dsu_updates_failed_total"
 	MBarriers         = "govolve_dsu_barriers_installed_total"
 	MOSRFrames        = "govolve_dsu_osr_frames_total"
+	MLazyPending      = "govolve_dsu_lazy_pending_total"
+	MLazyDrained      = "govolve_dsu_lazy_drained_total"
+	MLazyForced       = "govolve_dsu_lazy_forced_total"
+	MLazyDrainLatency = "govolve_dsu_lazy_drain_latency_seconds"
 	MObjectsCopied    = "govolve_gc_copied_objects_total"
 	MPairsLogged      = "govolve_gc_dsu_pairs_logged_total"
 	MGCSteals         = "govolve_gc_steals_total"

@@ -42,6 +42,15 @@ type Config struct {
 	// discovery-strategy-blind: every applied update still runs the full
 	// whole-VM sweep through AfterUpdate.
 	ConcurrentMark bool
+	// Lazy runs every update with lazy per-object transformation: objects
+	// leave the pause tagged and transform on first touch behind the read
+	// barrier. AfterUpdate's CheckVM then runs mid-drain (exercising the
+	// drain-aware gauges), the probe pass fires the barrier through real
+	// bytecode, and the harness force-drains the residue before the raw-heap
+	// oracle reads. The drive sequence consumes rng and Steps identically to
+	// eager mode, so a lazy run must produce a Report equal to the same
+	// seed's eager run — the lazy/eager equivalence check.
+	Lazy bool
 
 	// InjectTransformerBug (test-only) overrides the first default object
 	// transformer of every update with an empty body, simulating a broken
@@ -210,6 +219,7 @@ func (r *runner) boot() error {
 		ScratchWords:     r.cfg.ScratchWords,
 		GCWorkers:        r.cfg.Workers,
 		GCConcurrentMark: r.cfg.ConcurrentMark,
+		LazyTransform:    r.cfg.Lazy,
 		Out:              io.Discard,
 	})
 	if err != nil {
@@ -745,6 +755,32 @@ func (r *runner) shadowApply(spec *upt.Spec, next *model) {
 // freshly compiled code and comparing with the shadow sum).
 func (r *runner) checkAll() error {
 	r.rep.Checks++
+	if r.cfg.Lazy {
+		// Lazy mode reorders the sweep so both halves of the machinery get
+		// exercised every update: the probe pass first — its snap() bytecode
+		// dereferences every specimen through real dispatch, firing the read
+		// barrier per object — then a forced drain of whatever the probes
+		// did not touch. Only then are the raw-heap oracle reads valid (they
+		// bypass the interpreter, so an untransformed shell would read as
+		// corruption). RunSynchronous probes consume no rng and no scheduler
+		// steps, so the reorder keeps the run step-identical to eager mode.
+		if err := r.checkProbes(); err != nil {
+			return err
+		}
+		if err := r.eng.ForceDrain(); err != nil {
+			return r.failf("lazy drain: %v", err)
+		}
+		if err := CheckVM(r.v); err != nil {
+			return r.failf("invariant: %v", err)
+		}
+		if err := r.checkSpecimens(); err != nil {
+			return err
+		}
+		if err := r.checkStatics(); err != nil {
+			return err
+		}
+		return r.checkArrays()
+	}
 	if err := CheckVM(r.v); err != nil {
 		return r.failf("invariant: %v", err)
 	}

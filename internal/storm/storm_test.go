@@ -58,6 +58,12 @@ func TestStormConfigs(t *testing.T) {
 		{"cmark", Config{Seed: 27, Updates: 25, ConcurrentMark: true}},
 		{"cmark-parallel", Config{Seed: 28, Updates: 25, Workers: 4, ConcurrentMark: true}},
 		{"cmark-all", Config{Seed: 29, Updates: 25, ScratchWords: 1 << 14, FastDefaults: true, OSROpt: true, Workers: 4, ConcurrentMark: true}},
+		// Lazy per-object transformation: every update resolves with tagged
+		// objects behind the armed read barrier, AfterUpdate's CheckVM runs
+		// mid-drain, the probe pass drains specimens through real bytecode,
+		// and ForceDrain retires the residue before the raw oracle reads.
+		{"lazy", Config{Seed: 30, Updates: 25, ScratchWords: 1 << 14, Lazy: true}},
+		{"lazy-parallel", Config{Seed: 31, Updates: 25, ScratchWords: 1 << 14, FastDefaults: true, Workers: 4, Lazy: true}},
 	}
 	for _, tc := range cfgs {
 		tc := tc
@@ -137,6 +143,30 @@ func TestStormSerialParallelEquivalent(t *testing.T) {
 		if *serial != *parallel {
 			t.Fatalf("seed %d: collection strategy changed the trajectory:\n  serial=%+v\n  parallel=%+v",
 				seed, *serial, *parallel)
+		}
+	}
+}
+
+// TestStormLazyEagerEquivalent runs the same seeds eagerly and lazily. The
+// shadow oracle validates every post-drain field value, static, array and
+// probe after each update, so both passing proves the lazy drain reaches
+// the same final heap state object-by-object; the lazy drive sequence
+// consumes rng and scheduler steps identically (probes and forced drains
+// run on synchronous threads), so the whole Report must come out equal —
+// transformation timing must be observationally invisible.
+func TestStormLazyEagerEquivalent(t *testing.T) {
+	for _, seed := range []int64{5, 6} {
+		eager, err := Run(Config{Seed: seed, Updates: 20, ScratchWords: 1 << 14, FastDefaults: true})
+		if err != nil {
+			t.Fatalf("seed %d eager: %v", seed, err)
+		}
+		lazy, err := Run(Config{Seed: seed, Updates: 20, ScratchWords: 1 << 14, FastDefaults: true, Lazy: true})
+		if err != nil {
+			t.Fatalf("seed %d lazy: %v", seed, err)
+		}
+		if *eager != *lazy {
+			t.Fatalf("seed %d: transformation timing changed the trajectory:\n  eager=%+v\n  lazy=%+v",
+				seed, *eager, *lazy)
 		}
 	}
 }

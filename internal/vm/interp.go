@@ -261,6 +261,12 @@ func (v *VM) interpret(t *Thread, budget int) {
 				v.kill(t, fmt.Errorf("vm: index %d out of bounds (len %d) in %s", i, v.Heap.ArrayLen(a), f.Method().FullName()))
 				return
 			}
+			if v.DSULazyTouch != nil && v.Heap.Untransformed(a) {
+				if err := v.DSULazyTouch(a); err != nil {
+					v.kill(t, fmt.Errorf("vm: lazy transform (aget) @%d in %s: %w", a, f.Method().FullName(), err))
+					return
+				}
+			}
 			f.Stack[n-2] = v.Heap.Elem(a, int(i))
 			f.Stack = f.Stack[:n-1]
 		case bytecode.ASET:
@@ -277,6 +283,12 @@ func (v *VM) interpret(t *Thread, budget int) {
 				v.kill(t, fmt.Errorf("vm: index %d out of bounds (len %d) in %s", i, v.Heap.ArrayLen(a), f.Method().FullName()))
 				return
 			}
+			if v.DSULazyTouch != nil && v.Heap.Untransformed(a) {
+				if err := v.DSULazyTouch(a); err != nil {
+					v.kill(t, fmt.Errorf("vm: lazy transform (aset) @%d in %s: %w", a, f.Method().FullName(), err))
+					return
+				}
+			}
 			v.Heap.SetElem(a, int(i), val)
 
 		case bytecode.GETFIELD_R:
@@ -288,6 +300,12 @@ func (v *VM) interpret(t *Thread, budget int) {
 			}
 			if v.IndirectionCheck {
 				v.indirectionProbe(a)
+			}
+			if v.DSULazyTouch != nil && v.Heap.Untransformed(a) {
+				if err := v.DSULazyTouch(a); err != nil {
+					v.kill(t, fmt.Errorf("vm: lazy transform (getfield) @%d in %s: %w", a, f.Method().FullName(), err))
+					return
+				}
 			}
 			f.Stack[n] = v.Heap.FieldValue(a, int(ins.A), ins.B == 1)
 		case bytecode.PUTFIELD_R:
@@ -301,6 +319,12 @@ func (v *VM) interpret(t *Thread, budget int) {
 			}
 			if v.IndirectionCheck {
 				v.indirectionProbe(a)
+			}
+			if v.DSULazyTouch != nil && v.Heap.Untransformed(a) {
+				if err := v.DSULazyTouch(a); err != nil {
+					v.kill(t, fmt.Errorf("vm: lazy transform (putfield) @%d in %s: %w", a, f.Method().FullName(), err))
+					return
+				}
 			}
 			v.Heap.SetFieldValue(a, int(ins.A), val)
 		case bytecode.GETSTATIC_R:
@@ -348,6 +372,15 @@ func (v *VM) interpret(t *Thread, budget int) {
 			if v.Heap.IsArray(recv.Ref()) {
 				v.kill(t, fmt.Errorf("vm: virtual call on array in %s", f.Method().FullName()))
 				return
+			}
+			// Dispatch itself would be correct without the barrier (the shell
+			// already carries the new class id), but the callee is about to
+			// read stale fields — transform the receiver before entry.
+			if v.DSULazyTouch != nil && v.Heap.Untransformed(recv.Ref()) {
+				if err := v.DSULazyTouch(recv.Ref()); err != nil {
+					v.kill(t, fmt.Errorf("vm: lazy transform (invokevirt %s) @%d in %s: %w", ins.Ref.FullName(), recv.Ref(), f.Method().FullName(), err))
+					return
+				}
 			}
 			cls := v.Reg.ClassByID(v.Heap.ClassID(recv.Ref()))
 			if cls == nil || int(ins.A) >= len(cls.TIB) {

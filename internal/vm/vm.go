@@ -53,6 +53,12 @@ type Options struct {
 	// JDrums/DVM-style lazy-update VMs (paper §5). Steady-state overhead
 	// becomes nonzero; JVOLVE's eager approach keeps it zero.
 	IndirectionCheck bool
+	// LazyTransform defers object transformation out of the DSU pause: the
+	// pause copies objects and tags each updated-class instance, and a read
+	// barrier on the interpreter's access fast paths transforms an object
+	// on first touch (the paper's §5 on-first-use hybrid, opt-in). The
+	// barrier's disabled state costs one nil-check, like the SATB barrier.
+	LazyTransform bool
 	// Recorder, if non-nil, is the flight recorder every VM layer emits
 	// typed events into (scheduler, DSU engine, GC workers). A nil
 	// recorder is fully disabled: emission sites pay one nil check.
@@ -167,8 +173,27 @@ type VM struct {
 	FatalHeap error
 
 	// DSUForceTransform is installed by the DSU engine while transformers
-	// run; the Jvolve.forceTransform native calls it.
+	// run; the Jvolve.forceTransform native calls it. In LazyTransform mode
+	// it stays installed for the whole drain window so transformers invoked
+	// from barrier context keep their force-transform (and cycle-detection)
+	// semantics.
 	DSUForceTransform func(rt.Addr) error
+
+	// LazyTransform is the lazy-mode switch (see Options); the DSU engine
+	// reads it to pick eager or lazy transformation at apply time.
+	LazyTransform bool
+
+	// DSULazyTouch is the lazy read barrier's slow path, installed by the
+	// DSU engine between an applied LazyTransform update and the end of its
+	// drain. Non-nil is the armed state: the interpreter's access fast
+	// paths call it for objects whose header carries the untransformed tag.
+	// Disabled (nil) costs one pointer nil-check — the SATB discipline.
+	DSULazyTouch func(rt.Addr) error
+
+	// DSULazyDrain force-completes the lazy-transform residue; collections
+	// call it first because a flip would invalidate the pair log's raw
+	// addresses and reclaim the scratch-region old copies.
+	DSULazyDrain func() error
 
 	// Bootstrap class caches.
 	strCls      *rt.Class
@@ -208,6 +233,7 @@ func New(opts Options) (*VM, error) {
 		Quantum:          opts.Quantum,
 		natives:          make(map[string]NativeFunc),
 		IndirectionCheck: opts.IndirectionCheck,
+		LazyTransform:    opts.LazyTransform,
 	}
 	if opts.OptThreshold > 0 {
 		v.JIT.OptThreshold = opts.OptThreshold
@@ -716,10 +742,26 @@ func (v *VM) RootChunks(n int) []gc.Roots {
 // The VM is the parallel collector's partitioned root provider.
 var _ gc.ChunkedRoots = (*VM)(nil)
 
+// LazyDrainActive reports whether a lazy-transform drain is in flight: the
+// window between an applied LazyTransform update and the moment its last
+// tagged object has been transformed (or force-completed). During this
+// window the renamed old class versions, UpdatedTo links, transformer class
+// and scratch region legitimately outlive the pause.
+func (v *VM) LazyDrainActive() bool { return v.DSULazyTouch != nil }
+
 // CollectGarbage runs a non-DSU collection. A collection error is fatal:
 // the heap is left unusable (see gc.ErrToSpaceExhausted) and the VM is
 // marked accordingly.
 func (v *VM) CollectGarbage() (*gc.Result, error) {
+	if v.DSULazyDrain != nil {
+		// A flip would invalidate the lazy pair log's raw addresses and
+		// reclaim the old copies, so the residue is force-completed first.
+		// Individual transformer failures during the forced drain are data
+		// loss on the affected objects (they keep default field values, the
+		// documented lazy failure mode); the collection itself then proceeds
+		// on the consistent, fully drained heap.
+		_ = v.DSULazyDrain()
+	}
 	res, err := v.GC.Collect(v, false)
 	if err != nil {
 		v.MarkHeapUnusable(err)
