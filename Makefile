@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race race-gc obs-gate satb-gate lazy-gate storm bench-gc bench-obs bench-pause trace fuzz
+.PHONY: verify build vet test race race-gc obs-gate satb-gate lazy-gate stream-gate storm bench-gc bench-obs bench-pause bench-stream trace fuzz
 
-verify: build vet test race race-gc obs-gate satb-gate lazy-gate
+verify: build vet test race race-gc obs-gate satb-gate lazy-gate stream-gate
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,13 @@ lazy-gate:
 	$(GO) test -run 'TestLazy' -count=1 ./internal/vm/ ./internal/heap/
 	$(GO) test -run '^$$' -bench 'BenchmarkLazyDisabledDispatch|BenchmarkLazyArmedDispatch' -benchtime 200ms ./internal/vm/
 
+# Long-horizon stream gate: a short hostile version chain replayed in every
+# engine mode under the race detector, with the chain-wide oracle at each
+# step (also covered by `race`; pinned by name so the multi-release path
+# can't silently rot out of the suite).
+stream-gate:
+	$(GO) test -race -run 'TestStreamGate' -count=1 ./internal/stream/
+
 # Long-running randomized soak (reproduce failures with -seed).
 storm:
 	$(GO) run ./cmd/jvolve-bench -exp storm -updates 500
@@ -73,6 +80,11 @@ bench-pause:
 bench-obs:
 	$(GO) run ./cmd/jvolve-bench -exp obs -obs-out BENCH_obs.json
 
+# Long-horizon update-stream sweep (chain lengths × engine modes); writes
+# BENCH_stream.json.
+bench-stream:
+	$(GO) run ./cmd/jvolve-bench -exp stream -stream-out BENCH_stream.json
+
 # Demo: record one fig5 updated run and export the DSU timeline as a
 # Chrome trace — open trace.json in https://ui.perfetto.dev.
 trace:
@@ -83,3 +95,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzVerifier -fuzztime 30s ./internal/verifier
 	$(GO) test -fuzz=FuzzAsmRoundTrip -fuzztime 30s ./internal/asm
 	$(GO) test -fuzz=FuzzUPTDiff -fuzztime 30s ./internal/upt
+	$(GO) test -fuzz=FuzzStreamChain -fuzztime 30s ./internal/stream

@@ -11,6 +11,7 @@
 //	jvolve-bench -exp scratch   # §3.5: old-copy scratch region memory pressure
 //	jvolve-bench -exp active    # §3.5: UpStare-style active-method updates
 //	jvolve-bench -exp storm     # randomized update-storm soak with invariant checking
+//	jvolve-bench -exp stream    # long-horizon version-chain replay (writes BENCH_stream.json)
 //	jvolve-bench -exp gcpause   # GC-phase pause vs collection workers (writes BENCH_gc.json)
 //	jvolve-bench -exp pausecmp  # STW vs concurrent-mark DSU pause (writes BENCH_pause.json)
 //	jvolve-bench -exp obs       # pause decomposition via obs histograms (writes BENCH_obs.json)
@@ -46,7 +47,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6|fig5|tables234|matrix|ablation|transformers|scratch|active|gcpause|pausecmp|storm|obs|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig5|tables234|matrix|ablation|transformers|scratch|active|gcpause|pausecmp|storm|stream|obs|all")
 	scale := flag.Int("scale", 8, "divide microbenchmark object counts by this factor (1 = paper scale)")
 	runs := flag.Int("runs", 3, "runs per measurement cell (paper: 21 for fig5)")
 	duration := flag.Duration("duration", 500*time.Millisecond, "measurement window per fig5/ablation run (paper: 60s)")
@@ -55,6 +56,7 @@ func main() {
 	gcOut := flag.String("gc-out", "BENCH_gc.json", "gcpause: output JSON path (empty disables the file)")
 	pauseOut := flag.String("pause-out", "BENCH_pause.json", "pausecmp: output JSON path (empty disables the file)")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "obs: output JSON path (empty disables the file)")
+	streamOut := flag.String("stream-out", "BENCH_stream.json", "stream: output JSON path (empty disables the file)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the fig5 flight-recorder events (load in Perfetto)")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot to this path ('-' for stdout)")
 	serveAddr := flag.String("serve", "", "serve live /metrics and /timeline over HTTP on this address until interrupted")
@@ -311,8 +313,27 @@ func main() {
 		return nil
 	})
 
+	run("stream", func() error {
+		fmt.Println("=== Extension: long-horizon update streams (multi-release chain replay) ===")
+		rep, err := bench.RunStream(bench.StreamSweep{
+			Seed: *seed, Hostile: true, FastDefaults: true,
+		}, os.Stderr)
+		if err != nil {
+			return err
+		}
+		bench.PrintStream(os.Stdout, rep)
+		if *streamOut != "" {
+			if err := bench.WriteStreamJSON(*streamOut, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *streamOut)
+		}
+		fmt.Println()
+		return nil
+	})
+
 	switch *exp {
-	case "table1", "fig6", "fig5", "tables234", "matrix", "ablation", "transformers", "scratch", "active", "gcpause", "pausecmp", "storm", "obs", "all":
+	case "table1", "fig6", "fig5", "tables234", "matrix", "ablation", "transformers", "scratch", "active", "gcpause", "pausecmp", "storm", "stream", "obs", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "jvolve-bench: unknown experiment %q\n", *exp)
 		flag.Usage()

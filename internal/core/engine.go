@@ -492,6 +492,14 @@ func (e *Engine) handle() bool {
 				e.VM.Rec.Emit(obs.KBarrierInstalled, obs.LaneThread(t.ID),
 					int64(p.stats.Attempts), topBlocking.CM.Method.FullName())
 				e.VM.ReleaseUpdateWaiters() // let other threads run on
+			} else if t.State == vm.UpdateWait {
+				// The thread parked when an inner frame's barrier fired, but
+				// this outer restricted frame — barrier already installed in
+				// an earlier round — still pins its stack. Parked it can
+				// never return through that frame, so no attempt could ever
+				// succeed: release it alone (threads parked with clean
+				// stacks stay put) and let the outer barrier fire.
+				e.VM.ReleaseThread(t)
 			}
 		}
 	}

@@ -280,6 +280,16 @@ func (ld *lazyDrain) abortPause() {
 	}
 }
 
+// LazyBacklog reports how many pairs are still tagged behind the read
+// barrier — the drain backlog — or 0 outside a drain window. It is the
+// gauge the stream obs plane samples after every chain step.
+func (e *Engine) LazyBacklog() int {
+	if e.lazy == nil {
+		return 0
+	}
+	return e.lazy.pending
+}
+
 // ForceDrain force-completes any in-flight lazy-transform drain and
 // returns the first transformer error the drain recorded (affected objects
 // keep default field values). No-op outside a drain window.

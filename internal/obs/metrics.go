@@ -400,4 +400,13 @@ const (
 	MHeapAllocObjects = "govolve_vm_alloc_objects_total"
 	MHeapAllocArrays  = "govolve_vm_alloc_arrays_total"
 	MGCCollections    = "govolve_gc_collections_total"
+
+	// Stream (long-horizon version-chain) plane: updates sustained over the
+	// chain, generator batches UPT legally refused, and the lazy drain
+	// backlog sampled after every chain step. Per-step pause distributions
+	// ride the existing MPause* histograms, which the engine feeds whenever
+	// a registry is attached.
+	MStreamUpdates  = "govolve_stream_updates_sustained_total"
+	MStreamRejected = "govolve_stream_batches_rejected_total"
+	MStreamBacklog  = "govolve_stream_drain_backlog"
 )

@@ -430,6 +430,61 @@ func (m *model) emitBody(mb *classfile.MethodBuilder, mm *methodModel) {
 	mb.Ret()
 }
 
+// entryCostBudget bounds the estimated dynamic instruction cost of one
+// G0.entry(I)I call. The call graph is a DAG, but mutations accumulate
+// duplicate call edges and added classes deepen it, so the number of call
+// paths — and with it entry's dynamic cost — can grow exponentially along
+// a long version chain. A DSU safe-point attempt runs once per scheduling
+// slice (vm.Quantum instructions), and a return barrier installed on an
+// entry frame only fires when that call finishes — so once one entry call
+// outlasts MaxAttempts slices, no safe-point search can succeed and every
+// update aborts. The chain generator (NextVersion) rejects mutation
+// batches that push the estimate past this budget, keeping the barrier
+// latency a small fraction of the default 400-attempt search.
+const entryCostBudget = 8192
+
+// entryCost estimates the dynamic instructions of one G0.entry call.
+func (m *model) entryCost() int64 {
+	return m.dynamicCost(make(map[string]int64), hubClass, hubEntry)
+}
+
+// dynamicCost estimates the instructions one call of (cls, name) executes,
+// following call edges exactly as emitBody resolves them (missing targets
+// cost nothing — the emitter skips them too). Memoized over the DAG; a
+// cycle, which emitted code would turn into unbounded recursion, returns a
+// poisoned cost so the caller rejects the batch.
+func (m *model) dynamicCost(memo map[string]int64, cls, name string) int64 {
+	key := cls + "." + name
+	if c, ok := memo[key]; ok {
+		if c < 0 {
+			return entryCostBudget + 1 // cycle: poison without recursing
+		}
+		return c
+	}
+	mm := m.methodOf(cls, name)
+	if mm == nil {
+		return 0
+	}
+	memo[key] = -1 // visiting
+	var body int64 = 8 // prologue, filler arithmetic, return
+	for _, r := range mm.reads {
+		if f := m.fieldOf(r.class, r.field); f != nil && f.static && f.desc == "I" {
+			body += 3
+		}
+	}
+	for _, cr := range mm.calls {
+		if tm := m.methodOf(cr.class, cr.method); tm != nil {
+			body += 5 + m.dynamicCost(memo, cr.class, cr.method)
+		}
+	}
+	cost := body
+	if mm.loop {
+		cost = 4 + loopIters*(body+4)
+	}
+	memo[key] = cost
+	return cost
+}
+
 // workloadClasses builds the fixed (never-mutated) workload: a main class
 // that binds the storm port and spawns the threads, a spinner pinned in an
 // infinite loop (GC churn through a bounded Node list, constant calls into

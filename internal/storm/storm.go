@@ -8,7 +8,6 @@ import (
 	"strings"
 	"time"
 
-	"govolve/internal/bytecode"
 	"govolve/internal/classfile"
 	"govolve/internal/core"
 	"govolve/internal/obs"
@@ -213,7 +212,13 @@ func (r *runner) boot() error {
 		return r.failf("initial program build: %v", err)
 	}
 	r.prog = prog
+	return r.bootVM(nil)
+}
 
+// bootVM stands up the VM, engine, checker hook and workload for whatever
+// model/program pair the runner already holds — the shared half of boot,
+// also entered by the chain Driver with an externally generated Version.
+func (r *runner) bootVM(metrics *obs.Registry) error {
 	v, err := vm.New(vm.Options{
 		HeapWords:        r.cfg.HeapWords,
 		ScratchWords:     r.cfg.ScratchWords,
@@ -228,7 +233,9 @@ func (r *runner) boot() error {
 	r.v = v
 	if r.cfg.EventTail > 0 {
 		r.rec = obs.NewRecorder(obs.DefaultCapacity)
-		v.AttachObs(r.rec, nil)
+	}
+	if r.rec != nil || metrics != nil {
+		v.AttachObs(r.rec, metrics)
 	}
 	r.eng = core.NewEngine(v)
 	// The checker hook: run the structural sweep the instant each update
@@ -239,7 +246,7 @@ func (r *runner) boot() error {
 		}
 	}
 
-	if err := v.LoadProgram(prog); err != nil {
+	if err := v.LoadProgram(r.prog); err != nil {
 		return r.failf("load: %v", err)
 	}
 	if _, err := v.SpawnMain("StormMain"); err != nil {
@@ -632,17 +639,8 @@ func (r *runner) update() error {
 // injectBug overrides the first default object transformer with an empty
 // body — the deliberate fault the checker must catch (tests only).
 func (r *runner) injectBug(spec *upt.Spec) {
-	for _, name := range spec.ClassUpdates {
-		if !spec.DefaultObjectTransformers[name] {
-			continue
-		}
-		sig := classfile.Sig("(L" + name + ";L" + spec.RenamedName(name) + ";)V")
-		spec.OverrideTransformer(&classfile.Method{
-			Name: "jvolveObject", Sig: sig, Static: true,
-			Code: []bytecode.Ins{{Op: bytecode.RETURN}}, MaxLocals: 2,
-		})
+	if name := injectEmptyTransformer(spec); name != "" {
 		r.logf("update %d: injected empty transformer for %s", r.updateIdx+1, name)
-		return
 	}
 }
 

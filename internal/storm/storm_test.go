@@ -64,6 +64,10 @@ func TestStormConfigs(t *testing.T) {
 		// and ForceDrain retires the residue before the raw oracle reads.
 		{"lazy", Config{Seed: 30, Updates: 25, ScratchWords: 1 << 14, Lazy: true}},
 		{"lazy-parallel", Config{Seed: 31, Updates: 25, ScratchWords: 1 << 14, FastDefaults: true, Workers: 4, Lazy: true}},
+		// Both orthogonal pause-shrinking paths composed: discovery runs
+		// concurrently before the pause, transformation drains lazily after
+		// it — the pause itself is down to rescan + copy + install.
+		{"cmark-lazy", Config{Seed: 32, Updates: 25, ScratchWords: 1 << 14, FastDefaults: true, ConcurrentMark: true, Lazy: true}},
 	}
 	for _, tc := range cfgs {
 		tc := tc

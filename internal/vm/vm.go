@@ -445,6 +445,19 @@ func (v *VM) SetUpdatePending(p bool) {
 // UpdatePending reports whether an update attempt is armed.
 func (v *VM) UpdatePending() bool { return v.updatePending }
 
+// ReleaseThread returns one UpdateWait thread to the run queue. The DSU
+// engine uses it for a thread that parked on an inner frame's return
+// barrier while an outer restricted frame — with its barrier already
+// installed — still pins the stack: keeping it parked would deadlock the
+// safe-point search, since the outer barrier can only fire if the thread
+// runs on. No-op for any other state.
+func (v *VM) ReleaseThread(t *Thread) {
+	if t.State == UpdateWait {
+		t.State = Runnable
+		v.enqueue(t)
+	}
+}
+
 // ReleaseUpdateWaiters returns UpdateWait threads to the run queue after an
 // update completes or aborts. UpdateWait threads sit in neither scheduler
 // list (they parked mid-slice on a return barrier), so this is the one walk
