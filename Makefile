@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race race-gc obs-gate satb-gate lazy-gate stream-gate storm bench-gc bench-obs bench-pause bench-stream trace fuzz
+.PHONY: verify build vet test race race-gc obs-gate satb-gate lazy-gate reloc-gate stream-gate storm bench-gc bench-obs bench-pause bench-stream trace fuzz
 
-verify: build vet test race race-gc obs-gate satb-gate lazy-gate stream-gate
+verify: build vet test race race-gc obs-gate satb-gate lazy-gate reloc-gate stream-gate
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,19 @@ lazy-gate:
 	$(GO) test -run 'TestLazy' -count=1 ./internal/vm/ ./internal/heap/
 	$(GO) test -run '^$$' -bench 'BenchmarkLazyDisabledDispatch|BenchmarkLazyArmedDispatch' -benchtime 200ms ./internal/vm/
 
+# Load-barrier cost gate: with concurrent relocation disabled the per-load
+# hook nil-check must add zero allocations and ≤5% overhead to a
+# dispatch-shaped load loop, and the armed-but-drained barrier (from-space
+# range test per load after the drain has emptied it) must hold the same
+# bound — the tripwire for a from-space hold that outlives its drain.
+# Prints the disabled/armed-drained load benchmarks so both costs stay
+# visible. race-gc above already runs the relocation drain packages
+# (gc, heap) with -race -count=4.
+reloc-gate:
+	$(GO) test -run 'TestReloc' -count=1 ./internal/vm/ ./internal/gc/ ./internal/core/
+	$(GO) test -run 'TestHeaderBitLayout' -count=1 ./internal/heap/
+	$(GO) test -run '^$$' -bench 'BenchmarkRelocDisabledDispatch|BenchmarkRelocArmedDrainedDispatch' -benchtime 200ms ./internal/vm/
+
 # Long-horizon stream gate: a short hostile version chain replayed in every
 # engine mode under the race detector, with the chain-wide oracle at each
 # step (also covered by `race`; pinned by name so the multi-release path
@@ -96,3 +109,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzAsmRoundTrip -fuzztime 30s ./internal/asm
 	$(GO) test -fuzz=FuzzUPTDiff -fuzztime 30s ./internal/upt
 	$(GO) test -fuzz=FuzzStreamChain -fuzztime 30s ./internal/stream
+	$(GO) test -fuzz=FuzzRelocDrain -fuzztime 30s ./internal/gc

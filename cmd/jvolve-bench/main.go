@@ -252,7 +252,7 @@ func main() {
 	})
 
 	run("pausecmp", func() error {
-		fmt.Println("=== Extension: concurrent SATB mark (STW vs concurrent DSU pause) ===")
+		fmt.Println("=== Extension: concurrent mark / lazy transform / concurrent reloc (STW vs concurrent DSU pause) ===")
 		sizes := []int{240_000 / *scale, 960_000 / *scale}
 		if *scale <= 1 {
 			sizes = []int{240_000, 960_000}
@@ -298,15 +298,18 @@ func main() {
 			{Seed: *seed, Updates: *updates, ScratchWords: 1 << 14, FastDefaults: true, OSROpt: true},
 			{Seed: *seed, Updates: *updates, FastDefaults: true, Workers: 4},
 			{Seed: *seed, Updates: *updates, ScratchWords: 1 << 14, FastDefaults: true, Lazy: true},
+			{Seed: *seed, Updates: *updates, FastDefaults: true, ConcurrentReloc: true},
+			{Seed: *seed, Updates: *updates, ScratchWords: 1 << 14, FastDefaults: true, ConcurrentMark: true, ConcurrentReloc: true, Lazy: true},
 		}
 		for _, cfg := range cfgs {
 			rep, err := storm.Run(cfg)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("seed=%d updates=%d scratch=%v fastdefaults=%v osropt=%v workers=%d lazy=%v: "+
+			fmt.Printf("seed=%d updates=%d scratch=%v fastdefaults=%v osropt=%v workers=%d lazy=%v cmark=%v reloc=%v: "+
 				"applied=%d aborted=%d rejected=%d checks=%d probes=%d steps=%d\n",
 				rep.Seed, *updates, cfg.ScratchWords > 0, cfg.FastDefaults, cfg.OSROpt, cfg.Workers, cfg.Lazy,
+				cfg.ConcurrentMark, cfg.ConcurrentReloc,
 				rep.Applied, rep.Aborted, rep.Rejected, rep.Checks, rep.Probes, rep.Steps)
 		}
 		fmt.Println()

@@ -43,8 +43,10 @@ func checkPauseIdentity(t *testing.T, mode string, e MatrixEntry) {
 
 // TestPauseDecompositionInvariant drives every application's whole update
 // matrix under the default stop-the-world pipeline and checks the pause
-// identities plus the STW decomposition: marking is fused into the pause,
-// so the concurrent-only fields must be zero.
+// identities plus the STW decomposition. The decomposition is uniform
+// across modes: PauseGCMark is in-pause *discovery* only, so the fused
+// trace+copy of the STW collectors is all PauseGCCopy and the
+// concurrent-only fields must be zero.
 func TestPauseDecompositionInvariant(t *testing.T) {
 	applied := 0
 	for _, app := range All() {
@@ -62,12 +64,12 @@ func TestPauseDecompositionInvariant(t *testing.T) {
 			if s.GCMarkConcurrent {
 				t.Errorf("stw %s %s→%s: GCMarkConcurrent set without GCConcurrentMark", e.App, e.From, e.To)
 			}
-			if s.PauseGCMark <= 0 {
-				t.Errorf("stw %s %s→%s: fused collection reports no in-pause mark time", e.App, e.From, e.To)
+			if s.PauseGCCopy <= 0 {
+				t.Errorf("stw %s %s→%s: fused collection reports no in-pause copy time", e.App, e.From, e.To)
 			}
-			if s.GCMarkOutside != 0 || s.PauseGCRescan != 0 || s.GCRescanMarked != 0 {
-				t.Errorf("stw %s %s→%s: concurrent-only fields nonzero: outside %v rescan %v rescanMarked %d",
-					e.App, e.From, e.To, s.GCMarkOutside, s.PauseGCRescan, s.GCRescanMarked)
+			if s.PauseGCMark != 0 || s.GCMarkOutside != 0 || s.PauseGCRescan != 0 || s.GCRescanMarked != 0 {
+				t.Errorf("stw %s %s→%s: concurrent-only fields nonzero: mark %v outside %v rescan %v rescanMarked %d",
+					e.App, e.From, e.To, s.PauseGCMark, s.GCMarkOutside, s.PauseGCRescan, s.GCRescanMarked)
 			}
 		}
 	}
@@ -115,7 +117,7 @@ func TestPauseDecompositionInvariantConcurrentMark(t *testing.T) {
 					}
 				} else {
 					// STW fallback after mark restarts exhausted: fused rules.
-					if s.PauseGCMark <= 0 || s.GCMarkOutside != 0 {
+					if s.PauseGCCopy <= 0 || s.PauseGCMark != 0 || s.GCMarkOutside != 0 {
 						t.Errorf("cmark %s %s→%s: fallback run has wrong decomposition: %+v",
 							e.App, e.From, e.To, s)
 					}

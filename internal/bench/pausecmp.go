@@ -6,22 +6,28 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 )
 
-// The pausecmp experiment is the headline measurement of the concurrent-
-// marking work: the Table 1 microbenchmark update run under the fused
-// stop-the-world pipeline and under the SATB concurrent-mark pipeline, over
-// a sizes × updated-fraction grid. For each cell it reports the full pause
-// decomposition — mark-in-pause / rescan / copy / transform — so the claim
-// is checkable from the JSON itself: in cmark rows the pause excludes
-// marking (mark_in_pause_ms = 0, the trace's wall time appears in
-// mark_outside_ms) and the window shrinks to rescan + copy + transform.
+// The pausecmp experiment is the headline measurement of the pause-
+// shrinking work: the Table 1 microbenchmark update run under the fused
+// stop-the-world pipeline and under each concurrent pipeline — SATB
+// concurrent mark, lazy transformation, concurrent relocation, and their
+// compositions — over a sizes × updated-fraction grid. For each cell it
+// reports the same uniform pause decomposition — mark-in-pause / rescan /
+// copy / transform — so every claim is checkable from the JSON itself:
+// cmark rows show mark_in_pause_ms = 0 with the trace's wall time in
+// mark_outside_ms; lazy rows show transform_ms ≈ 0 with the forced drain in
+// drain_ms; reloc rows show copy_ms collapsing to the eager evacuation of
+// updated instances only (near zero at small fractions) with the bulk copy's
+// wall time in reloc_drain_ms; cmark-reloc-lazy rows show all three at once,
+// the pause down to flip preparation.
 //
-// Interpretation caveat (same as gcpause): the concurrent trace only
-// overlaps mutator work if the host has a spare CPU. On GOMAXPROCS=1 the
-// trace is time-sliced with everything else — the *pause* still excludes
-// marking (the decomposition claim holds), but total wall-clock improves
-// only with hardware parallelism. The JSON records gomaxprocs/cpus.
+// Interpretation caveat (same as gcpause): concurrent phases only overlap
+// mutator work if the host has a spare CPU. On GOMAXPROCS=1 they are
+// time-sliced with everything else — the *pause* still excludes them (the
+// decomposition claim holds), but total wall-clock improves only with
+// hardware parallelism. The JSON records gomaxprocs/cpus.
 
 // PauseCmpSweep configures the grid.
 type PauseCmpSweep struct {
@@ -44,7 +50,7 @@ type PauseCmpRow struct {
 	HeapWords   int     `json:"heap_words"`
 	FracUpdated float64 `json:"frac_updated"`
 	Workers     int     `json:"workers"`
-	Mode        string  `json:"mode"` // "stw", "cmark" or "lazy"
+	Mode        string  `json:"mode"` // "stw", "cmark", "lazy", "reloc", "cmark-reloc" or "cmark-reloc-lazy"
 
 	PauseTotalMillis  Summary `json:"pause_total_ms"`
 	GCMillis          Summary `json:"gc_ms"`
@@ -59,6 +65,13 @@ type PauseCmpRow struct {
 	// barrier, and the forced drain's wall time appears in drain_ms.
 	DrainMillis Summary `json:"drain_ms"`
 	LazyPending int     `json:"lazy_pending,omitempty"`
+
+	// Reloc rows: the bulk copy leaves the pause — copy_ms keeps only the
+	// eager evacuation of updated-class instances (none at all composed
+	// with lazy), reloc_objects are evacuated after the world resumes, and
+	// the flip-to-finalize drain wall time appears in reloc_drain_ms.
+	RelocDrainMillis Summary `json:"reloc_drain_ms"`
+	RelocObjects     int     `json:"reloc_objects,omitempty"`
 
 	MarkedObjects int `json:"marked_objects,omitempty"`
 	RescanMarked  int `json:"rescan_marked,omitempty"`
@@ -98,34 +111,49 @@ func RunPauseCmp(sw PauseCmpSweep, progress io.Writer) (*PauseCmpReport, error) 
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Note: "speedup_pause is stw-median / row-median total pause for the same " +
-			"size and fraction; cmark rows must show mark_in_pause_ms = 0 with the " +
-			"trace wall time in mark_outside_ms, and lazy rows transform_ms = 0 with " +
-			"lazy_pending pairs drained post-pause in drain_ms. Pause shrinkage is a " +
-			"decomposition property and holds on any host; wall-clock overlap of mark " +
-			"with mutator work additionally requires gomaxprocs > 1.",
+			"size and fraction. The decomposition is uniform across modes: " +
+			"mark_in_pause_ms is in-pause discovery only (stw's fused trace+copy is " +
+			"all copy_ms). cmark rows must show mark_in_pause_ms = 0 with the trace " +
+			"wall time in mark_outside_ms; lazy rows transform_ms = 0 with " +
+			"lazy_pending pairs drained post-pause in drain_ms; reloc rows keep only " +
+			"the eager evacuation of updated instances in copy_ms with the bulk copy " +
+			"in reloc_drain_ms (composed with lazy, copy_ms = 0). Pause shrinkage is " +
+			"a decomposition property and holds on any host; wall-clock overlap of " +
+			"concurrent phases with mutator work additionally requires gomaxprocs > 1.",
 	}
 	for _, objects := range sw.Sizes {
 		for _, frac := range sw.Fractions {
 			stwMedian := 0.0
-			for _, mode := range []string{"stw", "cmark", "lazy"} {
-				var tots, gcs, marks, rescans, copies, trs, outs, drains []float64
+			for _, mode := range []string{"stw", "cmark", "lazy", "reloc", "cmark-reloc", "cmark-reloc-lazy"} {
+				cmark := strings.Contains(mode, "cmark")
+				lazy := strings.Contains(mode, "lazy")
+				reloc := strings.Contains(mode, "reloc")
+				var tots, gcs, marks, rescans, copies, trs, outs, drains, rdrains []float64
 				var last *MicroResult
 				for r := 0; r < sw.Runs; r++ {
 					res, err := RunMicro(MicroConfig{
-						Objects:        objects,
-						FracUpdated:    frac,
-						HeapLabel:      fmt.Sprintf("%d objects", objects),
-						FastDefaults:   sw.FastDefaults,
-						Workers:        sw.Workers,
-						ConcurrentMark: mode == "cmark",
-						Lazy:           mode == "lazy",
+						Objects:         objects,
+						FracUpdated:     frac,
+						HeapLabel:       fmt.Sprintf("%d objects", objects),
+						FastDefaults:    sw.FastDefaults,
+						Workers:         sw.Workers,
+						ConcurrentMark:  cmark,
+						Lazy:            lazy,
+						ConcurrentReloc: reloc,
 					})
 					if err != nil {
 						return nil, fmt.Errorf("bench: pausecmp objects=%d frac=%.2f mode=%s: %w",
 							objects, frac, mode, err)
 					}
-					if mode == "cmark" && !res.GCMarkConcurrent {
+					// cmark+reloc+lazy skips the pre-pause trace by design
+					// (discovery rides the drain), so the fallback check only
+					// applies where the mark actually runs.
+					if cmark && !(reloc && lazy) && !res.GCMarkConcurrent {
 						return nil, fmt.Errorf("bench: pausecmp objects=%d frac=%.2f: concurrent mark fell back to STW",
+							objects, frac)
+					}
+					if reloc && !res.RelocConcurrent {
+						return nil, fmt.Errorf("bench: pausecmp objects=%d frac=%.2f: concurrent relocation fell back to STW",
 							objects, frac)
 					}
 					tots = append(tots, Millis(res.Total))
@@ -136,6 +164,7 @@ func RunPauseCmp(sw PauseCmpSweep, progress io.Writer) (*PauseCmpReport, error) 
 					trs = append(trs, Millis(res.Transform))
 					outs = append(outs, Millis(res.MarkOutside))
 					drains = append(drains, Millis(res.Drain))
+					rdrains = append(rdrains, Millis(res.RelocDrain))
 					last = res
 				}
 				row := PauseCmpRow{
@@ -154,6 +183,8 @@ func RunPauseCmp(sw PauseCmpSweep, progress io.Writer) (*PauseCmpReport, error) 
 					MarkOutsideMillis: Summarize(outs),
 					DrainMillis:       Summarize(drains),
 					LazyPending:       last.LazyPending,
+					RelocDrainMillis:  Summarize(rdrains),
+					RelocObjects:      last.RelocObjects,
 
 					MarkedObjects: last.MarkedObjects,
 					RescanMarked:  last.RescanMarked,
@@ -189,16 +220,16 @@ func WritePauseCmpJSON(path string, rep *PauseCmpReport) error {
 
 // PrintPauseCmp renders the grid as text.
 func PrintPauseCmp(w io.Writer, rep *PauseCmpReport) {
-	fmt.Fprintf(w, "DSU pause: STW vs concurrent mark vs lazy transform (gomaxprocs=%d, cpus=%d)\n",
+	fmt.Fprintf(w, "DSU pause: STW vs concurrent mark / lazy transform / concurrent reloc (gomaxprocs=%d, cpus=%d)\n",
 		rep.GOMAXPROCS, rep.NumCPU)
-	fmt.Fprintf(w, "%9s %6s %6s %10s %9s %9s %9s %11s %10s %9s %9s\n",
-		"objects", "frac", "mode", "pause(ms)", "mark(ms)", "rescan", "copy(ms)", "transf(ms)", "mark-out", "drain(ms)", "speedup")
+	fmt.Fprintf(w, "%9s %6s %16s %10s %9s %9s %9s %11s %10s %9s %10s %9s\n",
+		"objects", "frac", "mode", "pause(ms)", "mark(ms)", "rescan", "copy(ms)", "transf(ms)", "mark-out", "drain(ms)", "reloc(ms)", "speedup")
 	for _, r := range rep.Rows {
-		fmt.Fprintf(w, "%9d %5.0f%% %6s %10.2f %9.2f %9.2f %9.2f %11.2f %10.2f %9.2f %8.2fx\n",
+		fmt.Fprintf(w, "%9d %5.0f%% %16s %10.2f %9.2f %9.2f %9.2f %11.2f %10.2f %9.2f %10.2f %8.2fx\n",
 			r.Objects, r.FracUpdated*100, r.Mode,
 			r.PauseTotalMillis.Median, r.MarkInPauseMillis.Median, r.RescanMillis.Median,
 			r.CopyMillis.Median, r.TransformMillis.Median, r.MarkOutsideMillis.Median,
-			r.DrainMillis.Median, r.SpeedupPause)
+			r.DrainMillis.Median, r.RelocDrainMillis.Median, r.SpeedupPause)
 	}
 	fmt.Fprintf(w, "note: %s\n", rep.Note)
 }

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestPauseCmpAllModes runs one tiny cell through every pausecmp mode and
+// pins the uniform decomposition contract the JSON report advertises:
+// cmark rows carry no in-pause mark, lazy rows no in-pause transform, reloc
+// rows almost no in-pause copy (the bulk copy appears in reloc_drain_ms),
+// and the full composition shrinks the pause to flip preparation.
+func TestPauseCmpAllModes(t *testing.T) {
+	rep, err := RunPauseCmp(PauseCmpSweep{
+		Sizes: []int{4000}, Fractions: []float64{0.2}, Runs: 1, FastDefaults: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"stw", "cmark", "lazy", "reloc", "cmark-reloc", "cmark-reloc-lazy"}
+	if len(rep.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), len(want))
+	}
+	rows := map[string]*PauseCmpRow{}
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		if r.Mode != want[i] {
+			t.Fatalf("row %d mode %q, want %q", i, r.Mode, want[i])
+		}
+		rows[r.Mode] = r
+	}
+	// STW: fused trace+copy is all copy_ms under the uniform decomposition.
+	if stw := rows["stw"]; stw.MarkInPauseMillis.Median != 0 || stw.CopyMillis.Median == 0 {
+		t.Fatalf("stw decomposition: mark=%v copy=%v", stw.MarkInPauseMillis, stw.CopyMillis)
+	}
+	if cm := rows["cmark"]; cm.MarkInPauseMillis.Median != 0 || cm.MarkOutsideMillis.Median == 0 {
+		t.Fatalf("cmark decomposition: mark-in-pause=%v mark-outside=%v",
+			cm.MarkInPauseMillis, cm.MarkOutsideMillis)
+	}
+	for _, mode := range []string{"reloc", "cmark-reloc", "cmark-reloc-lazy"} {
+		r := rows[mode]
+		if r.RelocObjects == 0 || r.RelocDrainMillis.Median == 0 {
+			t.Fatalf("%s: no concurrent relocation recorded: objs=%d drain=%v",
+				mode, r.RelocObjects, r.RelocDrainMillis)
+		}
+		// The in-pause copy keeps only the eager evacuation of updated
+		// instances (or nothing composed with lazy) — the bulk copy has
+		// left the pause.
+		if r.CopyMillis.Median >= rows["stw"].CopyMillis.Median {
+			t.Fatalf("%s: in-pause copy %.3fms did not shrink vs stw %.3fms",
+				mode, r.CopyMillis.Median, rows["stw"].CopyMillis.Median)
+		}
+	}
+	PrintPauseCmp(io.Discard, rep)
+}

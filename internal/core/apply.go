@@ -350,12 +350,24 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	phase("gc")
 	tGC := time.Now()
 	var gcRes *gc.Result
-	if e.VM.GC.MarkReady() {
+	var rl *gc.Relocation
+	switch {
+	case e.VM.GC.Opts.ConcurrentReloc:
+		// Concurrent relocation: the pause stops at flip preparation —
+		// discover updated-class instances (consuming a sealed concurrent
+		// mark when one is waiting), flip, eagerly evacuate only those
+		// instances (or, composed with LazyTransform, defer even the pairs
+		// to the drain), and remap roots. The world resumes with from-space
+		// still live behind the self-healing load barrier; rl is the drain
+		// the engine starts after the transformer phase and finalizes once
+		// the background workers run it dry.
+		gcRes, rl, err = e.VM.GC.CollectReloc(e.VM, e.VM.LazyTransform)
+	case e.VM.GC.MarkReady():
 		// A sealed concurrent mark is waiting: the pause only drains the
 		// SATB log, re-scans roots, and copies the marked ∪ post-watermark
 		// set — discovery already happened outside the window.
 		gcRes, err = e.VM.GC.CollectWithMark(e.VM, true)
-	} else {
+	default:
 		gcRes, err = e.VM.GC.Collect(e.VM, true)
 	}
 	if err != nil {
@@ -394,42 +406,73 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	p.stats.GCWorkerWords = gcRes.WorkerWords
 	p.stats.GCSteals = gcRes.Steals
 	p.stats.PairsLogged = gcRes.PairsLogged
+	p.stats.RelocConcurrent = gcRes.Relocated
+
+	// The relocation drain's engine-side handle. The force hook installs
+	// immediately — before the transformer phase — because a clinit-
+	// triggered collection must be able to force-complete the drain (a flip
+	// cannot run with the load barrier armed and from-space held). The tick
+	// hook and the background workers only start on the success path below.
+	var rh *relocHandle
+	if rl != nil {
+		rh = &relocHandle{e: e, rl: rl, stats: &p.stats, cleanup: cleanup,
+			scratch: gcRes.ScratchWords > 0 || (e.VM.LazyTransform && e.VM.Heap.HasScratch())}
+		e.reloc = rh
+		e.VM.DSURelocForce = rh.force
+	}
 
 	// --- Transformers --------------------------------------------------------
 	phase("transform")
 	tTr := time.Now()
 	var ld *lazyDrain
 	if e.VM.LazyTransform {
-		// Lazy mode: class transformers still run here, but the object log
-		// is tagged for on-first-touch transformation instead of walked —
-		// the transform share of the pause collapses to the class pass.
-		ld, err = e.prepareLazy(p, spec, transformers, gcRes, cleanup)
-		if err != nil {
-			if gcRes.ScratchWords > 0 {
+		if rl != nil {
+			// Full deferral (ConcurrentReloc ∧ LazyTransform): the pause made
+			// (almost) no pairs — the drain creates them as it evacuates, and
+			// the lazy residue adopts them on first touch or at finalize.
+			ld, err = e.prepareLazyDeferred(p, spec, transformers, rl, cleanup)
+			if err != nil {
+				rh.failApply()
+				return fail(err)
+			}
+			rh.ld = ld
+		} else {
+			// Lazy mode: class transformers still run here, but the object
+			// log is tagged for on-first-touch transformation instead of
+			// walked — the transform share of the pause collapses to the
+			// class pass.
+			ld, err = e.prepareLazy(p, spec, transformers, gcRes, cleanup)
+			if err != nil {
+				if gcRes.ScratchWords > 0 {
+					e.VM.Heap.ResetScratch()
+				}
+				return fail(err)
+			}
+			if ld == nil && gcRes.ScratchWords > 0 {
+				// The class transformers forced every pair inside the pause;
+				// no drain window, so the scratch region retires now.
 				e.VM.Heap.ResetScratch()
 			}
-			return fail(err)
-		}
-		if ld == nil && gcRes.ScratchWords > 0 {
-			// The class transformers forced every pair inside the pause;
-			// no drain window, so the scratch region retires now.
-			e.VM.Heap.ResetScratch()
 		}
 	} else {
 		if err := e.runTransformers(p, spec, transformers, gcRes); err != nil {
 			// Partially transformed objects keep default field values (data
 			// loss), but the metadata must come back consistent (fail runs
 			// cleanup) so the VM stays serviceable.
-			if gcRes.ScratchWords > 0 {
+			if rh != nil {
+				rh.failApply()
+			} else if gcRes.ScratchWords > 0 {
 				e.VM.Heap.ResetScratch()
 			}
 			return fail(err)
 		}
 		p.stats.TransformedObjects = len(gcRes.Log)
-		if gcRes.ScratchWords > 0 {
+		if gcRes.ScratchWords > 0 && rh == nil {
 			// Old copies lived in the scratch region; reclaim it immediately
 			// (§3.5: "reclaim it when the collection completes") instead of
 			// waiting for the next collection to sweep them from to-space.
+			// (Under concurrent relocation the drain still scans the scratch
+			// copies, so reclamation waits for drain finalize.)
 			e.VM.Heap.ResetScratch()
 		}
 	}
@@ -443,6 +486,14 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	for _, name := range spec.AddedClasses {
 		if cls := reg.LookupClass(name); cls != nil {
 			if err := e.VM.RunClinit(cls); err != nil {
+				if rh != nil {
+					// Force-complete the drain inline before unwinding: the
+					// world must not resume with from-space held and no
+					// engine handle left to retire it. (Runs before
+					// abortPause — abortPause reclaims the scratch region the
+					// forced drain still reads.)
+					rh.failApply()
+				}
 				if ld != nil {
 					ld.abortPause()
 				}
@@ -459,9 +510,22 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	// class ids through the renamed versions and runs transformer methods
 	// — so finishDrain runs cleanup when pending hits zero instead. (A
 	// drain completing during the clinit phase already ran it; cleanup is
-	// idempotent, and ld.done marks that case.)
-	if ld == nil || ld.done {
+	// idempotent, and ld.done marks that case.) Under concurrent relocation
+	// cleanup is deferred to drain finalize in EVERY mode: the drain sizes
+	// old copies by their old class ids, so the renamed versions must stay
+	// registered until from-space is fully evacuated.
+	if rh == nil && (ld == nil || ld.done) {
 		cleanup()
+	}
+
+	// Start the relocation drain last, still inside the pause: background
+	// workers spawn here, and from the first post-pause slice the scheduler
+	// polls rh.tick to finalize the moment they run from-space dry. (If a
+	// clinit-triggered collection already forced the drain, Start and the
+	// tick hook are skipped — finalize already ran.)
+	if rh != nil && !rh.finalized {
+		rl.Start()
+		e.VM.DSURelocTick = rh.tick
 	}
 
 	p.stats.PauseTotal = time.Since(totalStart)

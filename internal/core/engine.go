@@ -138,6 +138,29 @@ type Stats struct {
 	LazyPending int
 	LazyDrained int
 	LazyForced  int
+
+	// Concurrent-relocation decomposition (vm.Options.ConcurrentReloc).
+	// RelocConcurrent records that the DSU copy ran as a concurrent
+	// relocation: the pause stopped at flip preparation (discovery, flip,
+	// eager evacuation of updated-class instances only, root remap) and the
+	// remaining live set was evacuated after the world resumed — by
+	// background relocator workers and by the mutator through the
+	// self-healing load barrier. RelocObjects/RelocWords count those
+	// post-pause evacuations (the in-pause share stays in CopiedObjects/
+	// CopiedWords); RelocHealedSlots counts stale slots rewritten to
+	// canonical addresses; RelocDeferredPairs counts shell/old-copy pairs
+	// the drain created for the lazy pipeline (deferred-pair mode);
+	// RelocDrain is the drain's wall clock — copy cost that no longer sits
+	// in the pause. Like the Lazy* block, these fields are stamped at drain
+	// finalize, after the Result is sealed.
+	RelocConcurrent    bool
+	RelocObjects       int
+	RelocWords         int
+	RelocScratchWords  int
+	RelocHealedSlots   uint64
+	RelocDeferredPairs int
+	RelocSteals        int64
+	RelocDrain         time.Duration
 }
 
 // Result is the terminal state of an update request.
@@ -205,6 +228,9 @@ type Engine struct {
 	// lazy is the in-flight post-pause drain of the most recent
 	// LazyTransform update, nil outside a drain window.
 	lazy *lazyDrain
+	// reloc is the in-flight concurrent relocation drain of the most recent
+	// ConcurrentReloc update, nil outside a drain window.
+	reloc *relocHandle
 	// Updates records every finished update, in order.
 	Updates []*Result
 }
@@ -429,6 +455,14 @@ func (e *Engine) handle() bool {
 	if p == nil || p.Done() {
 		return true
 	}
+	if e.reloc != nil {
+		// A follow-up update arrived with the previous update's relocation
+		// drain still holding from-space: force-complete it first — this
+		// update's collection cannot flip a heap with an armed load barrier,
+		// and in deferred-pair mode the forced finalize is what hands the
+		// drain-created pairs to the lazy residue forced just below.
+		_ = e.reloc.force()
+	}
 	if e.lazy != nil {
 		// A follow-up update arrived mid-drain: force-complete the previous
 		// update's residue first, so its pair log, scratch region and
@@ -437,7 +471,10 @@ func (e *Engine) handle() bool {
 		// objects' data loss, not this update's failure.
 		_ = e.lazy.forceAll()
 	}
-	if e.VM.GC.Opts.ConcurrentMark {
+	if e.VM.GC.Opts.ConcurrentMark && !(e.VM.GC.Opts.ConcurrentReloc && e.VM.LazyTransform) {
+		// (With ConcurrentReloc ∧ LazyTransform the mark would be wasted
+		// work: discovery is deferred entirely — the drain builds pairs as
+		// it evacuates — so the pause consumes no instance set at all.)
 		// Run instance discovery outside the pause: start (or poll) the
 		// concurrent snapshot-at-the-beginning mark and keep the mutator
 		// running until the trace completes. Safe-point attempts — and the
@@ -620,6 +657,9 @@ func (e *Engine) finish(p *Pending, res *Result) {
 		// Post-pause drain accounting must land in the sealed Result the
 		// caller reads, not the dead Pending's copy.
 		e.lazy.stats = &res.Stats
+	}
+	if e.reloc != nil && e.reloc.stats == &p.stats {
+		e.reloc.stats = &res.Stats
 	}
 	p.result = res
 	e.Updates = append(e.Updates, res)

@@ -46,6 +46,15 @@ type lazyDrain struct {
 	forcing      bool      // inside forceAll: classify completions as LazyForced
 	done         bool
 	firstErr     error
+
+	// Deferred-pair composition (ConcurrentReloc ∧ LazyTransform): reloc is
+	// the in-flight relocation whose drain creates pairs this lazy drain
+	// adopts (via the transform fallback on first touch, or wholesale at
+	// drain finalize). hold keeps finishDrain from firing while the
+	// relocation can still add pairs — pending may transiently hit zero
+	// before the relocation's log is final.
+	reloc *gc.Relocation
+	hold  bool
 }
 
 // prepareLazy replaces the eager transform phase inside the DSU pause. It
@@ -127,6 +136,23 @@ func (ld *lazyDrain) transform(newAddr rt.Addr) error {
 		return fmt.Errorf("core: transformer cycle detected at object @%d; aborting update", newAddr)
 	}
 	oldCopy, updated := ld.oldForNew[newAddr]
+	if !updated && ld.reloc != nil {
+		// Deferred-pair mode: the relocation drain creates pairs the pause
+		// never saw. Adopt on first touch — the pair joins the log and the
+		// pending count exactly as if the pause had tagged it.
+		if oc, ok := ld.reloc.DeferredOldFor(newAddr); ok {
+			oldCopy, updated = oc, true
+			ld.log = append(ld.log, gc.Pair{New: newAddr, OldCopy: oc})
+			ld.oldForNew[newAddr] = oc
+			ld.pending++
+			ld.stats.LazyPending++
+			// PairsLogged tracks the pair log wherever pairs are created; in
+			// deferred mode that is here rather than in the pause, keeping the
+			// chain-wide conservation law (TransformedObjects == PairsLogged
+			// after the terminal drain) mode-blind.
+			ld.stats.PairsLogged++
+		}
+	}
 	if !updated {
 		return nil // not an updated object: nothing to do
 	}
@@ -163,6 +189,13 @@ func (ld *lazyDrain) run(newAddr, oldCopy rt.Addr) error {
 	v.GCDisabled = true
 	defer func() { v.GCDisabled = wasDisabled }()
 
+	if ld.reloc != nil {
+		// Heal the old copy's slots to canonical addresses before the
+		// transformer reads them: the native bulk path copies raw words, and
+		// a stale from-space reference copied into an already-scanned shell
+		// would never be healed again.
+		ld.reloc.HealObject(oldCopy)
+	}
 	newCls := v.Reg.ClassByID(v.Heap.ClassID(newAddr))
 	oldCls := v.Reg.ClassByID(v.Heap.ClassID(oldCopy))
 	if newCls == nil || oldCls == nil {
@@ -205,7 +238,7 @@ func (ld *lazyDrain) completed() {
 		m.Histogram(obs.MLazyDrainLatency, obs.DurationBuckets()).Observe(time.Since(ld.sealed).Seconds())
 	}
 	ld.pending--
-	if ld.pending == 0 {
+	if ld.pending == 0 && !ld.hold {
 		ld.finishDrain()
 	}
 }
@@ -230,8 +263,11 @@ func (ld *lazyDrain) forceAll() error {
 		}
 	}
 	ld.forcing = false
-	if !ld.done {
-		// Defensive: no tagged pair may remain after a full log walk.
+	if !ld.done && !ld.hold {
+		// Defensive: no tagged pair may remain after a full log walk. (With
+		// hold set the log is not final — the relocation drain can still add
+		// pairs — so the walk above is best-effort and the drain stays open
+		// until adoptReloc lifts the hold.)
 		ld.pending = 0
 		ld.finishDrain()
 	}
@@ -290,12 +326,22 @@ func (e *Engine) LazyBacklog() int {
 	return e.lazy.pending
 }
 
-// ForceDrain force-completes any in-flight lazy-transform drain and
-// returns the first transformer error the drain recorded (affected objects
-// keep default field values). No-op outside a drain window.
+// ForceDrain force-completes any in-flight concurrent relocation drain and
+// any in-flight lazy-transform drain, in that order (the lazy transformers
+// read old copies whose slots the relocation heals, and in deferred-pair
+// mode the relocation's finalize is what makes the lazy log final). It
+// returns the first error recorded: a relocation failure is fatal to the
+// heap; a transformer error is the affected objects' data loss. No-op
+// outside a drain window.
 func (e *Engine) ForceDrain() error {
-	if e.lazy == nil {
-		return nil
+	var firstErr error
+	if e.reloc != nil {
+		firstErr = e.reloc.force()
 	}
-	return e.lazy.forceAll()
+	if e.lazy != nil {
+		if err := e.lazy.forceAll(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }

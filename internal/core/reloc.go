@@ -1,0 +1,268 @@
+package core
+
+import (
+	"time"
+
+	"govolve/internal/gc"
+	"govolve/internal/obs"
+	"govolve/internal/rt"
+	"govolve/internal/upt"
+)
+
+// relocHandle owns the engine side of one concurrent relocation drain
+// (vm.Options.ConcurrentReloc): the post-pause residue that the gc layer's
+// Relocation cannot retire by itself, because finalization must happen on the
+// mutator goroutine and must be sequenced against the update's deferred
+// teardown — unregistering the renamed old class versions (the drain sizes
+// old copies by their old class ids), reclaiming the scratch region, and, in
+// deferred-pair mode, handing the drain-created pairs to the lazy transform
+// pipeline.
+//
+// Lifetime: apply creates it right after CollectReloc succeeds and installs
+// the VM's DSURelocForce hook immediately (a clinit-triggered collection must
+// be able to force-complete the drain even before the world resumes). On the
+// success path apply calls rl.Start() — still inside the pause — and installs
+// DSURelocTick; the scheduler then polls tick between slices and finalize
+// runs the moment the background workers report termination. Collections,
+// follow-up updates, and Engine.ForceDrain force-complete an unfinished
+// drain instead of waiting.
+type relocHandle struct {
+	e       *Engine
+	rl      *gc.Relocation
+	stats   *Stats
+	cleanup func()
+	// scratch records that the scratch region holds old copies the drain
+	// still reads (eager pause copies, or deferred-pair copies to come) and
+	// must be reclaimed at finalize.
+	scratch bool
+	// ld is the lazy drain adopting deferred pairs (deferPairs mode), nil in
+	// eager-transform mode.
+	ld *lazyDrain
+
+	finalized bool
+}
+
+// tick is the scheduler's between-slices poll (vm.DSURelocTick). While the
+// drain runs it costs two atomic loads; termination (or failure) triggers
+// finalize on the mutator goroutine.
+func (rh *relocHandle) tick() {
+	if rh.finalized || !rh.rl.Done() {
+		return
+	}
+	rh.finalize()
+}
+
+// force force-completes the drain on the mutator goroutine and finalizes.
+// Installed as vm.DSURelocForce: collections call it before flipping (a flip
+// cannot run with from-space held), and follow-up updates call it before
+// building their own pause.
+func (rh *relocHandle) force() error {
+	if rh.finalized {
+		return nil
+	}
+	err := rh.rl.ForceDrain()
+	rh.finalize()
+	return err
+}
+
+// finalize retires the drain: join the workers, disarm the load barrier,
+// stamp the drain statistics into the update's Stats, and run the update's
+// deferred teardown. In deferred-pair mode the teardown is handed to the lazy
+// drain instead — it still needs the old class versions and the scratch-
+// resident old copies until its last pair transforms. Idempotent; mutator
+// goroutine only.
+func (rh *relocHandle) finalize() {
+	if rh.finalized {
+		return
+	}
+	rh.finalized = true
+	v := rh.e.VM
+	stats, err := rh.rl.Finish()
+	rh.stamp(stats)
+	v.DSURelocTick = nil
+	v.DSURelocForce = nil
+	if rh.e.reloc == rh {
+		rh.e.reloc = nil
+	}
+	if err != nil {
+		// The drain failed post-flip (to-space exhausted mid-evacuation):
+		// from-space was never fully evacuated, so some slots still hold
+		// from-space addresses and the barrier that made them readable is
+		// now gone. The heap is unusable — the same contract as a failed
+		// stop-the-world collection.
+		v.MarkHeapUnusable(err)
+		if rh.ld != nil && !rh.ld.done {
+			for _, pair := range rh.rl.DeferredPairs() {
+				v.Heap.ClearUntransformed(pair.New)
+			}
+			rh.ld.hold = false
+			rh.ld.abortPause()
+		}
+		rh.cleanup()
+		if rh.scratch && (rh.ld == nil || !rh.ld.scratch) {
+			v.Heap.ResetScratch()
+		}
+		return
+	}
+	if rh.ld != nil {
+		// Deferred-pair mode: the lazy drain adopts every pair the
+		// relocation created and owns cleanup + scratch from here.
+		rh.ld.adoptReloc(rh.rl.DeferredPairs())
+		return
+	}
+	rh.cleanup()
+	if rh.scratch {
+		v.Heap.ResetScratch()
+	}
+}
+
+// failApply retires the drain on an in-pause post-flip failure path (a
+// transformer or clinit error after CollectReloc armed the barrier): force-
+// complete inline so the world never resumes with from-space held, clear any
+// deferred-pair tags (their lazy drain is being unwound), and reclaim
+// scratch. The update's cleanup runs via apply's fail(). The heap itself
+// stays usable — the forced drain leaves every slot canonical, and the
+// failure's data loss is the transformer contract, not heap corruption.
+func (rh *relocHandle) failApply() {
+	if rh.finalized {
+		return
+	}
+	rh.finalized = true
+	v := rh.e.VM
+	_ = rh.rl.ForceDrain()
+	stats, err := rh.rl.Finish()
+	rh.stamp(stats)
+	v.DSURelocTick = nil
+	v.DSURelocForce = nil
+	if rh.e.reloc == rh {
+		rh.e.reloc = nil
+	}
+	if err != nil {
+		v.MarkHeapUnusable(err)
+	}
+	for _, pair := range rh.rl.DeferredPairs() {
+		v.Heap.ClearUntransformed(pair.New)
+	}
+	if rh.scratch {
+		v.Heap.ResetScratch()
+	}
+}
+
+// stamp books the drain's terminal statistics into the update's Stats (which
+// finish() repoints at the sealed Result, mirroring the lazy pipeline) and
+// publishes the relocation metrics.
+func (rh *relocHandle) stamp(st gc.RelocStats) {
+	s := rh.stats
+	s.RelocObjects = st.Objects
+	s.RelocWords = st.Words
+	s.RelocScratchWords = st.ScratchWords
+	s.RelocHealedSlots = st.HealedSlots
+	s.RelocDeferredPairs = st.DeferredPairs
+	s.RelocSteals = st.Steals
+	s.RelocDrain = st.Drain
+	if m := rh.e.VM.Metrics; m != nil {
+		m.Counter(obs.MRelocObjects).Add(int64(st.Objects))
+		m.Counter(obs.MRelocHealedSlots).Add(int64(st.HealedSlots))
+		m.Gauge(obs.MRelocBacklog).Set(0)
+		m.Histogram(obs.MRelocDrainLatency, obs.DurationBuckets()).Observe(st.Drain.Seconds())
+	}
+}
+
+// prepareLazyDeferred is the transform phase when concurrent relocation and
+// lazy transformation compose (full deferral): the pause created no pairs
+// except those the root remap forced, and the drain will create the rest as
+// it discovers updated-class instances. The lazy drain therefore starts with
+// a (nearly) empty log and grows: the read barrier adopts drain-created
+// pairs on first touch (lazyDrain.transform's DeferredOldFor fallback), and
+// relocHandle.finalize adopts whatever the mutator never touched. hold keeps
+// the drain from declaring itself finished — and tearing down the old class
+// versions the relocation still needs — while pairs can still appear.
+//
+// Hooks are armed BEFORE the class transformers run, unlike prepareLazy:
+// a class transformer that force-transforms an object it dereferences may
+// hit a pair only the relocation knows about, and ld.transform needs the
+// fallback (and the installed DSUForceTransform) to resolve it.
+func (e *Engine) prepareLazyDeferred(p *Pending, spec *upt.Spec, transformers *rt.Class, rl *gc.Relocation, cleanup func()) (*lazyDrain, error) {
+	v := e.VM
+	ld := &lazyDrain{
+		e:            e,
+		spec:         spec,
+		opts:         p.Opts,
+		transformers: transformers,
+		oldForNew:    make(map[rt.Addr]rt.Addr),
+		status:       make(map[rt.Addr]int),
+		stats:        &p.stats,
+		cleanup:      cleanup,
+		scratch:      v.Heap.HasScratch(),
+		reloc:        rl,
+		hold:         true,
+	}
+	// Adopt the pairs the pause itself forced (root-remap evacuations of
+	// updated-class instances).
+	for _, pair := range rl.DeferredPairs() {
+		ld.log = append(ld.log, pair)
+		ld.oldForNew[pair.New] = pair.OldCopy
+		p.stats.PairsLogged++
+		if v.Heap.Untransformed(pair.New) {
+			ld.pending++
+		}
+	}
+	ld.sealed = time.Now()
+	v.DSULazyTouch = ld.transform
+	v.DSULazyDrain = ld.forceAll
+	v.DSUForceTransform = ld.transform
+	e.lazy = ld
+
+	v.GCDisabled = true
+	err := e.runClassTransformers(p, spec, transformers)
+	v.GCDisabled = false
+	if err != nil {
+		v.DSULazyTouch = nil
+		v.DSULazyDrain = nil
+		v.DSUForceTransform = nil
+		e.lazy = nil
+		return nil, err
+	}
+	p.stats.LazyPending = ld.pending
+	return ld, nil
+}
+
+// adoptReloc hands the relocation's deferred pairs to the lazy drain at
+// drain finalize. Pairs the barrier already adopted (and possibly
+// transformed) are skipped; the rest join the log as ordinary tagged pairs.
+// With the relocation done the log is final, so hold lifts — if the barrier
+// drained everything already, the lazy drain finishes here too.
+func (ld *lazyDrain) adoptReloc(pairs []gc.Pair) {
+	v := ld.e.VM
+	for _, pair := range pairs {
+		if _, ok := ld.oldForNew[pair.New]; ok {
+			continue
+		}
+		ld.log = append(ld.log, pair)
+		ld.oldForNew[pair.New] = pair.OldCopy
+		ld.stats.PairsLogged++
+		if ld.status[pair.New] == stNone && v.Heap.Untransformed(pair.New) {
+			ld.pending++
+		}
+	}
+	ld.stats.LazyPending = ld.stats.LazyDrained + ld.stats.LazyForced + ld.pending
+	ld.hold = false
+	if ld.pending == 0 && !ld.done {
+		ld.finishDrain()
+	}
+}
+
+// RelocBacklog reports how many words of live data the in-flight relocation
+// drain still has to evacuate or scan — 0 outside a drain window. The stream
+// obs plane samples it after every chain step, next to LazyBacklog.
+func (e *Engine) RelocBacklog() int {
+	if e.reloc == nil {
+		return 0
+	}
+	return e.reloc.rl.Backlog()
+}
+
+// RelocDrainActive reports whether a concurrent relocation drain is holding
+// from-space live (the window between an applied ConcurrentReloc update and
+// drain finalize).
+func (e *Engine) RelocDrainActive() bool { return e.reloc != nil }

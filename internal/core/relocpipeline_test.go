@@ -1,0 +1,487 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"govolve/internal/core"
+	"govolve/internal/vm"
+)
+
+// End-to-end coverage of the concurrent-relocation update pipeline: the DSU
+// pause stops at flip preparation, the world resumes with from-space still
+// live behind the self-healing load barrier, and the remaining live set is
+// evacuated by background relocator workers racing the mutator. The
+// observable outcome (program output, update success, transformed state)
+// must be identical to the fused stop-the-world pipeline's; only the pause
+// decomposition and the drain-side stats differ.
+
+// newRelocFixture builds a fixture with concurrent relocation enabled,
+// optionally composed with concurrent marking and lazy transformation.
+func newRelocFixture(t *testing.T, heapWords, gcWorkers int, cmark, lazy bool) *fixture {
+	t.Helper()
+	var out bytes.Buffer
+	opts := vm.Options{
+		HeapWords:        heapWords,
+		Out:              &out,
+		GCWorkers:        gcWorkers,
+		GCConcurrentMark: cmark,
+		ConcurrentReloc:  true,
+		LazyTransform:    lazy,
+	}
+	if lazy {
+		opts.ScratchWords = heapWords / 2
+	}
+	v, err := vm.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{t: t, vm: v, out: &out, engine: core.NewEngine(v)}
+}
+
+// drain force-completes any in-flight relocation/lazy residue so the final
+// stats are stamped and the heap is back to its quiescent state.
+func (f *fixture) drain() {
+	f.t.Helper()
+	if err := f.engine.ForceDrain(); err != nil {
+		f.t.Fatalf("ForceDrain: %v", err)
+	}
+}
+
+// relocV1 is ringV1 with ballast: 300 Pad objects (a class the update does
+// NOT touch) are linked into a static list before the Node ring is built.
+// At the update's safe point the live set is therefore a mix — the pause
+// eagerly evacuates only the Nodes, and the Pads are exactly the population
+// the concurrent drain (workers + load barrier) must move afterwards.
+const relocV1 = `
+class Pad {
+  field a I
+  field next LPad;
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    return
+  }
+}
+class Node {
+  field val I
+  field next LNode;
+  method <init>(I)V {
+    load 0
+    invokespecial Object.<init>()V
+    load 0
+    load 1
+    putfield Node.val I
+    return
+  }
+}
+class App {
+  static field head LNode;
+  static field first LNode;
+  static field pads LPad;
+  static method main()V {
+    const 0
+    store 0
+  padloop:
+    load 0
+    const 300
+    if_icmpge seed
+    new Pad
+    dup
+    invokespecial Pad.<init>()V
+    store 1
+    load 1
+    getstatic App.pads LPad;
+    putfield Pad.next LPad;
+    load 1
+    putstatic App.pads LPad;
+    load 0
+    const 1
+    add
+    store 0
+    goto padloop
+  seed:
+    new Node
+    dup
+    const 0
+    invokespecial Node.<init>(I)V
+    dup
+    putstatic App.head LNode;
+    putstatic App.first LNode;
+    const 1
+    store 0
+  build:
+    load 0
+    const 200
+    if_icmpge link
+    new Node
+    dup
+    load 0
+    invokespecial Node.<init>(I)V
+    store 1
+    load 1
+    getstatic App.head LNode;
+    putfield Node.next LNode;
+    load 1
+    putstatic App.head LNode;
+    load 0
+    const 1
+    add
+    store 0
+    goto build
+  link:
+    getstatic App.first LNode;
+    getstatic App.head LNode;
+    putfield Node.next LNode;
+    const 0
+    store 0
+  loop:
+    load 0
+    const 60000
+    if_icmpge done
+    getstatic App.head LNode;
+    getfield Node.next LNode;
+    putstatic App.head LNode;
+    getstatic App.head LNode;
+    getstatic App.head LNode;
+    getfield Node.next LNode;
+    getfield Node.next LNode;
+    putfield Node.next LNode;
+    load 0
+    const 1
+    add
+    store 0
+    goto loop
+  done:
+    getstatic App.head LNode;
+    getfield Node.val I
+    invokestatic System.printInt(I)V
+    getstatic App.pads LPad;
+    getfield Pad.a I
+    invokestatic System.printInt(I)V
+    return
+  }
+}
+`
+
+// relocV2 widens Node with a generation counter; Pad and App are unchanged,
+// so the program's output is version-invariant.
+const relocV2 = `
+class Pad {
+  field a I
+  field next LPad;
+  method <init>()V {
+    load 0
+    invokespecial Object.<init>()V
+    return
+  }
+}
+class Node {
+  field val I
+  field next LNode;
+  field gen I
+  method <init>(I)V {
+    load 0
+    invokespecial Object.<init>()V
+    load 0
+    load 1
+    putfield Node.val I
+    return
+  }
+}
+class App {
+  static field head LNode;
+  static field first LNode;
+  static field pads LPad;
+  static method main()V {
+    const 0
+    store 0
+  padloop:
+    load 0
+    const 300
+    if_icmpge seed
+    new Pad
+    dup
+    invokespecial Pad.<init>()V
+    store 1
+    load 1
+    getstatic App.pads LPad;
+    putfield Pad.next LPad;
+    load 1
+    putstatic App.pads LPad;
+    load 0
+    const 1
+    add
+    store 0
+    goto padloop
+  seed:
+    new Node
+    dup
+    const 0
+    invokespecial Node.<init>(I)V
+    dup
+    putstatic App.head LNode;
+    putstatic App.first LNode;
+    const 1
+    store 0
+  build:
+    load 0
+    const 200
+    if_icmpge link
+    new Node
+    dup
+    load 0
+    invokespecial Node.<init>(I)V
+    store 1
+    load 1
+    getstatic App.head LNode;
+    putfield Node.next LNode;
+    load 1
+    putstatic App.head LNode;
+    load 0
+    const 1
+    add
+    store 0
+    goto build
+  link:
+    getstatic App.first LNode;
+    getstatic App.head LNode;
+    putfield Node.next LNode;
+    const 0
+    store 0
+  loop:
+    load 0
+    const 60000
+    if_icmpge done
+    getstatic App.head LNode;
+    getfield Node.next LNode;
+    putstatic App.head LNode;
+    getstatic App.head LNode;
+    getstatic App.head LNode;
+    getfield Node.next LNode;
+    getfield Node.next LNode;
+    putfield Node.next LNode;
+    load 0
+    const 1
+    add
+    store 0
+    goto loop
+  done:
+    getstatic App.head LNode;
+    getfield Node.val I
+    invokestatic System.printInt(I)V
+    getstatic App.pads LPad;
+    getfield Pad.a I
+    invokestatic System.printInt(I)V
+    return
+  }
+}
+`
+
+// runRelocUpdate drives the ballasted ring workload through one update,
+// landing it after the Pad list and most of the ring exist (the churn loop
+// keeps rewriting ref slots while the drain runs — exactly the traffic the
+// self-healing barrier must absorb), and returns (program output, result).
+func runRelocUpdate(f *fixture) (string, *core.Result) {
+	f.t.Helper()
+	v1 := f.load(relocV1)
+	v2 := f.prog(relocV2)
+	f.spawn("App")
+	f.vm.Step(10)
+	res := f.mustApply("1", v1, v2, "")
+	return f.finish(), res
+}
+
+func TestConcurrentRelocPipelineEquivalence(t *testing.T) {
+	modes := []struct {
+		name        string
+		cmark, lazy bool
+	}{
+		{"reloc", false, false},
+		{"cmark-reloc", true, false},
+		{"cmark-reloc-lazy", true, true},
+	}
+	for _, m := range modes {
+		for _, workers := range []int{0, 4} {
+			stw := newMarkFixture(t, 1<<16, workers, false)
+			outSTW, resSTW := runRelocUpdate(stw)
+
+			rf := newRelocFixture(t, 1<<16, workers, m.cmark, m.lazy)
+			outRel, resRel := runRelocUpdate(rf)
+			// The program may finish before the background workers run the
+			// drain dry; force-complete so the stats below are final.
+			rf.drain()
+
+			if outSTW != outRel {
+				t.Fatalf("%s workers=%d: output diverged: STW %q, reloc %q",
+					m.name, workers, outSTW, outRel)
+			}
+			if outRel == "" {
+				t.Fatalf("%s workers=%d: empty program output", m.name, workers)
+			}
+
+			s, c := resSTW.Stats, resRel.Stats
+			if s.RelocConcurrent {
+				t.Fatalf("%s workers=%d: STW run flagged RelocConcurrent", m.name, workers)
+			}
+			if !c.RelocConcurrent {
+				t.Fatalf("%s workers=%d: reloc run fell back to STW copy", m.name, workers)
+			}
+			// The Pad ballast is live but not updated: it must have moved in
+			// the concurrent drain, not in the pause.
+			if c.RelocObjects == 0 {
+				t.Fatalf("%s workers=%d: concurrent drain relocated nothing: %+v",
+					m.name, workers, c)
+			}
+			if c.RelocDrain == 0 {
+				t.Fatalf("%s workers=%d: no drain time recorded", m.name, workers)
+			}
+			if m.lazy {
+				// Full deferral: the pause copies nothing; pairs are created by
+				// the drain and adopted into the pair log one-for-one.
+				if c.CopiedObjects != 0 {
+					t.Fatalf("%s workers=%d: deferred-pair pause still copied eagerly: %+v",
+						m.name, workers, c)
+				}
+				if c.RelocDeferredPairs == 0 {
+					t.Fatalf("%s workers=%d: drain registered no deferred pairs", m.name, workers)
+				}
+				if c.PairsLogged != c.RelocDeferredPairs {
+					t.Fatalf("%s workers=%d: adopted %d pairs for %d deferred",
+						m.name, workers, c.PairsLogged, c.RelocDeferredPairs)
+				}
+			} else {
+				// Eager pair evacuation: the pause copies exactly shell +
+				// old copy per pair, never the whole live set.
+				if c.PairsLogged < 1 {
+					t.Fatalf("%s workers=%d: eager pause paired nothing", m.name, workers)
+				}
+				if c.CopiedObjects != 2*c.PairsLogged {
+					t.Fatalf("%s workers=%d: pause copied %d objects for %d pairs",
+						m.name, workers, c.CopiedObjects, c.PairsLogged)
+				}
+				if c.CopiedObjects >= s.CopiedObjects {
+					t.Fatalf("%s workers=%d: reloc pause copied %d ≥ STW's %d — copy never left the pause",
+						m.name, workers, c.CopiedObjects, s.CopiedObjects)
+				}
+			}
+			if m.cmark && c.PauseGCMark != 0 {
+				t.Fatalf("%s workers=%d: sealed-mark reloc pause reports in-pause discovery %v",
+					m.name, workers, c.PauseGCMark)
+			}
+			if rf.vm.RelocDrainActive() {
+				t.Fatalf("%s workers=%d: drain still active after ForceDrain", m.name, workers)
+			}
+			if rf.vm.Heap.RelocArmed() {
+				t.Fatalf("%s workers=%d: load barrier left armed after drain", m.name, workers)
+			}
+			if rf.vm.LazyDrainActive() {
+				t.Fatalf("%s workers=%d: lazy drain left active after ForceDrain", m.name, workers)
+			}
+			// The VM must remain collectable and updatable after the drain.
+			if _, err := rf.vm.CollectGarbage(); err != nil {
+				t.Fatalf("%s workers=%d: post-drain collection: %v", m.name, workers, err)
+			}
+		}
+	}
+}
+
+// TestRelocDrainForcedByCollection pins the from-space hold lifecycle: a
+// collection requested while the relocation drain is in flight must
+// force-complete the drain first (a flip cannot run with the barrier armed),
+// then collect normally on a fully healed heap.
+func TestRelocDrainForcedByCollection(t *testing.T) {
+	f := newRelocFixture(t, 1<<16, 2, false, false)
+	v1 := f.load(relocV1)
+	v2 := f.prog(relocV2)
+	f.spawn("App")
+	f.vm.Step(10)
+	res := f.mustApply("1", v1, v2, "")
+
+	// Collect immediately: on 1 vCPU the background workers have likely not
+	// even been scheduled yet, so this exercises the forced drain for real.
+	if _, err := f.vm.CollectGarbage(); err != nil {
+		t.Fatalf("collection during drain: %v", err)
+	}
+	if f.vm.RelocDrainActive() {
+		t.Fatal("drain still active after forced collection")
+	}
+	if f.vm.Heap.RelocArmed() {
+		t.Fatal("load barrier left armed after forced collection")
+	}
+	if out := f.finish(); out == "" {
+		t.Fatal("program did not finish after forced drain")
+	}
+	if !res.Stats.RelocConcurrent || res.Stats.RelocObjects == 0 {
+		t.Fatalf("drain stats not stamped: %+v", res.Stats)
+	}
+}
+
+// TestRelocFollowUpUpdate pins the update-during-drain path: a second update
+// arriving while the first one's relocation drain is in flight must
+// force-complete that drain (handle() forces reloc before lazy) and then
+// apply cleanly. The program output must match a VM that took both updates
+// stop-the-world.
+func TestRelocFollowUpUpdate(t *testing.T) {
+	run := func(f *fixture) string {
+		f.t.Helper()
+		v1 := f.load(relocV1)
+		v2 := f.prog(relocV2)
+		f.spawn("App")
+		f.vm.Step(10)
+		f.mustApply("1", v1, v2, "")
+		f.vm.Step(2)
+		f.mustApply("2", v2, f.prog(relocV2), "")
+		out := f.finish()
+		f.drain()
+		return out
+	}
+	stw := newMarkFixture(t, 1<<16, 2, false)
+	rel := newRelocFixture(t, 1<<16, 2, false, false)
+	outSTW := run(stw)
+	outRel := run(rel)
+	if outSTW != outRel {
+		t.Fatalf("output diverged across chained updates: STW %q, reloc %q", outSTW, outRel)
+	}
+	if rel.vm.RelocDrainActive() || rel.vm.Heap.RelocArmed() {
+		t.Fatal("drain residue after chained updates")
+	}
+}
+
+// TestRelocLazyDeferredPairs pins full deferral end to end: composed with
+// lazy transformation, discovery, pair creation and transformation all ride
+// the drain and the read barrier, and every touched instance comes out
+// transformed.
+func TestRelocLazyDeferredPairs(t *testing.T) {
+	f := newRelocFixture(t, 1<<16, 2, false, true)
+	v1 := f.load(relocV1)
+	v2 := f.prog(relocV2)
+	f.spawn("App")
+	f.vm.Step(10)
+	res := f.mustApply("1", v1, v2, "")
+	// The pause itself creates no pairs beyond those the root remap forced;
+	// everything else is discovered and paired by the drain afterwards.
+	applyPairs := res.Stats.PairsLogged
+	out := f.finish()
+	f.drain()
+	if out == "" {
+		t.Fatal("empty program output")
+	}
+	st := res.Stats
+	if st.RelocDeferredPairs == 0 {
+		t.Fatalf("drain registered no deferred pairs: %+v", st)
+	}
+	if st.LazyDrained+st.LazyForced == 0 {
+		t.Fatalf("no deferred instance was ever transformed: %+v", st)
+	}
+	if applyPairs >= st.PairsLogged {
+		t.Fatalf("drain created no pairs beyond the pause's %d (final %d)", applyPairs, st.PairsLogged)
+	}
+	if st.TransformedObjects != st.PairsLogged {
+		t.Fatalf("conservation broken after terminal drain: transformed %d != pairs logged %d",
+			st.TransformedObjects, st.PairsLogged)
+	}
+	if f.vm.RelocDrainActive() || f.vm.LazyDrainActive() {
+		t.Fatal("drain residue after force-complete")
+	}
+}

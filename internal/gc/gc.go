@@ -97,12 +97,17 @@ type Result struct {
 	// grey object.
 	Steals int64
 
-	// Pause decomposition. The measured phases are disjoint slices of
-	// Duration: PauseMark is in-pause instance discovery (for the STW
-	// collectors the trace is fused with the copy, so PauseMark = Duration
-	// and the other slices are zero), PauseRescan is the SATB deletion-log
-	// drain + root re-scan a concurrent-mark collection still does inside
-	// the pause, and PauseCopy is its copy + fixup sweep.
+	// Pause decomposition — uniform across every mode so pausecmp rows
+	// compare like with like. The measured phases are disjoint slices of
+	// Duration: PauseMark is in-pause instance discovery (the concurrent-
+	// relocation pipeline's pre-flip trace; zero when discovery ran outside
+	// the pause), PauseRescan is the SATB deletion-log drain + root re-scan
+	// a concurrent-mark collection still does inside the pause, and
+	// PauseCopy is the in-pause copy work — the whole fused trace+copy for
+	// the STW collectors (PauseCopy = Duration there), the sweep+fixup for
+	// CollectWithMark, and only the eager pair evacuation + root remap for
+	// CollectReloc (whose bulk copy runs in the concurrent drain, reported
+	// by RelocStats.Drain instead).
 	PauseMark   time.Duration
 	PauseRescan time.Duration
 	PauseCopy   time.Duration
@@ -121,6 +126,12 @@ type Result struct {
 	// discovers — rescan marks and the allocate-black walk — are not
 	// attributed; PairsLogged is the authoritative copied-pair count.
 	MarkUpdatedInstances int
+
+	// Relocated marks a CollectReloc result: the world resumed with
+	// from-space still live and a concurrent relocation drain in flight.
+	// CopiedObjects/CopiedWords then cover only the pause's eager work; the
+	// drain's share arrives later in RelocStats.
+	Relocated bool
 }
 
 // Options tunes a collector.
@@ -141,6 +152,13 @@ type Options struct {
 	// ConcurrentMark=false preserves today's serial and parallel paths
 	// exactly.
 	ConcurrentMark bool
+	// ConcurrentReloc opts the DSU engine into concurrent relocation
+	// (reloc.go): the pause shrinks to discovery + eager pair evacuation +
+	// root remap, the world resumes with from-space still live, and the
+	// remaining live set is evacuated by background relocator workers plus
+	// the mutator's self-healing load barrier. Plain Collect calls are
+	// unaffected.
+	ConcurrentReloc bool
 }
 
 // AutoWorkers selects one collection worker per available CPU.
@@ -359,6 +377,6 @@ func (c *Collector) collectSerial(roots Roots, dsu bool) (*Result, error) {
 	c.Collections++
 	c.CopiedObjects += res.CopiedObjects
 	res.Duration = time.Since(start)
-	res.PauseMark = res.Duration // STW: discovery is fused with the copy
+	res.PauseCopy = res.Duration // STW: the trace is fused with the copy
 	return res, nil
 }

@@ -72,6 +72,12 @@ type Marker struct {
 
 	bitmap []uint32 // one bit per heap word address < watermark; CAS-set
 
+	// collectAddrs (set from Opts.ConcurrentReloc) makes the trace record
+	// the addresses of updated-class instances, not just their counts — the
+	// CollectReloc pause evacuates exactly that set eagerly instead of
+	// sweeping the whole marked list.
+	collectAddrs bool
+
 	idle  atomic.Int32
 	done  atomic.Bool
 	abort atomic.Bool
@@ -97,6 +103,7 @@ type Marker struct {
 	markedObjects    int
 	updatedInstances int
 	updatedByClass   map[int]int
+	updatedAddrs     []rt.Addr // merged per-worker addrs (collectAddrs only)
 	steals           int64
 }
 
@@ -106,9 +113,10 @@ type markWorker struct {
 	id int
 	dq *deque
 
-	marked  int
-	updated map[int]int // old-class ID → instances discovered (lazy)
-	steals  int64
+	marked       int
+	updated      map[int]int // old-class ID → instances discovered (lazy)
+	updatedAddrs []rt.Addr   // their addresses, when the marker collects them
+	steals       int64
 }
 
 // markBitmapFor returns a cleared bitmap covering the snapshot region
@@ -215,11 +223,12 @@ func (c *Collector) StartMark(roots Roots, updatedIDs map[int]bool) *Marker {
 	h := c.Heap
 	w := c.EffectiveWorkers()
 	m := &Marker{
-		c:          c,
-		lo:         h.ScanStart(),
-		updatedIDs: updatedIDs,
-		deques:     c.markDeques(w),
-		start:      start,
+		c:            c,
+		lo:           h.ScanStart(),
+		updatedIDs:   updatedIDs,
+		deques:       c.markDeques(w),
+		start:        start,
+		collectAddrs: c.Opts.ConcurrentReloc,
 	}
 	m.watermark = h.ArmSATB(c.pool.satb)
 	c.pool.satb = nil
@@ -312,6 +321,7 @@ func (c *Collector) SealMark(m *Marker) bool {
 	for _, mw := range m.workers {
 		m.markedObjects += mw.marked
 		m.steals += mw.steals
+		m.updatedAddrs = append(m.updatedAddrs, mw.updatedAddrs...)
 		for id, n := range mw.updated {
 			if m.updatedByClass == nil {
 				m.updatedByClass = make(map[int]int)
@@ -493,6 +503,9 @@ func (mw *markWorker) grey(a rt.Addr) {
 				mw.updated = make(map[int]int)
 			}
 			mw.updated[id]++
+			if m.collectAddrs {
+				mw.updatedAddrs = append(mw.updatedAddrs, a)
+			}
 		}
 	}
 	mw.dq.push(a)

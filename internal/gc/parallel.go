@@ -466,7 +466,7 @@ func (c *Collector) collectParallel(roots Roots, dsu bool, workers int) (*Result
 	c.Collections++
 	c.CopiedObjects += res.CopiedObjects
 	res.Duration = time.Since(start)
-	res.PauseMark = res.Duration // STW: discovery is fused with the copy
+	res.PauseCopy = res.Duration // STW: the trace is fused with the copy
 	return res, nil
 }
 

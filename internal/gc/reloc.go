@@ -1,0 +1,947 @@
+package gc
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"govolve/internal/heap"
+	"govolve/internal/obs"
+	"govolve/internal/rt"
+)
+
+// Concurrent relocation (Options.ConcurrentReloc): the Shenandoah/ZGC-style
+// answer to the last stop-the-world phase that still scaled with live-set
+// size. Where CollectWithMark moved *discovery* out of the DSU pause and the
+// lazy pipeline moved *transformation* out, CollectReloc moves the bulk
+// *copy* out:
+//
+//	pause   — discover updated-class instances (consume a sealed concurrent
+//	          mark, or run a serial pre-flip trace), flip, eagerly evacuate
+//	          only those instances (shell + old copy, the pairs the
+//	          transformer pipeline needs immediately — or, in deferPairs
+//	          mode, nothing at all), and remap the root slots so every root
+//	          leaves the pause canonical. Arm the heap's self-healing load
+//	          barrier over the old semispace and resume the world with
+//	          from-space still live.
+//	drain   — background relocator workers evacuate the remaining live set:
+//	          a CAS cursor parses to-space [flip base, drain start) — every
+//	          object the pause and the in-pause transformers created — and
+//	          each evacuated copy is pushed on the PR 3 work-stealing deques
+//	          for scanning. Scanning heals stale slots (SlotCAS) and
+//	          evacuates their targets through the same TryForward/
+//	          PublishForward claim protocol the parallel STW copy uses.
+//	          Mutators help: the heap's load barrier calls back into
+//	          mutatorHeal, so every from-space reference the program touches
+//	          is evacuated-or-adopted on the spot and the slot healed — each
+//	          slot pays the barrier at most once.
+//	retire  — when the drain terminates (all workers idle, region cursor
+//	          exhausted, no mutator mid-evacuation, all deques empty),
+//	          from-space holds no live data. The engine finalizes on the
+//	          mutator goroutine: disarm the barrier, run the deferred class
+//	          cleanup, reclaim scratch. Collections, follow-up updates, and
+//	          Engine.ForceDrain force-complete an unfinished drain first —
+//	          the same drain contract the lazy transformer pipeline uses.
+//
+// Liveness needs no extra mark: the drain computes the reachability closure
+// of to-space. Every root was remapped in the pause, so anything live is
+// reachable from a to-space object (or is a to-space object already); the
+// region scan plus the pushed copies cover exactly that closure. Objects the
+// mutator allocates after the drain starts are born clean — they can only
+// ever hold canonical references (loads heal, roots were remapped) — and are
+// never scanned.
+//
+// deferPairs (vm.Options.LazyTransform ∧ ConcurrentReloc) is full deferral:
+// the pause creates no pairs except those the root remap forces. Drain
+// workers discover updated-class instances during evacuation, build the
+// shell + old copy right there, tag the shell untransformed for the PR 6
+// read barrier, and register the pair for the lazy drain to adopt. Class
+// cleanup (unregistering the renamed old classes) is deferred to drain
+// finalize in every reloc mode, because the drain sizes old copies by their
+// old class ids.
+
+// RelocStats summarizes a completed (or failed) relocation drain.
+type RelocStats struct {
+	// Objects/Words count evacuations performed after the eager pause work:
+	// drain workers, the mutator load barrier, forced drains, and the
+	// pause's own root-remap evacuations (which flow through the same path).
+	Objects int
+	Words   int
+	// ScratchWords counts deferred-pair old-copy words placed in scratch.
+	ScratchWords int
+	// HealedSlots counts stale slots rewritten to canonical addresses —
+	// mutator barrier heals plus drain fixup heals.
+	HealedSlots uint64
+	// DeferredPairs is the number of shell/old-copy pairs created by the
+	// drain (deferPairs mode) for the lazy pipeline to adopt.
+	DeferredPairs int
+	// Steals counts drain-worker deque steals.
+	Steals int64
+	// Drain is the wall-clock time from Start (or the first forced work)
+	// to termination — the copy cost that no longer sits in the pause.
+	Drain time.Duration
+}
+
+// Relocation is one in-flight concurrent relocation drain. CollectReloc
+// creates it inside the pause; the engine calls Start after the transformer
+// phase (still inside the pause) and finalizes with Finish once Done — or
+// forces completion with ForceDrain when a collection or follow-up update
+// cannot wait.
+type Relocation struct {
+	c   *Collector
+	h   *heap.Heap
+	reg *rt.Registry
+
+	deferPairs bool
+	useScratch bool // deferred-pair old copies go to the scratch region
+
+	fromLo, fromHi rt.Addr // the held from-space interval
+
+	// The scan region [regionStart, regionEnd) is to-space from the flip to
+	// the Start snapshot: pause evacuations, shells, old copies, and
+	// everything the in-pause transformers allocated. It is hole-free (all
+	// pause allocation is bump-serial), so a CAS cursor parses it without
+	// coordination.
+	regionStart rt.Addr
+	regionEnd   rt.Addr
+	cursor      atomic.Int64
+
+	workers int // deque/worker count (fixed at creation)
+	spawned int // workers actually running (0 until Start)
+	wg      sync.WaitGroup
+
+	deques []*deque
+
+	idle atomic.Int32
+	// mutatorBusy guards the window between a mutator-side evacuation and
+	// the push of its copy: termination checks it before re-checking deque
+	// emptiness, so a worker can never declare the drain done while the
+	// mutator holds an unscanned copy.
+	mutatorBusy atomic.Int32
+	done        atomic.Bool
+	failed      atomic.Bool
+
+	errMu sync.Mutex
+	err   error
+
+	mu       sync.Mutex
+	deferred map[rt.Addr]rt.Addr // shell → old copy (deferPairs mode)
+
+	objects, words, scratchWords atomic.Int64
+	healed                       atomic.Int64 // drain-side slot heals
+	steals                       atomic.Int64
+
+	started   bool // beginDrain ran (mutator goroutine)
+	finished  bool // Finish ran (mutator goroutine)
+	startTime time.Time
+	drainNS   atomic.Int64
+
+	mutAl *relocAllocator // mutator-side allocator (global, no TLAB)
+}
+
+// relocAllocator abstracts where an evacuation's memory comes from: drain
+// workers own TLABs; the mutator (load barrier, root remap, forced drains)
+// allocates under the heap mutex. dq is where evacuated copies are pushed
+// for scanning.
+type relocAllocator struct {
+	rl    *Relocation
+	tlab  *heap.TLAB // nil → global locked allocation
+	stlab *heap.TLAB // scratch TLAB; nil → global scratch block
+	dq    *deque
+}
+
+func (al *relocAllocator) allocCopy(size int) (rt.Addr, bool) {
+	if al.tlab != nil {
+		return al.tlab.Alloc(size)
+	}
+	return al.rl.h.AllocBlock(size)
+}
+
+func (al *relocAllocator) allocShell(size int) (rt.Addr, bool) {
+	if al.tlab != nil {
+		return al.tlab.AllocZeroed(size)
+	}
+	return al.rl.h.Alloc(size) // armed → locked and zeroed
+}
+
+func (al *relocAllocator) allocScratch(size int) (rt.Addr, bool) {
+	if al.stlab != nil {
+		return al.stlab.Alloc(size)
+	}
+	return al.rl.h.AllocScratchBlock(size)
+}
+
+func (al *relocAllocator) push(a rt.Addr) { al.dq.push(a) }
+
+// CollectReloc is the pause half of a concurrent-relocation DSU collection.
+// It returns the pause Result (eager pairs only — the pause decomposition's
+// PauseCopy is pair evacuation + root remap) plus the live Relocation the
+// engine must Start and eventually Finish. deferPairs selects full deferral
+// for the lazy-transform pipeline. Post-flip errors leave the heap unusable
+// exactly as in the STW collectors; discovery errors are ErrPreFlip.
+func (c *Collector) CollectReloc(roots Roots, deferPairs bool) (*Result, *Relocation, error) {
+	start := time.Now()
+	h := c.Heap
+	workers := c.EffectiveWorkers()
+	res := &Result{Workers: workers, Relocated: true, OldForNew: make(map[rt.Addr]rt.Addr)}
+
+	// --- discovery ---------------------------------------------------------
+	var addrs []rt.Addr
+	if deferPairs {
+		// Full deferral: the drain discovers updated instances itself, so no
+		// trace runs at all. A leftover marker's snapshot would go stale
+		// across the flip — drop it (the engine does not start one in this
+		// mode; this is the defensive path).
+		if c.mark != nil {
+			c.AbortMark()
+		}
+	} else if m := c.mark; m != nil && m.sealed && !m.aborted {
+		var err error
+		addrs, err = c.relocConsumeMark(m, roots, res)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		if c.mark != nil {
+			c.AbortMark()
+		}
+		tMark := time.Now()
+		var err error
+		addrs, err = c.relocDiscover(roots)
+		if err != nil {
+			return nil, nil, preFlipErr(err)
+		}
+		res.PauseMark = time.Since(tMark)
+	}
+	// Sorted evacuation order makes the pair log a pure function of the
+	// pre-flip heap layout — same determinism contract as the parallel
+	// collector's merge.
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	// --- flip preparation --------------------------------------------------
+	fromLo, fromHi := h.ScanStart(), h.AllocPointer()
+	h.Flip()
+
+	rl := &Relocation{
+		c: c, h: h, reg: c.Reg,
+		deferPairs:  deferPairs,
+		useScratch:  deferPairs && h.HasScratch(),
+		fromLo:      fromLo,
+		fromHi:      fromHi,
+		regionStart: h.ScanStart(),
+		workers:     workers,
+		deques:      make([]*deque, workers),
+		deferred:    make(map[rt.Addr]rt.Addr),
+	}
+	for i := range rl.deques {
+		rl.deques[i] = &deque{}
+	}
+	rl.mutAl = &relocAllocator{rl: rl, dq: rl.deques[0]}
+
+	tCopy := time.Now()
+
+	// --- eager pair evacuation ---------------------------------------------
+	// Only the updated-class instances the transformer pipeline needs right
+	// now; everything else stays in from-space for the drain.
+	useScratch := h.HasScratch()
+	for _, a := range addrs {
+		cls := c.Reg.ClassByID(h.ClassID(a))
+		if cls == nil || cls.UpdatedTo == nil {
+			continue
+		}
+		newCls := cls.UpdatedTo
+		size := cls.Size
+		shell, ok1 := h.AllocObject(newCls)
+		var oldCopy rt.Addr
+		var ok2 bool
+		if useScratch {
+			oldCopy, ok2 = h.ScratchCopy(a, size)
+			if ok2 {
+				res.ScratchWords += size
+				// Scratch lies outside the region scan: seed the old copy
+				// explicitly so the drain heals its stale slots (to-space
+				// old copies are covered by the region cursor).
+				rl.mutAl.push(oldCopy)
+			}
+		} else {
+			oldCopy, ok2 = h.Copy(a, size)
+		}
+		if !ok1 || !ok2 {
+			return nil, nil, fmt.Errorf("gc: DSU copy: %w", ErrToSpaceExhausted)
+		}
+		h.SetForward(a, shell)
+		res.Log = append(res.Log, Pair{OldCopy: oldCopy, New: shell})
+		res.CopiedObjects += 2
+		res.CopiedWords += size + newCls.Size
+	}
+
+	// --- root remap --------------------------------------------------------
+	// Every root slot leaves the pause canonical: adopt pause pairs through
+	// their forwarding pointers, evacuate everything else on the spot (in
+	// deferPairs mode a root hitting an updated-class instance creates its
+	// pair right here).
+	var remapErr error
+	roots.ForEachRoot(func(v *rt.Value) {
+		if remapErr != nil || !v.IsRef || v.Bits == 0 {
+			return
+		}
+		a := v.Ref()
+		if a < fromLo || a >= fromHi {
+			return
+		}
+		to := rl.evac(a, rl.mutAl)
+		if to == 0 {
+			if remapErr = rl.firstErr(); remapErr == nil {
+				remapErr = ErrToSpaceExhausted
+			}
+			return
+		}
+		v.Bits = uint64(to)
+	})
+	if remapErr != nil {
+		return nil, nil, remapErr
+	}
+	res.PauseCopy = time.Since(tCopy)
+
+	sort.Slice(res.Log, func(i, j int) bool { return res.Log[i].New < res.Log[j].New })
+	for _, p := range res.Log {
+		res.OldForNew[p.New] = p.OldCopy
+	}
+	res.PairsLogged = len(res.Log)
+
+	// Arm the self-healing load barrier before the world (and the in-pause
+	// transformers, which run next) touches the heap again: every from-space
+	// reference loaded from here on is evacuated-or-adopted and its slot
+	// healed.
+	h.ArmReloc(fromLo, fromHi, rl.mutatorHeal)
+
+	c.Collections++
+	c.CopiedObjects += res.CopiedObjects
+	res.Duration = time.Since(start)
+	return res, rl, nil
+}
+
+// relocDiscover is the plain-reloc discovery trace: a serial pre-flip
+// reachability walk that records updated-class instances. It moves nothing,
+// so errors leave the heap intact (the caller wraps them ErrPreFlip). The
+// trace still scales with the live set — PauseMark reports it honestly; the
+// concurrent-mark mode exists to move it out of the pause too.
+func (c *Collector) relocDiscover(roots Roots) ([]rt.Addr, error) {
+	h := c.Heap
+	lo, hi := h.ScanStart(), h.AllocPointer()
+	bm := c.markBitmapFor(lo, hi)
+	var stack []rt.Addr
+	var addrs []rt.Addr
+	var walkErr error
+	push := func(a rt.Addr) {
+		if walkErr != nil || a == 0 || a < lo || a >= hi {
+			return
+		}
+		i := a - lo
+		w := &bm[i>>5]
+		bit := uint32(1) << (i & 31)
+		if *w&bit != 0 {
+			return
+		}
+		*w |= bit
+		stack = append(stack, a)
+		if !h.IsArray(a) {
+			cls := c.Reg.ClassByID(h.ClassID(a))
+			if cls == nil {
+				walkErr = fmt.Errorf("gc: reloc discovery: object @%d with unknown class id %d", a, h.ClassID(a))
+				return
+			}
+			if cls.UpdatedTo != nil {
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	roots.ForEachRoot(func(v *rt.Value) {
+		if v.IsRef {
+			push(v.Ref())
+		}
+	})
+	for walkErr == nil && len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if h.IsArray(a) {
+			if h.ArrayElemIsRef(a) {
+				for i := 0; i < h.ArrayLen(a); i++ {
+					push(h.Elem(a, i).Ref())
+				}
+			}
+			continue
+		}
+		cls := c.Reg.ClassByID(h.ClassID(a)) // non-nil: checked at push time
+		for i, isRef := range cls.RefMap {
+			if isRef {
+				push(h.FieldValue(a, rt.HeaderWords+i, true).Ref())
+			}
+		}
+	}
+	return addrs, walkErr
+}
+
+// relocConsumeMark consumes a sealed concurrent mark for the reloc pause:
+// the same SATB-drain + root rescan CollectWithMark runs (stamped into
+// PauseRescan), but instead of building the full sweep list it only gathers
+// updated-class instance addresses — the trace's recorded set, anything the
+// rescan additionally marks, and the allocate-black region [watermark,
+// alloc). Errors are ErrPreFlip: nothing has moved yet.
+func (c *Collector) relocConsumeMark(m *Marker, roots Roots, res *Result) ([]rt.Addr, error) {
+	c.mark = nil
+	defer c.recycleMark(m)
+	h := c.Heap
+	m.satb = h.DisarmSATB()
+	res.MarkConcurrent = true
+	res.MarkOutside = time.Duration(m.traceNS.Load())
+	res.MarkSetup = m.setup
+	res.MarkedObjects = m.markedObjects
+	res.SATBDrained = len(m.satb)
+	res.MarkUpdatedInstances = m.updatedInstances
+	res.Steals = m.steals
+	addrs := m.updatedAddrs
+
+	tRescan := time.Now()
+	var stack []rt.Addr
+	pushIf := func(w rt.Addr) {
+		if w == 0 || w < m.lo || w >= m.watermark {
+			return
+		}
+		if m.setMarkSerial(w) {
+			stack = append(stack, w)
+			res.RescanMarked++
+			if !h.IsArray(w) {
+				if cls := c.Reg.ClassByID(h.ClassID(w)); cls != nil && cls.UpdatedTo != nil {
+					addrs = append(addrs, w)
+				}
+			}
+		}
+	}
+	for _, w := range m.satb {
+		pushIf(w)
+	}
+	roots.ForEachRoot(func(v *rt.Value) {
+		if v.IsRef {
+			pushIf(v.Ref())
+		}
+	})
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if h.IsArray(a) {
+			if h.ArrayElemIsRef(a) {
+				for i := 0; i < h.ArrayLen(a); i++ {
+					pushIf(h.Elem(a, i).Ref())
+				}
+			}
+			continue
+		}
+		cls := c.Reg.ClassByID(h.ClassID(a))
+		if cls == nil {
+			return nil, preFlipErr(fmt.Errorf("gc: rescan: object @%d with unknown class id %d", a, h.ClassID(a)))
+		}
+		for i, isRef := range cls.RefMap {
+			if isRef {
+				pushIf(h.FieldValue(a, rt.HeaderWords+i, true).Ref())
+			}
+		}
+	}
+	res.PauseRescan = time.Since(tRescan)
+
+	// Allocate-black walk: everything at or above the watermark is
+	// implicitly live; collect its updated-class instances.
+	holes := h.Holes()
+	for len(holes) > 0 && holes[0].Addr < m.watermark {
+		holes = holes[1:]
+	}
+	for a := m.watermark; a < h.AllocPointer(); {
+		if len(holes) > 0 && holes[0].Addr == a {
+			a += rt.Addr(holes[0].Size)
+			holes = holes[1:]
+			continue
+		}
+		var size int
+		if h.IsArray(a) {
+			size = rt.HeaderWords + h.ArrayLen(a)
+		} else {
+			cls := c.Reg.ClassByID(h.ClassID(a))
+			if cls == nil {
+				return nil, preFlipErr(fmt.Errorf("gc: reloc sweep: object @%d with unknown class id %d", a, h.ClassID(a)))
+			}
+			if cls.UpdatedTo != nil {
+				addrs = append(addrs, a)
+			}
+			size = cls.Size
+		}
+		a += rt.Addr(size)
+	}
+	return addrs, nil
+}
+
+// --- the drain -------------------------------------------------------------
+
+// Start launches the background relocator workers. Called by the engine at
+// the end of the pause, after the transformer and clinit phases — their
+// allocations land below the region snapshot and get scanned like everything
+// else the pause created.
+func (rl *Relocation) Start() {
+	if rl.started {
+		return
+	}
+	rl.beginDrain()
+	rl.spawned = rl.workers
+	rl.c.Rec.Emit(obs.KPhaseBegin, obs.LaneReloc, int64(rl.workers), "reloc drain")
+	rl.wg.Add(rl.workers)
+	for i := 0; i < rl.workers; i++ {
+		go rl.runWorker(i)
+	}
+}
+
+func (rl *Relocation) beginDrain() {
+	rl.regionEnd = rl.h.AllocPointer()
+	rl.cursor.Store(int64(rl.regionStart))
+	rl.startTime = time.Now()
+	rl.started = true
+}
+
+// runWorker is one relocator's drain loop: local deque, steal, region
+// cursor, then the idle-termination protocol. The termination condition
+// checks mutatorBusy BEFORE re-checking deque emptiness — a mutator mid-
+// evacuation increments busy before claiming, so either the worker sees
+// busy > 0 and stays, or the mutator's push is already visible.
+func (rl *Relocation) runWorker(id int) {
+	defer rl.wg.Done()
+	h := rl.h
+	tlab := h.NewTLAB(rl.c.tlabWords(rl.workers), false)
+	var stlab *heap.TLAB
+	if rl.useScratch {
+		stlab = h.NewTLAB(rl.c.tlabWords(rl.workers), true)
+	}
+	al := &relocAllocator{rl: rl, tlab: tlab, stlab: stlab, dq: rl.deques[id]}
+loop:
+	for {
+		if rl.done.Load() || rl.failed.Load() {
+			break
+		}
+		if a, ok := rl.deques[id].pop(); ok {
+			rl.scanObj(a, al)
+			continue
+		}
+		if a, ok := rl.stealWork(id); ok {
+			rl.scanObj(a, al)
+			continue
+		}
+		if a, ok := rl.nextRegion(); ok {
+			rl.scanObj(a, al)
+			continue
+		}
+		rl.idle.Add(1)
+		for {
+			if rl.done.Load() || rl.failed.Load() {
+				break loop
+			}
+			if rl.anyWork() || rl.regionRemaining() {
+				rl.idle.Add(-1)
+				continue loop
+			}
+			if rl.idle.Load() == int32(rl.spawned) &&
+				rl.mutatorBusy.Load() == 0 &&
+				!rl.anyWork() && !rl.regionRemaining() {
+				rl.completeDrain()
+				break loop
+			}
+			runtime.Gosched()
+		}
+	}
+	tlab.Retire()
+	if stlab != nil {
+		stlab.Retire()
+	}
+}
+
+func (rl *Relocation) stealWork(id int) (rt.Addr, bool) {
+	n := len(rl.deques)
+	for k := 1; k < n; k++ {
+		d := rl.deques[(id+k)%n]
+		if d.size.Load() == 0 {
+			continue
+		}
+		if a, ok := d.steal(); ok {
+			rl.steals.Add(1)
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+func (rl *Relocation) anyWork() bool {
+	for _, d := range rl.deques {
+		if d.size.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (rl *Relocation) regionRemaining() bool {
+	return rl.started && rl.cursor.Load() < int64(rl.regionEnd)
+}
+
+// nextRegion claims the next to-space region object via the CAS cursor. The
+// region is hole-free (pause allocation is bump-serial), so the header at
+// the cursor always parses; it is read atomically because the mutator's
+// lazy-tag read-modify-write may touch shell headers concurrently.
+func (rl *Relocation) nextRegion() (rt.Addr, bool) {
+	for {
+		cur := rl.cursor.Load()
+		if !rl.started || cur >= int64(rl.regionEnd) {
+			return 0, false
+		}
+		a := rt.Addr(cur)
+		hw := rl.h.SlotLoad(a)
+		size := rl.h.SizeFromHeader(a, hw, rl.reg.ClassByID)
+		if size < 0 {
+			rl.fail(fmt.Errorf("gc: reloc drain: region object @%d with unknown class id %d", a, heap.HeaderClassID(hw)))
+			return 0, false
+		}
+		if rl.cursor.CompareAndSwap(cur, cur+int64(size)) {
+			return a, true
+		}
+	}
+}
+
+func (rl *Relocation) completeDrain() {
+	if rl.done.CompareAndSwap(false, true) {
+		rl.drainNS.Store(int64(time.Since(rl.startTime)))
+		rl.c.Rec.Emit(obs.KPhaseEnd, obs.LaneReloc, rl.objects.Load(), "reloc drain")
+	}
+}
+
+func (rl *Relocation) fail(err error) {
+	rl.errMu.Lock()
+	if rl.err == nil {
+		rl.err = err
+	}
+	rl.errMu.Unlock()
+	rl.failed.Store(true)
+}
+
+func (rl *Relocation) firstErr() error {
+	rl.errMu.Lock()
+	defer rl.errMu.Unlock()
+	return rl.err
+}
+
+// scanObj heals every stale reference slot of one to-space (or scratch)
+// object, evacuating the targets. Headers are read atomically (the mutator
+// RMWs lazy tags; slot stores race with mutator writes by design — both
+// sides are atomic while the barrier is armed).
+func (rl *Relocation) scanObj(a rt.Addr, al *relocAllocator) {
+	h := rl.h
+	hw := h.SlotLoad(a)
+	if heap.HeaderIsArray(hw) {
+		if heap.HeaderArrayElemIsRef(hw) {
+			n := h.ArrayLen(a)
+			for i := 0; i < n; i++ {
+				rl.healWordSlot(a+rt.HeaderWords+rt.Addr(i), al)
+			}
+		}
+		return
+	}
+	cls := rl.reg.ClassByID(heap.HeaderClassID(hw))
+	if cls == nil {
+		rl.fail(fmt.Errorf("gc: reloc drain: object @%d with unknown class id %d", a, heap.HeaderClassID(hw)))
+		return
+	}
+	for i, isRef := range cls.RefMap {
+		if isRef {
+			rl.healWordSlot(a+rt.HeaderWords+rt.Addr(i), al)
+		}
+	}
+}
+
+// healWordSlot canonicalizes one reference slot: load atomically, evacuate-
+// or-adopt a from-space target, CAS the canonical address back. A failed CAS
+// means the mutator stored a new value meanwhile — necessarily canonical, so
+// nothing is lost.
+func (rl *Relocation) healWordSlot(idx rt.Addr, al *relocAllocator) {
+	if rl.failed.Load() {
+		return
+	}
+	h := rl.h
+	w := h.SlotLoad(idx)
+	a := rt.Addr(w)
+	if a < rl.fromLo || a >= rl.fromHi {
+		return // null, to-space, or scratch: already canonical
+	}
+	to := rl.evac(a, al)
+	if to == 0 {
+		return // drain is failing
+	}
+	if h.SlotCAS(idx, w, uint64(to)) {
+		rl.healed.Add(1)
+	}
+}
+
+// evac evacuates (or adopts the evacuation of) one from-space object via the
+// shared CAS claim/publish protocol, returning its canonical address — or 0
+// when the drain is failing.
+func (rl *Relocation) evac(a rt.Addr, al *relocAllocator) rt.Addr {
+	h := rl.h
+	for {
+		hw := h.HeaderLoad(a)
+		if to, forwarded, claimed := heap.HeaderForwarded(hw); forwarded {
+			return to
+		} else if claimed {
+			if rl.failed.Load() {
+				return 0
+			}
+			runtime.Gosched()
+			continue
+		}
+		if !h.TryForward(a, hw) {
+			continue // lost the claim race; re-read
+		}
+		to, ok := rl.copyClaimed(a, hw, al)
+		if !ok {
+			h.RestoreHeader(a, hw) // release spinners; the drain is failing
+			return 0
+		}
+		return to
+	}
+}
+
+// copyClaimed evacuates an object this caller has claimed. Updated-class
+// instances must all have been paired in the pause unless deferPairs is on —
+// meeting one otherwise means discovery missed a live object, and the drain
+// fails loudly rather than preserving an old-layout instance past cleanup.
+func (rl *Relocation) copyClaimed(a rt.Addr, hw uint64, al *relocAllocator) (rt.Addr, bool) {
+	h, reg := rl.h, rl.reg
+	size := h.SizeFromHeader(a, hw, reg.ClassByID)
+	if size < 0 {
+		rl.fail(fmt.Errorf("gc: reloc drain: object @%d with unknown class id %d", a, heap.HeaderClassID(hw)))
+		return 0, false
+	}
+	if !heap.HeaderIsArray(hw) {
+		if cls := reg.ClassByID(heap.HeaderClassID(hw)); cls != nil && cls.UpdatedTo != nil {
+			if !rl.deferPairs {
+				rl.fail(fmt.Errorf("gc: reloc drain: undiscovered updated-class instance @%d (%s)", a, cls.Name))
+				return 0, false
+			}
+			return rl.deferredPair(a, hw, size, cls.UpdatedTo, al)
+		}
+	}
+	to, ok := al.allocCopy(size)
+	if !ok {
+		rl.fail(ErrToSpaceExhausted)
+		return 0, false
+	}
+	// Skip the source header word — it holds the claim sentinel; write the
+	// saved original instead.
+	if size > 1 {
+		h.CopyWords(to+1, a+1, size-1)
+	}
+	h.SetWord(to, hw)
+	h.PublishForward(a, to)
+	rl.objects.Add(1)
+	rl.words.Add(int64(size))
+	al.push(to)
+	return to, true
+}
+
+// deferredPair builds a shell + old copy for an updated-class instance the
+// drain discovered (deferPairs mode), tags the shell untransformed for the
+// lazy read barrier, and registers the pair for the lazy drain to adopt. The
+// shell and its tag are written before PublishForward, so no other goroutine
+// ever sees a half-built pair.
+func (rl *Relocation) deferredPair(a rt.Addr, hw uint64, size int, newCls *rt.Class, al *relocAllocator) (rt.Addr, bool) {
+	h := rl.h
+	shell, ok1 := al.allocShell(newCls.Size)
+	var oldCopy rt.Addr
+	var ok2 bool
+	if rl.useScratch {
+		oldCopy, ok2 = al.allocScratch(size)
+		if ok2 {
+			rl.scratchWords.Add(int64(size))
+		}
+	} else {
+		oldCopy, ok2 = al.allocCopy(size)
+	}
+	if !ok1 || !ok2 {
+		rl.fail(fmt.Errorf("gc: DSU copy: %w", ErrToSpaceExhausted))
+		return 0, false
+	}
+	h.SetWord(shell, uint64(newCls.ID))
+	h.MarkUntransformed(shell)
+	if size > 1 {
+		h.CopyWords(oldCopy+1, a+1, size-1)
+	}
+	h.SetWord(oldCopy, hw)
+	rl.mu.Lock()
+	rl.deferred[shell] = oldCopy
+	rl.mu.Unlock()
+	h.PublishForward(a, shell)
+	rl.objects.Add(2)
+	rl.words.Add(int64(size + newCls.Size))
+	al.push(oldCopy)
+	return shell, true
+}
+
+// mutatorHeal is the heap load barrier's callback: evacuate-or-adopt one
+// from-space reference on the mutator goroutine. busy brackets the window so
+// the drain cannot terminate while the copy is unpushed. On a failing drain
+// it returns the argument unchanged (the slot stays stale; the engine's next
+// tick surfaces the error and marks the heap unusable).
+func (rl *Relocation) mutatorHeal(a rt.Addr) rt.Addr {
+	rl.mutatorBusy.Add(1)
+	to := rl.evac(a, rl.mutAl)
+	rl.mutatorBusy.Add(-1)
+	if to == 0 {
+		return a
+	}
+	return to
+}
+
+// HealObject canonicalizes every reference slot of one object immediately —
+// the lazy-transform pipeline calls it on an old copy before running its
+// transformer, so bulk field copies read canonical addresses. Safe mid-drain
+// (idempotent against a concurrent worker scan of the same object) and
+// in-pause (before Start).
+func (rl *Relocation) HealObject(a rt.Addr) {
+	if rl == nil || a == 0 {
+		return
+	}
+	rl.mutatorBusy.Add(1)
+	rl.scanObj(a, rl.mutAl)
+	rl.mutatorBusy.Add(-1)
+}
+
+// Done reports whether the drain has terminated (completed or failed).
+func (rl *Relocation) Done() bool { return rl.done.Load() || rl.failed.Load() }
+
+// Failed reports whether the drain failed (OOM or structural error).
+func (rl *Relocation) Failed() bool { return rl.failed.Load() }
+
+// Err returns the drain's first error, if any.
+func (rl *Relocation) Err() error { return rl.firstErr() }
+
+// Backlog approximates the drain's remaining work (unscanned region words
+// plus queued copies) — the obs backlog gauge. Zero once done.
+func (rl *Relocation) Backlog() int {
+	if rl == nil || rl.Done() {
+		return 0
+	}
+	n := 0
+	for _, d := range rl.deques {
+		n += int(d.size.Load())
+	}
+	if rl.started {
+		if rem := int64(rl.regionEnd) - rl.cursor.Load(); rem > 0 {
+			n += int(rem)
+		}
+	}
+	return n
+}
+
+// ForceDrain completes the drain on the mutator goroutine: the mutator runs
+// a worker-equivalent loop (bracketing each item with the busy counter) until
+// global termination. Collections, follow-up updates, and Engine.ForceDrain
+// use it — the drain-contract mirror of the lazy pipeline's forceAll. Safe
+// before Start (it begins the drain itself, with zero background workers).
+func (rl *Relocation) ForceDrain() error {
+	if !rl.started {
+		rl.beginDrain()
+		rl.c.Rec.Emit(obs.KPhaseBegin, obs.LaneReloc, 0, "reloc drain")
+	}
+	for !rl.failed.Load() && !rl.done.Load() {
+		rl.mutatorBusy.Add(1)
+		a, ok := rl.takeAny()
+		if !ok {
+			rl.mutatorBusy.Add(-1)
+			if rl.idle.Load() == int32(rl.spawned) &&
+				!rl.anyWork() && !rl.regionRemaining() {
+				rl.completeDrain()
+				break
+			}
+			runtime.Gosched()
+			continue
+		}
+		rl.scanObj(a, rl.mutAl)
+		rl.mutatorBusy.Add(-1)
+	}
+	if rl.failed.Load() {
+		return rl.firstErr()
+	}
+	return nil
+}
+
+// takeAny claims work from any deque or the region cursor (mutator side).
+func (rl *Relocation) takeAny() (rt.Addr, bool) {
+	for _, d := range rl.deques {
+		if d.size.Load() == 0 {
+			continue
+		}
+		if a, ok := d.steal(); ok {
+			return a, true
+		}
+	}
+	return rl.nextRegion()
+}
+
+// Finish joins the workers, disarms the load barrier, and returns the drain
+// statistics. Mutator goroutine, once Done (it force-completes defensively
+// otherwise). From-space is dead after this — the next Flip may reuse it.
+// The engine still owns the mode-level finalization (class cleanup, scratch
+// reset, deferred-pair adoption).
+func (rl *Relocation) Finish() (RelocStats, error) {
+	if rl.finished {
+		return RelocStats{}, nil
+	}
+	rl.finished = true
+	if !rl.Done() {
+		_ = rl.ForceDrain() // error surfaces via failed below
+	}
+	rl.wg.Wait()
+	mutHealed := rl.h.DisarmReloc()
+	st := RelocStats{
+		Objects:       int(rl.objects.Load()),
+		Words:         int(rl.words.Load()),
+		ScratchWords:  int(rl.scratchWords.Load()),
+		HealedSlots:   uint64(rl.healed.Load()) + mutHealed,
+		DeferredPairs: len(rl.deferred),
+		Steals:        rl.steals.Load(),
+		Drain:         time.Duration(rl.drainNS.Load()),
+	}
+	if rl.failed.Load() {
+		rl.c.Rec.Emit(obs.KPhaseEnd, obs.LaneReloc, rl.objects.Load(), "reloc drain")
+		return st, rl.firstErr()
+	}
+	return st, nil
+}
+
+// DeferredOldFor looks up the old copy of a drain-created pair mid-drain —
+// the lazy transform's fallback when a touched shell is not in its adopted
+// log yet.
+func (rl *Relocation) DeferredOldFor(shell rt.Addr) (rt.Addr, bool) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	oc, ok := rl.deferred[shell]
+	return oc, ok
+}
+
+// DeferredPairs returns the drain-created pairs sorted by shell address —
+// the adoption set the lazy drain takes over at finalize.
+func (rl *Relocation) DeferredPairs() []Pair {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	ps := make([]Pair, 0, len(rl.deferred))
+	for sh, oc := range rl.deferred {
+		ps = append(ps, Pair{OldCopy: oc, New: sh})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].New < ps[j].New })
+	return ps
+}

@@ -1,0 +1,467 @@
+package gc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"govolve/internal/classfile"
+	"govolve/internal/heap"
+	"govolve/internal/rt"
+)
+
+// The stw/reloc equivalence suite. A concurrent-relocation collection —
+// short pause (eager pairs + root remap), then a drain that evacuates the
+// rest of the live set with background workers and the self-healing load
+// barrier — must end in a heap observationally identical to the serial
+// Cheney collector's: isomorphic reachable graph, identical values,
+// identical DSU pair treatment. With the mutator quiescent during the drain
+// even the copy accounting must match exactly: serial CopiedObjects ==
+// reloc pause CopiedObjects + drain RelocStats.Objects (each live object is
+// evacuated exactly once on either path).
+
+// runRelocCycle drives a full reloc collection on w: pause, Start, optional
+// mutation while the drain runs, force-complete, Finish.
+func runRelocCycle(t testing.TB, w *world, c *Collector, deferPairs bool, mutate func()) (*Result, RelocStats) {
+	t.Helper()
+	res, rl, err := c.CollectReloc(w, deferPairs)
+	if err != nil {
+		t.Fatalf("CollectReloc: %v", err)
+	}
+	if !w.h.RelocArmed() {
+		t.Fatal("load barrier not armed after the reloc pause")
+	}
+	rl.Start()
+	if mutate != nil {
+		mutate()
+	}
+	if err := rl.ForceDrain(); err != nil {
+		t.Fatalf("ForceDrain: %v", err)
+	}
+	if !rl.Done() {
+		t.Fatal("drain not done after ForceDrain")
+	}
+	if rl.Backlog() != 0 {
+		t.Fatalf("done drain reports backlog %d", rl.Backlog())
+	}
+	stats, err := rl.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if w.h.RelocArmed() {
+		t.Fatal("load barrier still armed after Finish")
+	}
+	if !res.Relocated {
+		t.Fatal("result not flagged Relocated")
+	}
+	return res, stats
+}
+
+// runRelocEquivalence compares a quiescent reloc collection against the
+// serial collector on identical worlds, with exact copy accounting.
+func runRelocEquivalence(t *testing.T, seed int64, dsu bool, scratch, workers int) {
+	t.Helper()
+	const semi = 1 << 13
+	wa := buildWorld(t, seed, semi, scratch)
+	wb := buildWorld(t, seed, semi, scratch)
+	if dsu {
+		addUpdatedTo(t, wa)
+		addUpdatedTo(t, wb)
+	}
+
+	ra, err := New(wa.h, wa.reg).Collect(wa, dsu)
+	if err != nil {
+		t.Fatalf("serial collect: %v", err)
+	}
+	cb := NewWithOptions(wb.h, wb.reg, Options{Workers: workers, ConcurrentReloc: true})
+	rb, stats := runRelocCycle(t, wb, cb, false, nil)
+
+	if got := rb.CopiedObjects + stats.Objects; got != ra.CopiedObjects {
+		t.Fatalf("copied objects: serial %d, reloc pause %d + drain %d = %d",
+			ra.CopiedObjects, rb.CopiedObjects, stats.Objects, got)
+	}
+	if got := rb.CopiedWords + stats.Words; got != ra.CopiedWords {
+		t.Fatalf("copied words: serial %d, reloc %d", ra.CopiedWords, got)
+	}
+	if ra.PairsLogged != rb.PairsLogged || len(ra.Log) != len(rb.Log) {
+		t.Fatalf("pair counts: serial %d, reloc %d", len(ra.Log), len(rb.Log))
+	}
+	if ra.ScratchWords != rb.ScratchWords {
+		t.Fatalf("scratch words: serial %d, reloc %d", ra.ScratchWords, rb.ScratchWords)
+	}
+	if stats.DeferredPairs != 0 {
+		t.Fatalf("eager mode created %d deferred pairs", stats.DeferredPairs)
+	}
+	for i := 1; i < len(rb.Log); i++ {
+		if rb.Log[i-1].New >= rb.Log[i].New {
+			t.Fatal("reloc pair log not sorted by new-shell address")
+		}
+	}
+	for _, p := range rb.Log {
+		if rb.OldForNew[p.New] != p.OldCopy {
+			t.Fatal("OldForNew inconsistent with pair log")
+		}
+	}
+	isoCheck(t, wa, wb, ra, rb, dsu)
+}
+
+func TestRelocCollectEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		runRelocEquivalence(t, seed, false, 0, 1)
+		runRelocEquivalence(t, seed, false, 0, 4)
+	}
+}
+
+func TestRelocDSUCollectEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		runRelocEquivalence(t, seed, true, 0, 1)
+		runRelocEquivalence(t, seed, true, 0, 4)
+	}
+}
+
+func TestRelocDSUCollectEquivalenceScratch(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		runRelocEquivalence(t, seed, true, 1<<13, 4)
+	}
+	runRelocEquivalence(t, 11, true, 1<<13, 2)
+	runRelocEquivalence(t, 12, true, 1<<13, 7)
+}
+
+// runRelocMarkEquivalence layers the sealed concurrent mark under the reloc
+// pause (cmark-reloc mode): discovery comes from the consumed snapshot, so
+// the pause runs no trace at all — PauseMark must be zero — and the result
+// must still be exactly equivalent.
+func runRelocMarkEquivalence(t *testing.T, seed int64, dsu bool, workers int) {
+	t.Helper()
+	const semi = 1 << 13
+	wa := buildWorld(t, seed, semi, 0)
+	wb := buildWorld(t, seed, semi, 0)
+	var updatedIDs map[int]bool
+	if dsu {
+		addUpdatedTo(t, wa)
+		addUpdatedTo(t, wb)
+		updatedIDs = map[int]bool{wb.cls.ID: true}
+	}
+
+	ra, err := New(wa.h, wa.reg).Collect(wa, dsu)
+	if err != nil {
+		t.Fatalf("serial collect: %v", err)
+	}
+
+	cb := NewWithOptions(wb.h, wb.reg, Options{Workers: workers, ConcurrentMark: true, ConcurrentReloc: true})
+	m := cb.StartMark(wb, updatedIDs)
+	waitMark(t, m)
+	if !cb.SealMark(m) {
+		t.Fatalf("mark aborted: %v", m.Err())
+	}
+	rb, stats := runRelocCycle(t, wb, cb, false, nil)
+	if !rb.MarkConcurrent {
+		t.Fatal("consumed mark not flagged MarkConcurrent")
+	}
+	if rb.PauseMark != 0 {
+		t.Fatalf("cmark-reloc pause reports in-pause discovery %v", rb.PauseMark)
+	}
+	if wb.h.SATBArmed() {
+		t.Fatal("SATB barrier left armed after the reloc pause")
+	}
+
+	if got := rb.CopiedObjects + stats.Objects; got != ra.CopiedObjects {
+		t.Fatalf("copied objects: serial %d, cmark-reloc %d", ra.CopiedObjects, got)
+	}
+	if ra.PairsLogged != rb.PairsLogged {
+		t.Fatalf("pairs: serial %d, cmark-reloc %d", ra.PairsLogged, rb.PairsLogged)
+	}
+	isoCheck(t, wa, wb, ra, rb, dsu)
+}
+
+func waitMark(t testing.TB, m *Marker) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !m.Done() {
+		if time.Now().After(deadline) {
+			t.Fatal("concurrent mark did not terminate")
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+}
+
+func TestRelocConsumesConcurrentMark(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		runRelocMarkEquivalence(t, seed, false, 2)
+		runRelocMarkEquivalence(t, seed, true, 1)
+		runRelocMarkEquivalence(t, seed, true, 4)
+	}
+}
+
+// TestRelocInFlightMutation runs the shared deterministic mutation script
+// while the drain is live — stores land through the armed atomic path,
+// loads heal through the barrier, allocations are born clean above the
+// region snapshot — and requires the final graph isomorphic to the STW
+// baseline. Because the reloc pause happens BEFORE the mutation, the
+// baseline mutates after its own collection: both sides then see the same
+// logical program order (pause, then mutation). Copy counts are not
+// compared: the drain also evacuates objects the script kills mid-drain
+// (floating garbage, reclaimed by the next collection).
+func TestRelocInFlightMutation(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, workers := range []int{1, 4} {
+			for _, dsu := range []bool{false, true} {
+				const semi = 1 << 13
+				wa := buildWorld(t, seed, semi, 0)
+				wb := buildWorld(t, seed, semi, 0)
+				if dsu {
+					addUpdatedTo(t, wa)
+					addUpdatedTo(t, wb)
+				}
+
+				ca := NewWithOptions(wa.h, wa.reg, Options{Workers: workers, ConcurrentReloc: true})
+				res, rl, err := ca.CollectReloc(wa, false)
+				if err != nil {
+					t.Fatalf("CollectReloc: %v", err)
+				}
+				rl.Start()
+				// Built AFTER the pause: the script captures the remapped
+				// (canonical) root addresses — in DSU mode those are the new
+				// shells, exactly as on the baseline below. Its logic depends
+				// only on root order and graph shape, so it lands identically.
+				mutationScript(t, wa)()
+				if err := rl.ForceDrain(); err != nil {
+					t.Fatalf("ForceDrain: %v", err)
+				}
+				if _, err := rl.Finish(); err != nil {
+					t.Fatalf("Finish: %v", err)
+				}
+
+				rbs, err := New(wb.h, wb.reg).Collect(wb, dsu)
+				if err != nil {
+					t.Fatalf("STW collect: %v", err)
+				}
+				mutationScript(t, wb)()
+				// Both sides paired the identical pre-mutation live set.
+				if dsu && res.PairsLogged != rbs.PairsLogged {
+					t.Fatalf("pairs: reloc %d, STW %d", res.PairsLogged, rbs.PairsLogged)
+				}
+				isoCheck(t, wa, wb, res, rbs, dsu)
+			}
+		}
+	}
+}
+
+// TestRelocDeferredPairs pins full deferral (reloc + lazy transform): the
+// pause creates pairs only where the root remap forces one; the drain
+// builds the rest — shells tagged untransformed, old copies registered for
+// adoption, every old-copy reference healed to a canonical (shell) address.
+func TestRelocDeferredPairs(t *testing.T) {
+	for _, scratch := range []int{0, 1 << 12} {
+		w := &world{reg: rt.NewRegistry(), h: heap.NewWithScratch(1<<12, scratch)}
+		w.cls = nodeClass(t, w.reg, "Node")
+		const n = 10
+		var addrs [n]rt.Addr
+		for i := range addrs {
+			addrs[i] = w.alloc(t, int64(100+i))
+			if i > 0 {
+				w.h.SetFieldValue(addrs[i-1], offLeft, rt.RefVal(addrs[i]))
+			}
+		}
+		w.roots = []rt.Value{rt.RefVal(addrs[0])}
+		newCls := addUpdatedTo(t, w)
+
+		c := NewWithOptions(w.h, w.reg, Options{Workers: 2, ConcurrentReloc: true})
+		res, rl, err := c.CollectReloc(w, true)
+		if err != nil {
+			t.Fatalf("CollectReloc: %v", err)
+		}
+		// Full deferral: the eager log is empty; the root remap forced
+		// exactly one pair (the chain head the root points at).
+		if len(res.Log) != 0 {
+			t.Fatalf("deferred pause logged %d eager pairs", len(res.Log))
+		}
+		rl.Start()
+		if err := rl.ForceDrain(); err != nil {
+			t.Fatalf("ForceDrain: %v", err)
+		}
+		stats, err := rl.Finish()
+		if err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		if stats.DeferredPairs != n {
+			t.Fatalf("deferred pairs %d, want %d", stats.DeferredPairs, n)
+		}
+		if scratch > 0 && stats.ScratchWords == 0 {
+			t.Fatal("scratch configured but no old-copy words placed there")
+		}
+
+		pairs := rl.DeferredPairs()
+		if len(pairs) != n {
+			t.Fatalf("DeferredPairs returned %d, want %d", len(pairs), n)
+		}
+		oldFor := make(map[rt.Addr]rt.Addr, n)
+		for i, p := range pairs {
+			if i > 0 && pairs[i-1].New >= p.New {
+				t.Fatal("DeferredPairs not sorted by shell address")
+			}
+			if w.h.ClassID(p.New) != newCls.ID {
+				t.Fatalf("shell @%d has class %d, want %d", p.New, w.h.ClassID(p.New), newCls.ID)
+			}
+			if !w.h.Untransformed(p.New) {
+				t.Fatalf("shell @%d not tagged untransformed", p.New)
+			}
+			if w.h.ClassID(p.OldCopy) != w.cls.ID {
+				t.Fatalf("old copy @%d has class %d, want %d", p.OldCopy, w.h.ClassID(p.OldCopy), w.cls.ID)
+			}
+			if scratch > 0 && !w.h.InScratch(p.OldCopy) && rl.useScratch {
+				t.Fatalf("old copy @%d not in scratch", p.OldCopy)
+			}
+			if oc, ok := rl.DeferredOldFor(p.New); !ok || oc != p.OldCopy {
+				t.Fatal("DeferredOldFor disagrees with DeferredPairs")
+			}
+			oldFor[p.New] = p.OldCopy
+		}
+		// Walk the chain through the healed old copies: root → shell,
+		// shell's old copy preserves val and links to the NEXT shell.
+		shell := w.roots[0].Ref()
+		for i := 0; i < n; i++ {
+			oc, ok := oldFor[shell]
+			if !ok {
+				t.Fatalf("chain node %d: shell @%d has no deferred old copy", i, shell)
+			}
+			if got := w.h.FieldValue(oc, offVal, false).Int(); got != int64(100+i) {
+				t.Fatalf("chain node %d: old copy val %d, want %d", i, got, 100+i)
+			}
+			next := w.h.FieldValue(oc, offLeft, true).Ref()
+			if i == n-1 {
+				if next != rt.Null {
+					t.Fatalf("chain tail old copy has left @%d", next)
+				}
+				break
+			}
+			if next == rt.Null || !w.h.InCurrentSpace(next) {
+				t.Fatalf("chain node %d: old-copy left @%d not healed to a shell", i, next)
+			}
+			shell = next
+		}
+	}
+}
+
+// TestRelocDrainToSpaceExhaustion: the pause fits (one widening pair), but
+// from-space was packed so full that the drain's plain evacuations cannot —
+// the drain must fail with the typed error, surfaced by Finish, and the
+// relocation must report Failed (the engine marks the heap unusable).
+func TestRelocDrainToSpaceExhaustion(t *testing.T) {
+	reg := rt.NewRegistry()
+	w := &world{reg: reg, h: heap.New(128), cls: nodeClass(t, reg, "Node")}
+	special := nodeClass(t, reg, "Special")
+	sp, ok := w.h.AllocObject(special)
+	if !ok {
+		t.Fatal("alloc Special")
+	}
+	var prev rt.Addr = sp
+	for {
+		a, ok := w.h.AllocObject(w.cls)
+		if !ok {
+			break
+		}
+		w.h.SetFieldValue(a, offLeft, rt.RefVal(prev))
+		prev = a
+	}
+	w.roots = []rt.Value{rt.RefVal(prev)}
+	newDef, _ := classfile.NewClass("SpecialV2", "").
+		Field("val", "I").Field("left", "LSpecialV2;").Field("right", "LSpecialV2;").
+		Field("extra", "I").Field("extra2", "I").
+		Build()
+	newCls, err := reg.Load(newDef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	special.UpdatedTo = newCls
+
+	c := NewWithOptions(w.h, w.reg, Options{Workers: 2, ConcurrentReloc: true})
+	_, rl, err := c.CollectReloc(w, false)
+	if err != nil {
+		// Acceptable variant: the pause itself hits the wall (post-flip
+		// fatal). Either way the typed error must surface.
+		if !errors.Is(err, ErrToSpaceExhausted) {
+			t.Fatalf("pause error %v is not ErrToSpaceExhausted", err)
+		}
+		return
+	}
+	rl.Start()
+	_, ferr := rl.Finish()
+	if ferr == nil {
+		t.Fatal("expected drain exhaustion")
+	}
+	if !errors.Is(ferr, ErrToSpaceExhausted) {
+		t.Fatalf("drain error %v is not ErrToSpaceExhausted", ferr)
+	}
+	if !rl.Failed() || rl.Err() == nil {
+		t.Fatal("failed drain not reporting Failed/Err")
+	}
+}
+
+// TestRelocForceDrainBeforeStart: a collection or follow-up update can land
+// between the pause and Start — ForceDrain must complete the whole drain on
+// the mutator with zero background workers.
+func TestRelocForceDrainBeforeStart(t *testing.T) {
+	w := buildWorld(t, 21, 1<<13, 0)
+	addUpdatedTo(t, w)
+	c := NewWithOptions(w.h, w.reg, Options{Workers: 4, ConcurrentReloc: true})
+	res, rl, err := c.CollectReloc(w, false)
+	if err != nil {
+		t.Fatalf("CollectReloc: %v", err)
+	}
+	if err := rl.ForceDrain(); err != nil {
+		t.Fatalf("ForceDrain before Start: %v", err)
+	}
+	if !rl.Done() {
+		t.Fatal("drain not done")
+	}
+	rl.Start() // must be a no-op after completion (started already set)
+	stats, err := rl.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if stats.Objects == 0 || res.PairsLogged == 0 {
+		t.Fatal("forced drain did no work")
+	}
+	if err := WalkReachable(w.h, w.reg, w, func(rt.Addr, *rt.Class) error { return nil }); err != nil {
+		t.Fatalf("post-drain heap audit: %v", err)
+	}
+}
+
+// TestRelocFlipGuard pins the from-space hold: flipping with the barrier
+// armed would hand the held space to the allocator while stale slots still
+// point into it.
+func TestRelocFlipGuard(t *testing.T) {
+	w := buildWorld(t, 5, 1<<13, 0)
+	c := NewWithOptions(w.h, w.reg, Options{ConcurrentReloc: true})
+	_, rl, err := c.CollectReloc(w, false)
+	if err != nil {
+		t.Fatalf("CollectReloc: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Flip with armed relocation barrier did not panic")
+			}
+		}()
+		w.h.Flip()
+	}()
+	if err := rl.ForceDrain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rl.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzRelocDrain fuzzes the quiescent equivalence property over world
+// seeds, worker counts, and DSU-ness.
+func FuzzRelocDrain(f *testing.F) {
+	f.Add(int64(1), uint8(1), false)
+	f.Add(int64(2), uint8(4), true)
+	f.Add(int64(3), uint8(2), true)
+	f.Add(int64(17), uint8(7), false)
+	f.Fuzz(func(t *testing.T, seed int64, workers uint8, dsu bool) {
+		runRelocEquivalence(t, seed, dsu, 0, int(workers%8)+1)
+	})
+}

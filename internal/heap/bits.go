@@ -1,0 +1,59 @@
+package heap
+
+// Header-word-0 bit layout — the single authoritative map of every protocol
+// that claims bits in an object header. Four protocols share the word:
+//
+//	bits 0..31   class ID (0 for arrays)               — allocation/dispatch
+//	bits 32..59  unused (reserved)
+//	bit 60       untransformed tag (lazy DSU transform) — lazy.go
+//	bit 61       array-of-references flag               — allocation
+//	bit 62       array flag                             — allocation
+//	bit 63       forwarded flag                         — gc forwarding
+//
+// Forwarding (bit 63) repurposes bits 0..60 as the forwarding address
+// (forwardMask), destroying the class id and the lazy tag — legal because a
+// forwarded header only ever appears on a FROM-space object, whose identity
+// has already moved to the copy. The CAS claim/publish protocol (parallel
+// collection and concurrent relocation) uses one sentinel, claimedWord =
+// forwardBit|forwardMask: an address no semispace can reach, marking an
+// object as claimed-but-not-yet-published. Both the parallel STW copy and
+// the concurrent relocation drain speak exactly this protocol, so a header
+// is always in one of four states: plain (class id + flags), lazily tagged
+// (plain | untransformedBit), claimed (claimedWord), or forwarded
+// (forwardBit | to).
+//
+// The lazy tag (bit 60) lies inside forwardMask. That is sound because the
+// two protocols never meet on one object: the untransformed tag is only ever
+// set on TO-space shells (freshly created by a DSU collection or relocation
+// drain), and forwarding headers are only ever installed on FROM-space
+// originals. TestHeaderBitLayout pins these disjointness claims.
+const (
+	// classIDMask covers the class id of a scalar object's header.
+	classIDMask = uint64(1)<<32 - 1
+
+	// untransformedBit tags a DSU shell whose object transformer has not run
+	// yet (vm.Options.LazyTransform); the interpreter's read barrier tests it
+	// on every access fast path. See lazy.go for the full protocol.
+	untransformedBit = uint64(1) << 60
+
+	// arrayRefBit marks an array whose elements are references.
+	arrayRefBit = uint64(1) << 61
+
+	// arrayBit marks an array header (class id is then 0 and word 1 holds
+	// the length).
+	arrayBit = uint64(1) << 62
+
+	// forwardBit marks a forwarded (or claimed) from-space header; bits
+	// 0..60 then hold the forwarding address.
+	forwardBit = uint64(1) << 63
+
+	// forwardMask extracts the forwarding address from a forwarded header.
+	forwardMask = uint64(1)<<61 - 1
+
+	// claimedWord is the claim sentinel of the CAS forwarding protocol: a
+	// worker that wins TryForward holds the object's saved header privately
+	// and publishes the real forwarding pointer once the copy is complete.
+	// No valid forwarding address equals forwardMask, so claimed is
+	// distinguishable from forwarded.
+	claimedWord = forwardBit | forwardMask
+)

@@ -1,0 +1,71 @@
+package heap
+
+import "testing"
+
+// TestHeaderBitLayout pins the disjointness claims documented in bits.go: no
+// two protocols claim overlapping bits on a live header, forwarding's
+// repurposing of the low bits is exactly the documented exception, and the
+// claim sentinel is distinguishable from every publishable forwarding
+// pointer.
+func TestHeaderBitLayout(t *testing.T) {
+	live := []struct {
+		name string
+		mask uint64
+	}{
+		{"classIDMask", classIDMask},
+		{"untransformedBit", untransformedBit},
+		{"arrayRefBit", arrayRefBit},
+		{"arrayBit", arrayBit},
+		{"forwardBit", forwardBit},
+	}
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			if overlap := live[i].mask & live[j].mask; overlap != 0 {
+				t.Errorf("%s and %s overlap on bits %#x", live[i].name, live[j].name, overlap)
+			}
+		}
+	}
+
+	// Forwarding repurposes bits 0..60 as the target address. The class id
+	// and the lazy tag lie inside that range (the documented temporal
+	// exception: forwarding only on from-space originals, tags only on
+	// to-space shells); the flags that must survive alongside the forward
+	// bit do not.
+	if classIDMask&^forwardMask != 0 {
+		t.Errorf("class id bits %#x escape forwardMask — forwarding addresses cannot be encoded", classIDMask&^forwardMask)
+	}
+	if untransformedBit&forwardMask == 0 {
+		t.Errorf("lazy tag moved outside forwardMask — update the bits.go layout doc")
+	}
+	if forwardMask&(forwardBit|arrayBit|arrayRefBit) != 0 {
+		t.Errorf("forwardMask %#x claims flag bits — a forwarding target would corrupt them", forwardMask)
+	}
+
+	// The CAS claim sentinel: carries the forward bit (so HeaderForwarded
+	// sees a forwarded-family word) with an all-ones target no real
+	// forwarding pointer can equal (the heap is word-indexed far below 2^61).
+	if claimedWord != forwardBit|forwardMask {
+		t.Errorf("claimedWord = %#x, want forwardBit|forwardMask = %#x", claimedWord, forwardBit|forwardMask)
+	}
+	if to, forwarded, claimed := HeaderForwarded(claimedWord); forwarded || !claimed || to != 0 {
+		t.Errorf("HeaderForwarded(claimedWord) = (%d, %v, %v), want (0, false, true)", to, forwarded, claimed)
+	}
+
+	// A live header carrying every non-forwarding protocol at once still
+	// decodes each protocol independently.
+	const classID = 42
+	w := uint64(classID) | untransformedBit
+	if HeaderClassID(w) != classID {
+		t.Errorf("lazy tag corrupts class id: got %d", HeaderClassID(w))
+	}
+	if HeaderIsArray(w) {
+		t.Errorf("lazy tag reads as array bit")
+	}
+	if _, forwarded, claimed := HeaderForwarded(w); forwarded || claimed {
+		t.Errorf("tagged live header reads as forwarded/claimed")
+	}
+	aw := arrayBit | arrayRefBit
+	if !HeaderIsArray(aw) || HeaderClassID(aw) != 0 {
+		t.Errorf("array flags corrupt class id decode")
+	}
+}

@@ -9,23 +9,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"govolve/internal/rt"
 )
 
-// Header word 0 layout:
-//
-//	bits 0..31   class ID (0 for arrays)
-//	bit 61       array-of-references flag
-//	bit 62       array flag
-//	bit 63       forwarded flag; bits 0..60 then hold the forwarding address
-const (
-	forwardBit  = uint64(1) << 63
-	arrayBit    = uint64(1) << 62
-	arrayRefBit = uint64(1) << 61
-	classIDMask = uint64(1)<<32 - 1
-	forwardMask = uint64(1)<<61 - 1
-)
+// The header word 0 bit layout lives in bits.go — the one documented map of
+// every protocol (class id, array flags, lazy tag, forwarding/claim) that
+// shares the word.
 
 // Heap is a semi-space heap, optionally with a scratch region appended
 // after the two semispaces. The scratch region implements the paper's §3.5
@@ -56,6 +47,13 @@ type Heap struct {
 	// it costs the store paths one nil check — the same discipline as the
 	// disabled flight recorder.
 	satb *satbState
+
+	// reloc, when non-nil, is the armed self-healing load barrier for an
+	// in-flight concurrent relocation drain (see reloc.go): loads of
+	// from-space references evacuate-or-adopt and heal the slot; stores go
+	// atomic because drain workers CAS-heal the same slots. Disarmed it
+	// costs the access paths one nil check.
+	reloc *relocState
 
 	// holes records the dead gaps parallel collections leave in each
 	// semispace (TLAB block tails abandoned at refill/retire). A bump
@@ -168,11 +166,26 @@ func (h *Heap) limit(s int) rt.Addr { return h.base(s) + h.semi }
 // SemiWords returns the size of one semispace in words.
 func (h *Heap) SemiWords() int { return int(h.semi) }
 
-// UsedWords returns the words allocated in the current space.
-func (h *Heap) UsedWords() int { return int(h.alloc - h.base(h.cur)) }
+// UsedWords returns the words allocated in the current space. Like
+// AllocPointer it takes the heap mutex while a relocation drain is live
+// (workers bump the same pointer); disabled, it is a plain load.
+func (h *Heap) UsedWords() int {
+	if h.reloc != nil {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+	}
+	return int(h.alloc - h.base(h.cur))
+}
 
-// FreeWords returns the words remaining in the current space.
-func (h *Heap) FreeWords() int { return int(h.limit(h.cur) - h.alloc) }
+// FreeWords returns the words remaining in the current space; see UsedWords
+// for the locking discipline.
+func (h *Heap) FreeWords() int {
+	if h.reloc != nil {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+	}
+	return int(h.limit(h.cur) - h.alloc)
+}
 
 // Alloc reserves size words, zeroed, returning the base address, or
 // (0, false) if the current space is full — the caller (VM) then triggers a
@@ -180,6 +193,9 @@ func (h *Heap) FreeWords() int { return int(h.limit(h.cur) - h.alloc) }
 func (h *Heap) Alloc(size int) (rt.Addr, bool) {
 	if size < rt.HeaderWords {
 		size = rt.HeaderWords
+	}
+	if h.reloc != nil {
+		return h.allocLocked(size)
 	}
 	if h.alloc+rt.Addr(size) > h.limit(h.cur) {
 		return 0, false
@@ -189,6 +205,23 @@ func (h *Heap) Alloc(size int) (rt.Addr, bool) {
 	// clear compiles to a memclr, unlike the equivalent index loop. Copy
 	// paths (Copy, CopyWords, TLAB old-copy allocation) skip zeroing
 	// entirely — they overwrite every word immediately.
+	clear(h.words[a:h.alloc])
+	h.Allocs++
+	h.AllocWords += int64(size)
+	return a, true
+}
+
+// allocLocked is Alloc under the heap mutex — the mutator's allocation path
+// while a concurrent relocation drain is live, when relocator workers carve
+// TLAB blocks off the same bump pointer.
+func (h *Heap) allocLocked(size int) (rt.Addr, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.alloc+rt.Addr(size) > h.limit(h.cur) {
+		return 0, false
+	}
+	a := h.alloc
+	h.alloc += rt.Addr(size)
 	clear(h.words[a:h.alloc])
 	h.Allocs++
 	h.AllocWords += int64(size)
@@ -285,6 +318,9 @@ func (h *Heap) InCurrentSpace(a rt.Addr) bool {
 // at the start of a collection; everything subsequently allocated (the
 // copies) lands in to-space, and the old space becomes garbage wholesale.
 func (h *Heap) Flip() {
+	if h.reloc != nil {
+		panic("heap: Flip with relocation barrier armed — force the drain first")
+	}
 	h.cur ^= 1
 	h.alloc = h.base(h.cur)
 	// The space we are about to refill is empty again: its recorded holes
@@ -308,35 +344,66 @@ func (h *Heap) Copy(src rt.Addr, size int) (rt.Addr, bool) {
 }
 
 // FieldValue reads a tagged field value given the offset and ref-ness that
-// compiled code baked in.
+// compiled code baked in. With the relocation barrier armed, a load that
+// observes a from-space reference evacuates-or-adopts the target and heals
+// the slot with the canonical address — the self-healing half of the
+// Shenandoah-style barrier; each slot pays it at most once.
 func (h *Heap) FieldValue(a rt.Addr, offset int, isRef bool) rt.Value {
-	return rt.Value{Bits: h.words[a+rt.Addr(offset)], IsRef: isRef}
+	idx := a + rt.Addr(offset)
+	if r := h.reloc; r != nil {
+		w := atomic.LoadUint64(&h.words[idx])
+		if isRef && r.inFrom(rt.Addr(w)) {
+			w = h.healSlot(r, idx, w)
+		}
+		return rt.Value{Bits: w, IsRef: isRef}
+	}
+	return rt.Value{Bits: h.words[idx], IsRef: isRef}
 }
 
 // SetFieldValue writes a field word. With the SATB barrier armed (concurrent
 // DSU mark in flight) a reference store additionally logs the overwritten
-// value and goes atomic; the disarmed path is the plain store plus one nil
-// check.
+// value and goes atomic; with the relocation barrier armed the store goes
+// atomic because drain workers CAS-heal the same slots. The disarmed path is
+// the plain store plus the nil checks.
 func (h *Heap) SetFieldValue(a rt.Addr, offset int, v rt.Value) {
+	idx := a + rt.Addr(offset)
 	if s := h.satb; s != nil && v.IsRef {
-		h.satbStore(s, a+rt.Addr(offset), v.Bits)
+		h.satbStore(s, idx, v.Bits)
 		return
 	}
-	h.words[a+rt.Addr(offset)] = v.Bits
+	if h.reloc != nil {
+		atomic.StoreUint64(&h.words[idx], v.Bits)
+		return
+	}
+	h.words[idx] = v.Bits
 }
 
-// Elem reads array element i.
+// Elem reads array element i, paying the relocation load barrier when armed
+// (the element's ref-ness comes from the array header, so even untagged
+// readers are covered).
 func (h *Heap) Elem(a rt.Addr, i int) rt.Value {
-	return rt.Value{Bits: h.words[a+rt.HeaderWords+rt.Addr(i)], IsRef: h.ArrayElemIsRef(a)}
+	idx := a + rt.HeaderWords + rt.Addr(i)
+	if r := h.reloc; r != nil {
+		isRef := h.words[a]&arrayRefBit != 0
+		w := atomic.LoadUint64(&h.words[idx])
+		if isRef && r.inFrom(rt.Addr(w)) {
+			w = h.healSlot(r, idx, w)
+		}
+		return rt.Value{Bits: w, IsRef: isRef}
+	}
+	return rt.Value{Bits: h.words[idx], IsRef: h.ArrayElemIsRef(a)}
 }
 
-// SetElem writes array element i. Ref-array stores pay the SATB barrier when
-// it is armed (the element's ref-ness comes from the array header, so even
-// untagged writers are covered).
+// SetElem writes array element i, paying the SATB barrier (log + atomic) or
+// the relocation barrier (atomic) when either is armed.
 func (h *Heap) SetElem(a rt.Addr, i int, v rt.Value) {
 	idx := a + rt.HeaderWords + rt.Addr(i)
 	if s := h.satb; s != nil && h.words[a]&arrayRefBit != 0 {
 		h.satbStore(s, idx, v.Bits)
+		return
+	}
+	if h.reloc != nil {
+		atomic.StoreUint64(&h.words[idx], v.Bits)
 		return
 	}
 	h.words[idx] = v.Bits

@@ -1,6 +1,10 @@
 package heap
 
-import "govolve/internal/rt"
+import (
+	"sync/atomic"
+
+	"govolve/internal/rt"
+)
 
 // Lazy per-object transformation support (the on-first-use hybrid the paper
 // contrasts with eager pause-time transformation in §5). When the DSU engine
@@ -11,29 +15,50 @@ import "govolve/internal/rt"
 // engine-installed touch hook and transform an object the first time it is
 // actually dereferenced.
 //
-// Bit choice: header word 0 uses bit 63 for forwarding, 62 for arrays, 61
-// for ref-array element kind, and the low 32 bits for the class id — bit 60
-// is free. The bit lies inside forwardMask, but a tagged object is never
-// simultaneously forwarded: the engine force-completes the drain before any
-// collection runs (vm.CollectGarbage consults the drain hook), so no tagged
-// header survives into a flip. ClassID, IsArray and dispatch are unaffected
-// by the bit, which is exactly what makes the scheme sound: a tagged shell
-// already carries the NEW class id — method dispatch, instanceof and
-// checkcast are correct before transformation; only field contents are
-// stale until first touch.
+// Bit choice: untransformedBit is bit 60 (see bits.go for the full header
+// map). The bit lies inside forwardMask, but a tagged object is never
+// simultaneously forwarded: the tag only ever lands on to-space shells, and
+// the engine force-completes the drain before any collection runs
+// (vm.CollectGarbage consults the drain hook), so no tagged header survives
+// into a flip. ClassID, IsArray and dispatch are unaffected by the bit,
+// which is exactly what makes the scheme sound: a tagged shell already
+// carries the NEW class id — method dispatch, instanceof and checkcast are
+// correct before transformation; only field contents are stale until first
+// touch.
 //
 // Arm/disarm discipline mirrors satb.go: the barrier's armed state is the
 // VM-level touch hook (vm.DSULazyTouch), a single pointer nil-check on the
 // disabled path. The heap only owns the per-object tag bit. All three
 // accessors run on the mutator goroutine only, like every other header
-// access.
-const untransformedBit = uint64(1) << 60
+// access — except while a concurrent relocation drain is armed, when the
+// drain's workers read to-space headers for sizing: the mutator's tag
+// read-modify-writes then go through atomic load+store (sound because the
+// mutator is the only header WRITER in to-space; workers only read).
 
 // MarkUntransformed tags an object as copied-but-not-yet-transformed.
-func (h *Heap) MarkUntransformed(a rt.Addr) { h.words[a] |= untransformedBit }
+func (h *Heap) MarkUntransformed(a rt.Addr) {
+	if h.reloc != nil {
+		w := atomic.LoadUint64(&h.words[a])
+		atomic.StoreUint64(&h.words[a], w|untransformedBit)
+		return
+	}
+	h.words[a] |= untransformedBit
+}
 
 // ClearUntransformed removes the tag (transform started or force-completed).
-func (h *Heap) ClearUntransformed(a rt.Addr) { h.words[a] &^= untransformedBit }
+func (h *Heap) ClearUntransformed(a rt.Addr) {
+	if h.reloc != nil {
+		w := atomic.LoadUint64(&h.words[a])
+		atomic.StoreUint64(&h.words[a], w&^untransformedBit)
+		return
+	}
+	h.words[a] &^= untransformedBit
+}
 
 // Untransformed reports whether the object still awaits its transformer.
-func (h *Heap) Untransformed(a rt.Addr) bool { return h.words[a]&untransformedBit != 0 }
+func (h *Heap) Untransformed(a rt.Addr) bool {
+	if h.reloc != nil {
+		return atomic.LoadUint64(&h.words[a])&untransformedBit != 0
+	}
+	return h.words[a]&untransformedBit != 0
+}

@@ -21,12 +21,9 @@ import (
 // Everything here is inert for the serial collector and the mutator, which
 // keep their unsynchronized fast paths.
 
-// claimedWord is the in-progress forwarding sentinel: the forward bit with
-// an all-ones target, an impossible address (the heap is word-indexed by
-// rt.Addr, far below 2^61 words). A worker that wins the TryForward CAS
-// owns the object; until it publishes the real target, other workers that
-// read this sentinel spin.
-const claimedWord = forwardBit | forwardMask
+// The claim sentinel (claimedWord) and the rest of the header bit layout
+// live in bits.go — the shared map for this CAS protocol, the serial
+// collector, and the concurrent relocation drain.
 
 // HeaderLoad atomically reads an object's header word. During a parallel
 // collection every read of a from-space header must go through it, because
@@ -52,6 +49,10 @@ func HeaderForwarded(w uint64) (to rt.Addr, forwarded, claimed bool) {
 // HeaderIsArray reports whether a (non-forwarded) header word describes an
 // array.
 func HeaderIsArray(w uint64) bool { return w&arrayBit != 0 }
+
+// HeaderArrayElemIsRef reports whether a (non-forwarded) array header word
+// describes an array of references.
+func HeaderArrayElemIsRef(w uint64) bool { return w&arrayRefBit != 0 }
 
 // HeaderClassID extracts the class ID from a (non-forwarded) header word.
 func HeaderClassID(w uint64) int { return int(w & classIDMask) }

@@ -1,0 +1,113 @@
+package heap
+
+import (
+	"sync/atomic"
+
+	"govolve/internal/rt"
+)
+
+// Concurrent relocation support (vm.Options.ConcurrentReloc): after a DSU
+// flip the world resumes with from-space still live, and the remaining live
+// set is evacuated concurrently — by background relocator workers and by the
+// mutator through a self-healing load barrier on the reference read paths
+// (FieldValue, Elem). The heap owns the barrier's armed state and the
+// slot-heal CAS; the drain itself (region scan, worker deques, termination)
+// lives in internal/gc.
+//
+// Barrier contract while armed:
+//
+//   - Reference LOADS atomically read the slot; a value inside
+//     [fromLo, fromHi) is a from-space reference — the heal callback
+//     evacuates-or-adopts it (TryForward/PublishForward CAS protocol,
+//     bits.go) and the slot is CAS-healed to the canonical address. A healed
+//     slot never re-faults: the canonical address is outside the from-space
+//     interval, so the next load takes only the interval check.
+//   - STORES go atomic, because drain workers CAS-heal the slots of the
+//     to-space objects they scan while the mutator may store to them. The
+//     mutator only ever stores canonical references (its loads heal, its
+//     roots were remapped in the pause), so stores need no from-space check.
+//   - Mutator ALLOCATION takes the heap mutex (allocLocked): relocator
+//     workers carve TLAB blocks off the same bump pointer.
+//   - Flip is forbidden (panic): from-space is held until the drain
+//     completes; collections force-complete it first.
+//
+// Arm/disarm discipline mirrors satb.go: one nil check on every disabled
+// path, the gc layer arms inside the pause and disarms at drain finalize on
+// the mutator goroutine.
+
+// relocState is the armed barrier: the from-space interval being drained and
+// the gc-layer callback that evacuates-or-adopts one from-space object,
+// returning its canonical to-space address (or its argument unchanged if
+// evacuation failed — the drain is then failing and the VM will be marked
+// unusable; the slot is left stale so nothing is lost).
+type relocState struct {
+	fromLo, fromHi rt.Addr
+	heal           func(rt.Addr) rt.Addr
+
+	// healed counts slots the MUTATOR barrier healed (worker-side heals are
+	// counted by the drain). Mutator-only, no atomics needed.
+	healed uint64
+}
+
+func (r *relocState) inFrom(a rt.Addr) bool { return a >= r.fromLo && a < r.fromHi }
+
+// ArmReloc installs the relocation load barrier over the given from-space
+// interval. Called inside the DSU pause, before the world resumes.
+func (h *Heap) ArmReloc(fromLo, fromHi rt.Addr, heal func(rt.Addr) rt.Addr) {
+	if h.reloc != nil {
+		panic("heap: relocation barrier already armed")
+	}
+	h.reloc = &relocState{fromLo: fromLo, fromHi: fromHi, heal: heal}
+}
+
+// DisarmReloc removes the barrier once the drain has fully evacuated
+// from-space, returning the number of slots the mutator barrier healed.
+// Called on the mutator goroutine with all drain workers stopped.
+func (h *Heap) DisarmReloc() uint64 {
+	r := h.reloc
+	h.reloc = nil
+	if r == nil {
+		return 0
+	}
+	return r.healed
+}
+
+// RelocArmed reports whether a relocation drain holds from-space live.
+func (h *Heap) RelocArmed() bool { return h.reloc != nil }
+
+// InRelocFromSpace reports whether a lies in the from-space interval of an
+// armed relocation drain (false when disarmed).
+func (h *Heap) InRelocFromSpace(a rt.Addr) bool {
+	r := h.reloc
+	return r != nil && r.inFrom(a)
+}
+
+// healSlot canonicalizes a from-space reference read from slot idx and
+// CAS-heals the slot. A failed CAS means a drain worker healed it first (to
+// the same canonical address — forwarding is published exactly once), so the
+// return value is correct either way.
+func (h *Heap) healSlot(r *relocState, idx rt.Addr, w uint64) uint64 {
+	to := r.heal(rt.Addr(w))
+	if to == rt.Addr(w) {
+		return w // evacuation failed; leave the slot stale
+	}
+	if atomic.CompareAndSwapUint64(&h.words[idx], w, uint64(to)) {
+		r.healed++
+	}
+	return uint64(to)
+}
+
+// SlotLoad atomically reads an arbitrary heap word — drain workers use it on
+// the ref slots of to-space objects they scan, which race with mutator
+// stores.
+func (h *Heap) SlotLoad(idx rt.Addr) uint64 { return atomic.LoadUint64(&h.words[idx]) }
+
+// SlotCAS atomically swaps a heap word — the worker half of slot healing.
+func (h *Heap) SlotCAS(idx rt.Addr, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&h.words[idx], old, new)
+}
+
+// SlotStore atomically writes an arbitrary heap word. The engine's native
+// bulk transformer uses it while the barrier is armed: drain workers SlotLoad
+// the same slots concurrently, so plain stores would race.
+func (h *Heap) SlotStore(idx rt.Addr, w uint64) { atomic.StoreUint64(&h.words[idx], w) }

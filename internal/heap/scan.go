@@ -7,5 +7,13 @@ import "govolve/internal/rt"
 func (h *Heap) ScanStart() rt.Addr { return h.base(h.cur) }
 
 // AllocPointer returns the bump pointer: one past the last allocated word
-// in the current space.
-func (h *Heap) AllocPointer() rt.Addr { return h.alloc }
+// in the current space. While a relocation drain is live the workers carve
+// TLAB blocks off the same pointer under the heap mutex, so the read takes
+// it too (whole-VM audits run mid-drain); disabled, it is a plain load.
+func (h *Heap) AllocPointer() rt.Addr {
+	if h.reloc != nil {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+	}
+	return h.alloc
+}

@@ -401,6 +401,15 @@ const (
 	MHeapAllocArrays  = "govolve_vm_alloc_arrays_total"
 	MGCCollections    = "govolve_gc_collections_total"
 
+	// Concurrent-relocation plane (vm.Options.ConcurrentReloc): objects the
+	// drain evacuated outside the pause, slots healed back to canonical
+	// addresses (mutator barrier + drain fixup), the live drain backlog
+	// gauge, and the drain's wall-clock latency distribution.
+	MRelocObjects      = "govolve_dsu_reloc_objects_total"
+	MRelocHealedSlots  = "govolve_dsu_reloc_healed_slots_total"
+	MRelocBacklog      = "govolve_dsu_reloc_backlog"
+	MRelocDrainLatency = "govolve_dsu_reloc_drain_latency_seconds"
+
 	// Stream (long-horizon version-chain) plane: updates sustained over the
 	// chain, generator batches UPT legally refused, and the lazy drain
 	// backlog sampled after every chain step. Per-step pause distributions

@@ -98,11 +98,12 @@ func (k Kind) String() string {
 }
 
 // Lane conventions: the timeline draws one track per lane. Lane 0 is the
-// DSU engine/scheduler; 1..998 are GC workers; 999 is the concurrent DSU
-// marker; 1000+ are VM threads.
+// DSU engine/scheduler; 1..997 are GC workers; 998 is the concurrent
+// relocation drain; 999 is the concurrent DSU marker; 1000+ are VM threads.
 const (
 	LaneEngine     int32 = 0
 	laneGCBase     int32 = 1
+	LaneReloc      int32 = 998
 	LaneMark       int32 = 999
 	laneThreadBase int32 = 1000
 )
@@ -120,6 +121,8 @@ func LaneName(lane int32) string {
 		return "DSU engine"
 	case lane == LaneMark:
 		return "DSU marker"
+	case lane == LaneReloc:
+		return "DSU relocator"
 	case lane >= laneThreadBase:
 		return fmt.Sprintf("VM thread %d", lane-laneThreadBase)
 	default:

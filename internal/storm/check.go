@@ -45,7 +45,16 @@ func CheckVM(v *vm.VM) error {
 	// relax until the drain finishes; the heap walk stays strict (no
 	// REACHABLE object may ever type as a renamed old version — old copies
 	// live only in the unreachable scratch region / pair log).
-	drain := v.LazyDrainActive()
+	//
+	// A concurrent-relocation drain relaxes the same gauges for the same
+	// reason (its finalize owns the metadata cleanup), and needs nothing
+	// more from the walk itself: the walk reads every slot through the
+	// heap's accessors, so with the load barrier armed each reference it
+	// sees is healed to its canonical to-space address before the
+	// InCurrentSpace / forwarding-pointer checks run. The walk is therefore
+	// exactly as strict mid-drain — it just rides the barrier like any
+	// other reader (and, as a side effect, evacuates whatever it visits).
+	drain := v.LazyDrainActive() || v.RelocDrainActive()
 
 	// --- registry metadata -------------------------------------------------
 	for _, cls := range reg.Classes() {

@@ -38,9 +38,10 @@ type DriverConfig struct {
 	MaxAttempts  int // safe-point attempts before abort (default 400)
 	FastDefaults bool
 	OSROpt       bool
-	Workers      int  // parallel copy/scan width (<=1 serial)
-	ConcurrentMark bool // SATB concurrent discovery outside the pause
-	Lazy         bool // lazy per-object transformation behind the read barrier
+	Workers         int  // parallel copy/scan width (<=1 serial)
+	ConcurrentMark  bool // SATB concurrent discovery outside the pause
+	ConcurrentReloc bool // self-healing concurrent relocation drain
+	Lazy            bool // lazy per-object transformation behind the read barrier
 
 	// EventTail is the flight-recorder tail embedded in failures (default
 	// 40; negative disables the recorder).
@@ -58,18 +59,19 @@ type DriverConfig struct {
 // starts from a verified state.
 func NewDriver(cfg DriverConfig, v0 Version) (*Driver, error) {
 	c := Config{
-		Seed:           cfg.Seed,
-		Specimens:      cfg.Specimens,
-		HeapWords:      cfg.HeapWords,
-		ScratchWords:   cfg.ScratchWords,
-		MaxAttempts:    cfg.MaxAttempts,
-		FastDefaults:   cfg.FastDefaults,
-		OSROpt:         cfg.OSROpt,
-		Workers:        cfg.Workers,
-		ConcurrentMark: cfg.ConcurrentMark,
-		Lazy:           cfg.Lazy,
-		EventTail:      cfg.EventTail,
-		Log:            cfg.Log,
+		Seed:            cfg.Seed,
+		Specimens:       cfg.Specimens,
+		HeapWords:       cfg.HeapWords,
+		ScratchWords:    cfg.ScratchWords,
+		MaxAttempts:     cfg.MaxAttempts,
+		FastDefaults:    cfg.FastDefaults,
+		OSROpt:          cfg.OSROpt,
+		Workers:         cfg.Workers,
+		ConcurrentMark:  cfg.ConcurrentMark,
+		ConcurrentReloc: cfg.ConcurrentReloc,
+		Lazy:            cfg.Lazy,
+		EventTail:       cfg.EventTail,
+		Log:             cfg.Log,
 	}.withDefaults()
 	r := &runner{
 		cfg:   c,

@@ -41,6 +41,15 @@ type Config struct {
 	// discovery-strategy-blind: every applied update still runs the full
 	// whole-VM sweep through AfterUpdate.
 	ConcurrentMark bool
+	// ConcurrentReloc moves the DSU copy itself out of each update's pause:
+	// the world resumes with from-space still live behind the self-healing
+	// load barrier while relocator workers drain it. AfterUpdate's CheckVM
+	// then runs with the drain in flight (the walk heals as it reads), the
+	// shadow oracle reads ride the same barrier, and the drain finishes on
+	// its own during the following era — no step of the drive sequence
+	// consumes extra rng or Steps, so a reloc run must produce a Report
+	// equal to the same seed's eager run.
+	ConcurrentReloc bool
 	// Lazy runs every update with lazy per-object transformation: objects
 	// leave the pause tagged and transform on first touch behind the read
 	// barrier. AfterUpdate's CheckVM then runs mid-drain (exercising the
@@ -224,6 +233,7 @@ func (r *runner) bootVM(metrics *obs.Registry) error {
 		ScratchWords:     r.cfg.ScratchWords,
 		GCWorkers:        r.cfg.Workers,
 		GCConcurrentMark: r.cfg.ConcurrentMark,
+		ConcurrentReloc:  r.cfg.ConcurrentReloc,
 		LazyTransform:    r.cfg.Lazy,
 		Out:              io.Discard,
 	})

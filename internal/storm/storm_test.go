@@ -68,6 +68,18 @@ func TestStormConfigs(t *testing.T) {
 		// concurrently before the pause, transformation drains lazily after
 		// it — the pause itself is down to rescan + copy + install.
 		{"cmark-lazy", Config{Seed: 32, Updates: 25, ScratchWords: 1 << 14, FastDefaults: true, ConcurrentMark: true, Lazy: true}},
+		// Concurrent relocation: every update resolves with from-space still
+		// live behind the self-healing load barrier, AfterUpdate's CheckVM
+		// and the shadow oracle ride the barrier mid-drain, and the drain
+		// races real mutator traffic through the following era.
+		{"reloc", Config{Seed: 33, Updates: 25, ConcurrentReloc: true}},
+		{"reloc-parallel", Config{Seed: 34, Updates: 25, Workers: 4, ConcurrentReloc: true}},
+		{"cmark-reloc", Config{Seed: 35, Updates: 25, Workers: 4, ConcurrentMark: true, ConcurrentReloc: true}},
+		// Everything out of the pause at once: discovery concurrent before
+		// it, relocation and transformation both draining after it — pair
+		// creation itself deferred behind the read barrier.
+		{"reloc-lazy", Config{Seed: 36, Updates: 25, ScratchWords: 1 << 14, ConcurrentReloc: true, Lazy: true}},
+		{"cmark-reloc-lazy", Config{Seed: 37, Updates: 25, ScratchWords: 1 << 14, FastDefaults: true, Workers: 4, ConcurrentMark: true, ConcurrentReloc: true, Lazy: true}},
 	}
 	for _, tc := range cfgs {
 		tc := tc
@@ -147,6 +159,30 @@ func TestStormSerialParallelEquivalent(t *testing.T) {
 		if *serial != *parallel {
 			t.Fatalf("seed %d: collection strategy changed the trajectory:\n  serial=%+v\n  parallel=%+v",
 				seed, *serial, *parallel)
+		}
+	}
+}
+
+// TestStormRelocEagerEquivalent runs the same seeds with the stop-the-world
+// copy and with concurrent relocation. The shadow oracle validates every
+// field value, static, array and probe after each update — mid-drain, riding
+// the load barrier — so both passing proves the drained heap converges to
+// the same state object-by-object; the drive sequence consumes rng and
+// scheduler steps identically, so relocation timing must be observationally
+// invisible and the whole Report must come out equal.
+func TestStormRelocEagerEquivalent(t *testing.T) {
+	for _, seed := range []int64{5, 6} {
+		eager, err := Run(Config{Seed: seed, Updates: 20, FastDefaults: true})
+		if err != nil {
+			t.Fatalf("seed %d eager: %v", seed, err)
+		}
+		reloc, err := Run(Config{Seed: seed, Updates: 20, FastDefaults: true, ConcurrentReloc: true})
+		if err != nil {
+			t.Fatalf("seed %d reloc: %v", seed, err)
+		}
+		if *eager != *reloc {
+			t.Fatalf("seed %d: relocation timing changed the trajectory:\n  eager=%+v\n  reloc=%+v",
+				seed, *eager, *reloc)
 		}
 	}
 }

@@ -56,6 +56,16 @@ func TestStreamMatrix(t *testing.T) {
 					if rec.Backlog > s.LazyPending {
 						return fmt.Errorf("step %d: backlog %d > pending %d", step, rec.Backlog, s.LazyPending)
 					}
+					// Relocation accounting: reloc modes flag every applied
+					// update; eager modes never hold a drain or a backlog.
+					if s.RelocConcurrent != mode.ConcurrentReloc {
+						return fmt.Errorf("step %d: RelocConcurrent=%v in mode %s",
+							step, s.RelocConcurrent, mode.Name)
+					}
+					if !mode.ConcurrentReloc && (rec.RelocBacklog != 0 || d.VM().RelocDrainActive()) {
+						return fmt.Errorf("step %d: relocation residue in mode %s (backlog %d)",
+							step, mode.Name, rec.RelocBacklog)
+					}
 					// The chain only ever advances: exactly one more applied
 					// update per step record.
 					applied++

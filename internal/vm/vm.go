@@ -44,6 +44,17 @@ type Options struct {
 	// Ordinary allocation-triggered collections are unaffected. False
 	// preserves the fused stop-the-world discovery exactly.
 	GCConcurrentMark bool
+	// ConcurrentReloc opts the DSU engine into concurrent relocation: the
+	// pause stops at flip preparation (discovery, flip, eager evacuation of
+	// updated-class instances only, root remap) and the remaining live set
+	// is evacuated after the world resumes — by background relocator
+	// workers and by the mutator through a self-healing load barrier on the
+	// heap's reference read paths. From-space stays live until the drain
+	// completes; collections and follow-up updates force-complete it first.
+	// Composes with GCConcurrentMark (discovery leaves the pause too) and
+	// with LazyTransform (pair creation defers into the drain as well). The
+	// disabled state costs one nil check on the heap access paths.
+	ConcurrentReloc bool
 	// Out receives System.print output (default os.Stdout).
 	Out io.Writer
 	// OptThreshold overrides the adaptive recompilation threshold.
@@ -195,6 +206,20 @@ type VM struct {
 	// addresses and reclaim the scratch-region old copies.
 	DSULazyDrain func() error
 
+	// DSURelocTick is installed by the DSU engine while a concurrent
+	// relocation drain is in flight; the scheduler calls it between slices
+	// so the engine can finalize (disarm the load barrier, release
+	// from-space) the moment the background workers run it dry. Nil is the
+	// disabled state: one pointer nil-check per slice.
+	DSURelocTick func()
+
+	// DSURelocForce force-completes an in-flight concurrent relocation
+	// drain; collections call it first (before DSULazyDrain) because a flip
+	// cannot run with the load barrier armed and from-space held, and the
+	// lazy residue's old copies want their slots healed before transformers
+	// read them.
+	DSURelocForce func() error
+
 	// Bootstrap class caches.
 	strCls      *rt.Class
 	strCharsOff int
@@ -224,8 +249,9 @@ func New(opts Options) (*VM, error) {
 		Reg:              reg,
 		Heap:             h,
 		GC: gc.NewWithOptions(h, reg, gc.Options{
-			Workers:        opts.GCWorkers,
-			ConcurrentMark: opts.GCConcurrentMark,
+			Workers:         opts.GCWorkers,
+			ConcurrentMark:  opts.GCConcurrentMark,
+			ConcurrentReloc: opts.ConcurrentReloc,
 		}),
 		JIT:              jit.New(reg),
 		Net:              NewNetSim(),
@@ -478,6 +504,9 @@ func (v *VM) ReleaseUpdateWaiters() {
 func (v *VM) Step(maxSlices int) int {
 	ran := 0
 	for s := 0; s < maxSlices; s++ {
+		if v.DSURelocTick != nil {
+			v.DSURelocTick()
+		}
 		if v.updatePending && v.UpdateHandler != nil {
 			if v.UpdateHandler() {
 				v.SetUpdatePending(false)
@@ -497,6 +526,9 @@ func (v *VM) Step(maxSlices int) int {
 // ErrDeadlock if live threads remain but none can run.
 func (v *VM) Run() error {
 	for {
+		if v.DSURelocTick != nil {
+			v.DSURelocTick()
+		}
 		if v.updatePending && v.UpdateHandler != nil {
 			if v.UpdateHandler() {
 				v.SetUpdatePending(false)
@@ -762,10 +794,29 @@ var _ gc.ChunkedRoots = (*VM)(nil)
 // and scratch region legitimately outlive the pause.
 func (v *VM) LazyDrainActive() bool { return v.DSULazyTouch != nil }
 
+// RelocDrainActive reports whether a concurrent relocation drain is in
+// flight: the window between an applied ConcurrentReloc update and drain
+// finalize, during which from-space is held live behind the load barrier
+// and (as with the lazy drain) the renamed old class versions, transformer
+// class and scratch region legitimately outlive the pause.
+func (v *VM) RelocDrainActive() bool { return v.DSURelocForce != nil }
+
 // CollectGarbage runs a non-DSU collection. A collection error is fatal:
 // the heap is left unusable (see gc.ErrToSpaceExhausted) and the VM is
 // marked accordingly.
 func (v *VM) CollectGarbage() (*gc.Result, error) {
+	if v.DSURelocForce != nil {
+		// A flip cannot run with the relocation load barrier armed and
+		// from-space held; force-complete the drain first. It runs before
+		// the lazy drain below: the lazy transformers read old copies whose
+		// slots the relocation heals, and in deferred-pair mode the forced
+		// finalize is what makes the lazy pair log final. A drain failure is
+		// a failed collection — the heap is already marked unusable.
+		if err := v.DSURelocForce(); err != nil {
+			v.MarkHeapUnusable(err)
+			return nil, v.FatalHeap
+		}
+	}
 	if v.DSULazyDrain != nil {
 		// A flip would invalidate the lazy pair log's raw addresses and
 		// reclaim the old copies, so the residue is force-completed first.
