@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race race-gc obs-gate satb-gate lazy-gate reloc-gate stream-gate storm bench-gc bench-obs bench-pause bench-stream trace fuzz
+.PHONY: verify build vet test race race-gc obs-gate obs-verdict-gate satb-gate lazy-gate reloc-gate stream-gate storm bench-gc bench-obs bench-pause bench-stream trace fuzz
 
-verify: build vet test race race-gc obs-gate satb-gate lazy-gate reloc-gate stream-gate
+verify: build vet test race race-gc obs-gate obs-verdict-gate satb-gate lazy-gate reloc-gate stream-gate
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,21 @@ race-gc:
 obs-gate:
 	$(GO) test -race -run 'TestObsDisabled' -count=1 ./internal/vm/ ./internal/obs/
 	$(GO) test -run '^$$' -bench 'BenchmarkObsDisabledOverhead|BenchmarkInterpDispatch' -benchtime 200ms ./internal/vm/
+
+# Verdict/profiler gate: the sampling profiler must add zero allocations
+# (disabled AND enabled steady state) and, off-race, ≤2% dispatch overhead
+# (the throughput gate self-skips under -race, where tsan would dominate);
+# the gate engine's comparator/window tables, the engine's verdict path
+# (all-green PASS, injected-regression FAIL, halt/force-drain policies),
+# and the stream/storm verdict determinism tests are pinned by name so the
+# judgment path can't rot out of the suite. Prints the disabled-profiler
+# benchmark so the cost stays visible.
+obs-verdict-gate:
+	$(GO) test -race -run 'TestProf' -count=1 ./internal/vm/ ./internal/obs/
+	$(GO) test -race -run 'TestGate|TestCompareAllComparators|TestHistSnapshotDelta|TestVerdictFingerprint|TestDefaultGateSpecs' -count=1 ./internal/obs/ ./internal/core/
+	$(GO) test -race -run 'TestStormEveryUpdateJudged|TestStormGateHalt|TestStreamVerdictDeterminism|TestStreamGate' -count=1 ./internal/storm/ ./internal/stream/
+	$(GO) test -run 'TestProfDisabled' -count=1 ./internal/vm/
+	$(GO) test -run '^$$' -bench 'BenchmarkProfDisabledOverhead|BenchmarkInterpDispatch' -benchtime 200ms ./internal/vm/
 
 # Write-barrier cost gate: the disarmed SATB barrier must add zero
 # allocations and ≤2% overhead to a dispatch-shaped store loop, and the

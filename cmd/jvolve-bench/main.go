@@ -29,8 +29,10 @@
 //	                   of the flight-recorder events captured during fig5
 //	-metrics PATH      write a Prometheus text snapshot of the run's metrics
 //	                   registry (PATH "-" means stdout)
-//	-serve ADDR        serve live /metrics (Prometheus text) and /timeline
-//	                   (Chrome trace JSON) over HTTP until interrupted
+//	-serve ADDR        serve live /metrics (Prometheus text), /timeline
+//	                   (Chrome trace JSON), /verdicts (gate judgments, JSON),
+//	                   and /profile (folded stacks, FlameGraph-ready) over
+//	                   HTTP until interrupted
 package main
 
 import (
@@ -42,6 +44,7 @@ import (
 
 	"govolve/internal/apps"
 	"govolve/internal/bench"
+	"govolve/internal/core"
 	"govolve/internal/obs"
 	"govolve/internal/storm"
 )
@@ -53,6 +56,7 @@ func main() {
 	duration := flag.Duration("duration", 500*time.Millisecond, "measurement window per fig5/ablation run (paper: 60s)")
 	seed := flag.Int64("seed", 1, "storm: PRNG seed (failures print the seed to replay)")
 	updates := flag.Int("updates", 500, "storm: applied updates to drive per run")
+	pauseBudget := flag.Float64("pause-budget", -1, "storm: arm a pause-budget health gate at this many seconds under the halt policy (-1 disables; 0 is a deterministic injected regression — a real pause is always > 0)")
 	gcOut := flag.String("gc-out", "BENCH_gc.json", "gcpause: output JSON path (empty disables the file)")
 	pauseOut := flag.String("pause-out", "BENCH_pause.json", "pausecmp: output JSON path (empty disables the file)")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "obs: output JSON path (empty disables the file)")
@@ -62,11 +66,13 @@ func main() {
 	serveAddr := flag.String("serve", "", "serve live /metrics and /timeline over HTTP on this address until interrupted")
 	flag.Parse()
 
-	// The shared observability plane: fig5 VMs attach this recorder and
-	// registry, -trace/-metrics snapshot them at exit, and -serve exposes
-	// them live.
+	// The shared observability plane: fig5 VMs attach this recorder,
+	// registry, gate engine, and profiler; -trace/-metrics snapshot them at
+	// exit, and -serve exposes them live.
 	rec := obs.NewRecorder(obs.DefaultCapacity)
 	reg := obs.NewRegistry()
+	gates := obs.NewGateEngine(nil, 0, reg)
+	prof := obs.NewProfiler(0)
 	if *serveAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -77,13 +83,21 @@ func main() {
 			w.Header().Set("Content-Type", "application/json")
 			_ = obs.WriteChromeTrace(w, rec.Events())
 		})
+		mux.HandleFunc("/verdicts", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = gates.WriteJSON(w)
+		})
+		mux.HandleFunc("/profile", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = prof.WriteFolded(w)
+		})
 		go func() {
 			if err := http.ListenAndServe(*serveAddr, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "jvolve-bench: -serve %s: %v\n", *serveAddr, err)
 				os.Exit(1)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "jvolve-bench: serving /metrics and /timeline on %s\n", *serveAddr)
+		fmt.Fprintf(os.Stderr, "jvolve-bench: serving /metrics, /timeline, /verdicts, /profile on %s\n", *serveAddr)
 	}
 
 	run := func(name string, f func() error) {
@@ -141,11 +155,15 @@ func main() {
 		fmt.Println("=== Figure 5 ===")
 		app := apps.Webserver()
 		results, err := bench.RunFig5(app, bench.DefaultFig5Configs(app),
-			bench.Fig5Options{Runs: *runs, Duration: *duration, Recorder: rec, Metrics: reg}, os.Stderr)
+			bench.Fig5Options{Runs: *runs, Duration: *duration,
+				Recorder: rec, Metrics: reg, Gates: gates, Profiler: prof}, os.Stderr)
 		if err != nil {
 			return err
 		}
 		bench.PrintFig5(os.Stdout, results)
+		if v := gates.Last(); v != nil {
+			fmt.Printf("last gate %s\n", v)
+		}
 		fmt.Println()
 		return nil
 	})
@@ -301,6 +319,16 @@ func main() {
 			{Seed: *seed, Updates: *updates, FastDefaults: true, ConcurrentReloc: true},
 			{Seed: *seed, Updates: *updates, ScratchWords: 1 << 14, FastDefaults: true, ConcurrentMark: true, ConcurrentReloc: true, Lazy: true},
 		}
+		if *pauseBudget >= 0 {
+			for i := range cfgs {
+				cfgs[i].GateSpecs = []obs.GateSpec{{
+					Name: "pause-budget", Metric: obs.MPauseTotal,
+					Agg: obs.AggSum, Cmp: obs.CmpLE,
+					Threshold: *pauseBudget, WallClock: true,
+				}}
+				cfgs[i].GatePolicy = core.GateHalt
+			}
+		}
 		for _, cfg := range cfgs {
 			rep, err := storm.Run(cfg)
 			if err != nil {
@@ -349,7 +377,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "jvolve-bench: -trace: %v\n", err)
 			os.Exit(1)
 		}
-		if err := obs.WriteChromeTrace(f, rec.Events()); err != nil {
+		doc := rec.BuildTrace()
+		prof.AppendCounterTrack(doc)
+		if err := doc.Encode(f); err != nil {
 			fmt.Fprintf(os.Stderr, "jvolve-bench: -trace: %v\n", err)
 			os.Exit(1)
 		}
@@ -357,8 +387,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "jvolve-bench: -trace: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d flight-recorder events; load in ui.perfetto.dev)\n",
-			*traceOut, len(rec.Events()))
+		fmt.Printf("wrote %s (%d flight-recorder events, %d profile samples; load in ui.perfetto.dev)\n",
+			*traceOut, len(rec.Events()), prof.TotalSamples())
 	}
 	if *metricsOut != "" {
 		out := os.Stdout

@@ -67,6 +67,12 @@ type Fig5Options struct {
 	// and a per-request latency histogram (MRequestLatency) from the
 	// measurement loop.
 	Metrics *obs.Registry
+	// Gates, when set, is attached to every engine-bearing configuration
+	// under the observe policy, so the measured update is judged.
+	Gates *obs.GateEngine
+	// Profiler, when set, samples interpreter frames at slice boundaries
+	// on every measured VM (the -serve /profile and -trace counter lane).
+	Profiler *obs.Profiler
 }
 
 // DefaultFig5Configs mirrors the paper's three rows, measured on the last
@@ -133,6 +139,12 @@ func runFig5Once(app *apps.App, cfg Fig5Config, opts Fig5Options) (throughput, l
 	}
 	if opts.Recorder != nil || opts.Metrics != nil {
 		s.VM.AttachObs(opts.Recorder, opts.Metrics)
+	}
+	if opts.Profiler != nil {
+		s.VM.AttachProfiler(opts.Profiler)
+	}
+	if opts.Gates != nil && cfg.Engine {
+		s.Engine.AttachGates(opts.Gates, core.GateObserve)
 	}
 	reqHist := opts.Metrics.Histogram(obs.MRequestLatency, obs.DurationBuckets())
 	if !cfg.Engine {

@@ -8,6 +8,7 @@ import (
 
 	"govolve/internal/asm"
 	"govolve/internal/core"
+	"govolve/internal/obs"
 	"govolve/internal/rt"
 	"govolve/internal/upt"
 	"govolve/internal/vm"
@@ -82,6 +83,11 @@ type MicroConfig struct {
 	// barrier. The measured pause then excludes transformer execution;
 	// the forced drain is timed separately.
 	Lazy bool
+	// Metrics, when non-nil, attaches the registry to the VM so the engine
+	// publishes its pause/update series, and arms a default gate engine
+	// under the observe policy so every micro update is judged. The
+	// resulting verdict is reported on MicroResult.
+	Metrics *obs.Registry
 	// ConcurrentReloc moves the DSU copy itself out of the pause: the
 	// pause shrinks to flip preparation (discovery, flip, eager evacuation
 	// of updated-class instances only — or none at all with Lazy), and the
@@ -105,6 +111,10 @@ type MicroResult struct {
 	// Lazy-transform decomposition (pausecmp experiment).
 	LazyPending int           // objects left tagged when the pause ended
 	Drain       time.Duration // forced post-pause drain wall-clock (outside the pause)
+
+	// Verdict is the gate judgment for this update (nil unless
+	// MicroConfig.Metrics armed the gate engine).
+	Verdict *obs.Verdict
 
 	// Parallel-collection decomposition (gcpause experiment).
 	GCWorkers     int   // copy/scan workers the DSU collection ran
@@ -200,6 +210,10 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 		return nil, err
 	}
 	engine := core.NewEngine(machine)
+	if cfg.Metrics != nil {
+		machine.AttachObs(nil, cfg.Metrics)
+		engine.AttachGates(obs.NewGateEngine(nil, 0, cfg.Metrics), core.GateObserve)
+	}
 	res, err := engine.ApplyNow(spec, core.Options{FastDefaults: cfg.FastDefaults})
 	if err != nil {
 		return nil, err
@@ -255,6 +269,8 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 		PauseCopy:        res.Stats.PauseGCCopy,
 		MarkedObjects:    res.Stats.GCMarkedObjects,
 		RescanMarked:     res.Stats.GCRescanMarked,
+
+		Verdict: res.Verdict,
 
 		RelocConcurrent: res.Stats.RelocConcurrent,
 		RelocObjects:    res.Stats.RelocObjects,

@@ -96,5 +96,22 @@ func TestRunObsPauseSmall(t *testing.T) {
 		if row.TotalMs.Count == 0 || row.TotalMs.P99Ms < row.TotalMs.P50Ms {
 			t.Errorf("row %q total histogram %+v", row.Config, row.TotalMs)
 		}
+		// Every sampled update was judged, and an all-green run passes.
+		if row.GatePass != int64(row.Updates) || row.GateFail != 0 {
+			t.Errorf("row %q gates %d pass / %d fail, want %d / 0",
+				row.Config, row.GatePass, row.GateFail, row.Updates)
+		}
+		if !strings.Contains(row.LastVerdict, "PASS") {
+			t.Errorf("row %q last verdict %q", row.Config, row.LastVerdict)
+		}
+	}
+	// The E1 row carries the profiler's version-attributed view.
+	e1 := rep.Rows[0]
+	if e1.ProfileSamples == 0 || len(e1.ProfileTop) == 0 {
+		t.Fatalf("E1 row has no profile columns: %d samples, top %v",
+			e1.ProfileSamples, e1.ProfileTop)
+	}
+	if !strings.Contains(e1.ProfileTop[0], "@c") {
+		t.Errorf("top folded stack %q lacks a class-version discriminator", e1.ProfileTop[0])
 	}
 }

@@ -56,7 +56,9 @@ func obsHistMs(h *obs.Histogram) ObsHist {
 	}
 }
 
-// ObsPauseRow is one configuration's pause decomposition.
+// ObsPauseRow is one configuration's pause decomposition, plus the gate
+// judgment for the sampled updates and (E1 only) the profiler's view of
+// where interpreter time went while the updates landed.
 type ObsPauseRow struct {
 	Config  string `json:"config"`
 	Workers int    `json:"workers"`
@@ -67,6 +69,18 @@ type ObsPauseRow struct {
 	TransformMs      ObsHist  `json:"transform_ms"`
 	TotalMs          ObsHist  `json:"total_ms"`
 	SafePointDelayMs *ObsHist `json:"safe_point_delay_ms,omitempty"`
+
+	// Verdict columns: every sampled update is judged against the default
+	// gate specs under the observe policy.
+	GatePass    int64  `json:"gate_pass"`
+	GateFail    int64  `json:"gate_fail"`
+	LastVerdict string `json:"last_verdict,omitempty"`
+
+	// Profile columns (E1 only): version-attributed samples collected at
+	// scheduler-slice boundaries while the updates applied, and the
+	// heaviest folded stacks.
+	ProfileSamples int64    `json:"profile_samples,omitempty"`
+	ProfileTop     []string `json:"profile_top,omitempty"`
 }
 
 // ObsPauseReport is the BENCH_obs.json document.
@@ -126,6 +140,8 @@ func RunObsPause(opts ObsPauseOptions, progress io.Writer) (*ObsPauseReport, err
 
 func runObsE1(opts ObsPauseOptions, progress io.Writer) (*ObsPauseRow, error) {
 	reg := obs.NewRegistry()
+	ge := obs.NewGateEngine(nil, 0, reg)
+	prof := obs.NewProfiler(0)
 	app := apps.Webserver()
 	applied := 0
 	for r := 0; r < opts.Runs; r++ {
@@ -134,6 +150,8 @@ func runObsE1(opts ObsPauseOptions, progress io.Writer) (*ObsPauseRow, error) {
 			return nil, fmt.Errorf("bench: obs E1 run %d: %w", r, err)
 		}
 		s.VM.AttachObs(nil, reg)
+		s.VM.AttachProfiler(prof)
+		s.Engine.AttachGates(ge, core.GateObserve)
 		// Warm the server so the update lands on a live, steady VM.
 		for i := 0; i < 5; i++ {
 			if _, err := s.DoBatch(); err != nil {
@@ -154,7 +172,7 @@ func runObsE1(opts ObsPauseOptions, progress io.Writer) (*ObsPauseRow, error) {
 	}
 	install := obsHistMs(reg.Histogram(obs.MPauseInstall, obs.DurationBuckets()))
 	delay := obsHistMs(reg.Histogram(obs.MSafePointDelay, obs.DurationBuckets()))
-	return &ObsPauseRow{
+	row := &ObsPauseRow{
 		Config:           "E1 webserver 5.1.5→5.1.6 under load (serial, FastDefaults)",
 		Workers:          1,
 		Updates:          applied,
@@ -163,7 +181,19 @@ func runObsE1(opts ObsPauseOptions, progress io.Writer) (*ObsPauseRow, error) {
 		TransformMs:      obsHistMs(reg.Histogram(obs.MPauseTransform, obs.DurationBuckets())),
 		TotalMs:          obsHistMs(reg.Histogram(obs.MPauseTotal, obs.DurationBuckets())),
 		SafePointDelayMs: &delay,
-	}, nil
+		ProfileSamples:   prof.TotalSamples(),
+	}
+	row.GatePass, row.GateFail = ge.Counts()
+	if v := ge.Last(); v != nil {
+		row.LastVerdict = v.String()
+	}
+	for i, l := range prof.Folded() {
+		if i == 3 {
+			break
+		}
+		row.ProfileTop = append(row.ProfileTop, fmt.Sprintf("%s %d", l.Stack, l.Weight))
+	}
+	return row, nil
 }
 
 func runObsE10(opts ObsPauseOptions, workers int, progress io.Writer) (*ObsPauseRow, error) {
@@ -171,32 +201,42 @@ func runObsE10(opts ObsPauseOptions, workers int, progress io.Writer) (*ObsPause
 	gcH := reg.Histogram(obs.MPauseGC, obs.DurationBuckets())
 	trH := reg.Histogram(obs.MPauseTransform, obs.DurationBuckets())
 	totH := reg.Histogram(obs.MPauseTotal, obs.DurationBuckets())
+	row := &ObsPauseRow{
+		Config:  fmt.Sprintf("E10 micro %d objects, 20%% updated, workers=%d", opts.MicroObjects, workers),
+		Workers: workers,
+		Updates: opts.Runs,
+	}
 	for r := 0; r < opts.Runs; r++ {
+		// The registry rides into the micro VM, so the engine's own
+		// instrumentation fills the pause histograms (same plane as E1)
+		// and the gate engine judges every update.
 		res, err := RunMicro(MicroConfig{
 			Objects:      opts.MicroObjects,
 			FracUpdated:  0.2,
 			HeapLabel:    fmt.Sprintf("%d objects", opts.MicroObjects),
 			FastDefaults: true,
 			Workers:      workers,
+			Metrics:      reg,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench: obs E10 workers=%d: %w", workers, err)
 		}
-		gcH.Observe(res.GC.Seconds())
-		trH.Observe(res.Transform.Seconds())
-		totH.Observe(res.Total.Seconds())
+		if v := res.Verdict; v != nil {
+			if v.Pass {
+				row.GatePass++
+			} else {
+				row.GateFail++
+			}
+			row.LastVerdict = v.String()
+		}
 		if progress != nil {
 			fmt.Fprintf(progress, ".")
 		}
 	}
-	return &ObsPauseRow{
-		Config:      fmt.Sprintf("E10 micro %d objects, 20%% updated, workers=%d", opts.MicroObjects, workers),
-		Workers:     workers,
-		Updates:     opts.Runs,
-		GCMs:        obsHistMs(gcH),
-		TransformMs: obsHistMs(trH),
-		TotalMs:     obsHistMs(totH),
-	}, nil
+	row.GCMs = obsHistMs(gcH)
+	row.TransformMs = obsHistMs(trH)
+	row.TotalMs = obsHistMs(totH)
+	return row, nil
 }
 
 // WriteObsPauseJSON writes the report as indented JSON (BENCH_obs.json).
@@ -224,6 +264,18 @@ func PrintObsPause(w io.Writer, rep *ObsPauseReport) {
 			fmt.Fprintf(w, "%-58s %8s install p50/p99 %.2f/%.2f ms, safe-point delay p50/p99 %.2f/%.2f ms\n",
 				"", "", r.InstallMs.P50Ms, r.InstallMs.P99Ms,
 				r.SafePointDelayMs.P50Ms, r.SafePointDelayMs.P99Ms)
+		}
+		fmt.Fprintf(w, "%-58s %8s gates %d pass / %d fail", "", "", r.GatePass, r.GateFail)
+		if r.LastVerdict != "" {
+			fmt.Fprintf(w, "; last %s", r.LastVerdict)
+		}
+		fmt.Fprintln(w)
+		if r.ProfileSamples > 0 {
+			fmt.Fprintf(w, "%-58s %8s profile: %d samples", "", "", r.ProfileSamples)
+			for _, top := range r.ProfileTop {
+				fmt.Fprintf(w, "\n%-58s %8s   %s", "", "", top)
+			}
+			fmt.Fprintln(w)
 		}
 	}
 	fmt.Fprintf(w, "note: %s\n", rep.Note)

@@ -168,6 +168,42 @@ type Result struct {
 	Outcome Outcome
 	Err     error
 	Stats   Stats
+	// Verdict is the health-gate judgment of this update, evaluated over
+	// metric snapshots taken at request, safe point and seal. Nil when no
+	// gate engine is attached.
+	Verdict *obs.Verdict
+}
+
+// GatePolicy selects how the engine reacts to a FAIL verdict — the
+// single-VM precursor of fleet auto-revert.
+type GatePolicy int
+
+const (
+	// GateObserve records verdicts without acting on them (default).
+	GateObserve GatePolicy = iota
+	// GateHalt refuses further updates after a FAIL verdict until
+	// ClearHalt — the "stop the rollout" reaction.
+	GateHalt
+	// GateQuiesceRetry leaves the reaction to the caller's retry loop
+	// (internal/stream escalates a failed-gate retry to a quiesced one);
+	// the engine itself only records the verdict.
+	GateQuiesceRetry
+	// GateForceDrain force-completes outstanding lazy/relocation drains
+	// after a FAIL verdict, trading throughput for a fully settled heap.
+	GateForceDrain
+)
+
+func (p GatePolicy) String() string {
+	switch p {
+	case GateHalt:
+		return "halt"
+	case GateQuiesceRetry:
+		return "quiesce-retry"
+	case GateForceDrain:
+		return "force-drain"
+	default:
+		return "observe"
+	}
 }
 
 // Options tunes one update request.
@@ -204,6 +240,11 @@ type Pending struct {
 	// allocation-triggered collections before one survived to the pause.
 	mark         *gc.Marker
 	markRestarts int
+
+	// Gate-window snapshots: the registry at request time and at the DSU
+	// safe point. The closing snapshot is taken at seal (finish).
+	gateBefore *obs.Snapshot
+	gateDuring *obs.Snapshot
 }
 
 // Done reports whether the request has finished.
@@ -224,6 +265,13 @@ type Engine struct {
 	// them, not masked by subsequent mutator activity.
 	AfterUpdate func(*Result)
 
+	// Gate, if non-nil, evaluates health gates over metric snapshots
+	// bracketing every update (taken from VM.Metrics) and stamps the
+	// judgment on Result.Verdict. Attach with AttachGates.
+	Gate *obs.GateEngine
+	// GatePolicy is the engine's reaction to a FAIL verdict.
+	GatePolicy GatePolicy
+
 	pending *Pending
 	// lazy is the in-flight post-pause drain of the most recent
 	// LazyTransform update, nil outside a drain window.
@@ -231,6 +279,9 @@ type Engine struct {
 	// reloc is the in-flight concurrent relocation drain of the most recent
 	// ConcurrentReloc update, nil outside a drain window.
 	reloc *relocHandle
+	// halt holds the FAIL verdict that tripped GateHalt; while set,
+	// RequestUpdate refuses new updates.
+	halt *obs.Verdict
 	// Updates records every finished update, in order.
 	Updates []*Result
 }
@@ -242,6 +293,23 @@ func NewEngine(v *vm.VM) *Engine {
 	return e
 }
 
+// AttachGates arms per-update health gating: every update from here on is
+// judged by g over snapshots of the VM's metrics registry, and a FAIL
+// verdict triggers the given policy. The gate engine should publish into
+// (or at least read the same series as) VM.Metrics.
+func (e *Engine) AttachGates(g *obs.GateEngine, policy GatePolicy) {
+	e.Gate = g
+	e.GatePolicy = policy
+}
+
+// Halted returns the FAIL verdict that halted the update chain under
+// GateHalt, or nil when updates are admissible.
+func (e *Engine) Halted() *obs.Verdict { return e.halt }
+
+// ClearHalt re-admits updates after a GateHalt trip — the operator's
+// explicit "rollout may continue" acknowledgment.
+func (e *Engine) ClearHalt() { e.halt = nil }
+
 // RequestUpdate verifies the new code and transformers, then arms the VM:
 // the scheduler will attempt the update at the next safe point. It fails
 // fast (before stopping anything) if the updated program does not verify —
@@ -250,6 +318,9 @@ func (e *Engine) RequestUpdate(spec *upt.Spec, opts Options) (*Pending, error) {
 	if e.pending != nil && !e.pending.Done() {
 		return nil, fmt.Errorf("core: an update is already in flight")
 	}
+	if e.halt != nil {
+		return nil, fmt.Errorf("core: updates halted by gate policy (%s); ClearHalt to resume", e.halt)
+	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = 15 * time.Second
 	}
@@ -257,6 +328,12 @@ func (e *Engine) RequestUpdate(spec *upt.Spec, opts Options) (*Pending, error) {
 		return nil, err
 	}
 	p := &Pending{Spec: spec, Opts: opts, start: time.Now(), barrier: make(map[*vm.Frame]bool)}
+	if e.Gate != nil {
+		// Open the gate window on fresh numbers: publish the VM's own
+		// deltas, then snapshot.
+		e.VM.PublishMetrics()
+		p.gateBefore = e.VM.Metrics.TakeSnapshot()
+	}
 	e.pending = p
 	e.VM.Rec.Emit(obs.KUpdateRequested, obs.LaneEngine, 0, spec.OldTag)
 	e.VM.SetUpdatePending(true)
@@ -559,6 +636,9 @@ func (e *Engine) handle() bool {
 	p.stats.SafePointDelay = time.Since(p.start)
 	e.VM.Rec.Emit(obs.KSafePointReached, obs.LaneEngine, int64(p.stats.Attempts),
 		p.stats.SafePointDelay.String())
+	if e.Gate != nil {
+		p.gateDuring = e.VM.Metrics.TakeSnapshot()
+	}
 	res := e.apply(p, osrJobs, cat1)
 	e.finish(p, res)
 	return true
@@ -665,10 +745,41 @@ func (e *Engine) finish(p *Pending, res *Result) {
 	e.Updates = append(e.Updates, res)
 	e.emitTerminal(res)
 	e.observeUpdate(res)
+	e.judge(p, res)
 	e.VM.ReleaseUpdateWaiters()
 	e.VM.SetUpdatePending(false)
 	if e.AfterUpdate != nil {
 		e.AfterUpdate(res)
+	}
+}
+
+// judge closes the gate window and evaluates the health gates over it,
+// stamping the verdict on the result and applying the engine's FAIL
+// policy. Runs after observeUpdate so the closing snapshot contains this
+// update's own pause/outcome series.
+func (e *Engine) judge(p *Pending, res *Result) {
+	if e.Gate == nil {
+		return
+	}
+	e.VM.PublishMetrics()
+	after := e.VM.Metrics.TakeSnapshot()
+	tag := ""
+	if p.Spec != nil {
+		tag = p.Spec.OldTag
+	}
+	v := e.Gate.Evaluate(tag, res.Outcome.String(), p.gateBefore, p.gateDuring, after)
+	res.Verdict = v
+	if v == nil || v.Pass {
+		return
+	}
+	switch e.GatePolicy {
+	case GateHalt:
+		e.halt = v
+	case GateForceDrain:
+		// Settle the heap before anyone acts on the failure: outstanding
+		// lazy/relocation residue is force-completed now. The drain's own
+		// errors are its objects' problem, not this verdict's.
+		_ = e.ForceDrain()
 	}
 }
 

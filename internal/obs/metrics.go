@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -320,8 +321,11 @@ func formatFloat(v float64) string {
 }
 
 // WritePrometheus writes the registry in the Prometheus text exposition
-// format (version 0.0.4): # TYPE comments, counters/gauges as bare samples,
-// histograms as cumulative _bucket{le=...} series plus _sum and _count.
+// format (version 0.0.4): # HELP and # TYPE comments for every series,
+// counters/gauges as bare samples, histograms as cumulative
+// _bucket{le=...} series plus _sum and _count. A govolve_build_info series
+// is synthesized on every exposition so scrapes always carry the build
+// identity.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -342,15 +346,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Unlock()
 
 	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s{go=%q,module=\"govolve\"} 1\n",
+		MBuildInfo, MetricHelp(MBuildInfo), MBuildInfo, MBuildInfo, runtime.Version())
 	for _, n := range sortedKeys(counters) {
-		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, counters[n])
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", n, MetricHelp(n), n, n, counters[n])
 	}
 	for _, n := range sortedKeys(gauges) {
-		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(gauges[n]))
+		if n == MBuildInfo {
+			continue // synthesized above with labels
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", n, MetricHelp(n), n, n, formatFloat(gauges[n]))
 	}
 	for _, n := range sortedKeys(hists) {
 		s := hists[n]
-		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", n, MetricHelp(n), n)
 		cum := int64(0)
 		for i, bound := range s.Bounds {
 			cum += s.Buckets[i]
@@ -418,4 +427,97 @@ const (
 	MStreamUpdates  = "govolve_stream_updates_sustained_total"
 	MStreamRejected = "govolve_stream_batches_rejected_total"
 	MStreamBacklog  = "govolve_stream_drain_backlog"
+
+	// Gate/verdict plane (gate.go, verdict.go): per-update health-gate
+	// evaluations and their outcomes, plus a last-verdict gauge a scrape
+	// alert can key on directly.
+	MGateEvaluations = "govolve_gate_evaluations_total"
+	MGatePass        = "govolve_gate_pass_total"
+	MGateFail        = "govolve_gate_fail_total"
+	MGateViolations  = "govolve_gate_violations_total"
+	MGateLastPass    = "govolve_gate_last_pass"
+
+	// Sampling-profiler plane (profile.go).
+	MProfSamples        = "govolve_profile_samples_total"
+	MProfSamplesDropped = "govolve_profile_samples_dropped_total"
+
+	// VM identity and liveness, plus flight-recorder ring overwrite loss.
+	MObsEventsDropped = "govolve_obs_events_dropped_total"
+	MBuildInfo        = "govolve_build_info"
+	MVMUptime         = "govolve_vm_uptime_seconds"
 )
+
+// metricHelp curates the HELP line of every canonical metric. The
+// exposition audit test walks CanonicalMetricNames and fails on a name
+// missing here, so a new M* constant cannot ship without documentation.
+var metricHelp = map[string]string{
+	MSafePointDelay:   "Delay from update request to the DSU safe point.",
+	MPauseInstall:     "Install phase share of the DSU pause.",
+	MPauseGC:          "GC phase share of the DSU pause.",
+	MPauseTransform:   "Transform phase share of the DSU pause.",
+	MPauseBulk:        "Bulk-transformer share of the DSU pause.",
+	MPauseTotal:       "Total stop-the-world DSU pause duration.",
+	MPauseGCMark:      "Mark sub-phase of the DSU pause's GC share.",
+	MPauseGCRescan:    "Rescan sub-phase of the DSU pause's GC share.",
+	MPauseGCCopy:      "Copy sub-phase of the DSU pause's GC share.",
+	MMarkOutside:      "Concurrent-mark work done outside the pause.",
+	MAttempts:         "Safe-point attempts needed per update.",
+	MUpdatesApplied:   "Updates applied successfully.",
+	MUpdatesAborted:   "Updates aborted before the safe point.",
+	MUpdatesFailed:    "Updates that failed during installation.",
+	MBarriers:         "Return barriers installed on restricted frames.",
+	MOSRFrames:        "Frames migrated by on-stack replacement.",
+	MLazyPending:      "Objects tagged for lazy transformation.",
+	MLazyDrained:      "Objects lazily transformed (barrier or drain).",
+	MLazyForced:       "Forced lazy-transform drains.",
+	MLazyDrainLatency: "Wall-clock latency of lazy-transform drains.",
+	MObjectsCopied:    "Objects copied by collections.",
+	MPairsLogged:      "Old/new object pairs logged for DSU transforms.",
+	MGCSteals:         "Work-stealing deque steals by collection workers.",
+	MRequestLatency:   "End-to-end request latency of the served app.",
+	MInstructions:     "Bytecode instructions interpreted.",
+	MSlices:           "Scheduler slices executed.",
+	MThreadsLive:      "Live VM threads.",
+	MThreadsBlocked:   "VM threads blocked on I/O or sync.",
+	MRunnableQueue:    "VM threads waiting in the runnable queue.",
+	MHeapAllocObjects: "Objects allocated on the VM heap.",
+	MHeapAllocArrays:  "Arrays allocated on the VM heap.",
+	MGCCollections:    "Heap collections performed.",
+
+	MRelocObjects:      "Objects evacuated by the concurrent relocation drain.",
+	MRelocHealedSlots:  "Reference slots healed to canonical addresses.",
+	MRelocBacklog:      "Objects still awaiting concurrent relocation.",
+	MRelocDrainLatency: "Wall-clock latency of relocation drains.",
+
+	MStreamUpdates:  "Updates sustained across long-horizon version chains.",
+	MStreamRejected: "Generator batches the UPT verifier legally refused.",
+	MStreamBacklog:  "Lazy drain backlog sampled after each chain step.",
+
+	MGateEvaluations: "Health-gate verdicts evaluated.",
+	MGatePass:        "Verdicts where every gate passed.",
+	MGateFail:        "Verdicts with at least one violated gate.",
+	MGateViolations:  "Individual gate violations across all verdicts.",
+	MGateLastPass:    "1 when the most recent verdict passed, else 0.",
+
+	MProfSamples:        "Stack samples accepted by the sampling profiler.",
+	MProfSamplesDropped: "Profiler samples shed on contention or overwritten.",
+
+	MObsEventsDropped: "Flight-recorder events lost to ring overwrite.",
+	MBuildInfo:        "Constant 1; labels carry the build identity.",
+	MVMUptime:         "Seconds since the VM was constructed.",
+}
+
+// CanonicalMetricNames lists every canonical metric name, sorted — the
+// domain of the exposition audit.
+func CanonicalMetricNames() []string {
+	return sortedKeys(metricHelp)
+}
+
+// MetricHelp returns the curated HELP text for a metric, falling back to a
+// generic line so the exposition never emits a series without HELP.
+func MetricHelp(name string) string {
+	if h, ok := metricHelp[name]; ok {
+		return h
+	}
+	return "govolve metric " + name + "."
+}

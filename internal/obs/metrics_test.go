@@ -134,11 +134,12 @@ type promSample struct {
 }
 
 // parsePrometheus is a minimal text-exposition (0.0.4) parser: enough to
-// validate what WritePrometheus emits — TYPE comments, bare samples, and
-// histogram series with le labels.
-func parsePrometheus(t *testing.T, text string) (types map[string]string, samples []promSample) {
+// validate what WritePrometheus emits — HELP and TYPE comments, bare
+// samples, and histogram series with le labels.
+func parsePrometheus(t *testing.T, text string) (types, helps map[string]string, samples []promSample) {
 	t.Helper()
 	types = map[string]string{}
+	helps = map[string]string{}
 	for ln, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" {
@@ -150,6 +151,15 @@ func parsePrometheus(t *testing.T, text string) (types map[string]string, sample
 				t.Fatalf("line %d: malformed TYPE comment %q", ln+1, line)
 			}
 			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			sp := strings.IndexByte(rest, ' ')
+			if sp <= 0 || sp == len(rest)-1 {
+				t.Fatalf("line %d: malformed HELP comment %q", ln+1, line)
+			}
+			helps[rest[:sp]] = rest[sp+1:]
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
@@ -187,7 +197,7 @@ func parsePrometheus(t *testing.T, text string) (types map[string]string, sample
 		}
 		samples = append(samples, s)
 	}
-	return types, samples
+	return types, helps, samples
 }
 
 func TestWritePrometheusParses(t *testing.T) {
@@ -204,7 +214,7 @@ func TestWritePrometheusParses(t *testing.T) {
 	if err := reg.WritePrometheus(&b); err != nil {
 		t.Fatal(err)
 	}
-	types, samples := parsePrometheus(t, b.String())
+	types, _, samples := parsePrometheus(t, b.String())
 
 	if types[MUpdatesApplied] != "counter" || types[MRunnableQueue] != "gauge" || types[MPauseGC] != "histogram" {
 		t.Fatalf("types = %v", types)
@@ -257,6 +267,77 @@ func TestWritePrometheusParses(t *testing.T) {
 	}
 	if b.String() != b2.String() {
 		t.Fatal("WritePrometheus output is not deterministic")
+	}
+}
+
+// TestExpositionAudit registers every canonical metric (histograms where the
+// name says seconds/attempts, counters for _total, gauges otherwise), writes
+// the exposition, and requires a HELP and TYPE comment for every emitted
+// series — with the curated text, never the generic fallback, for canonical
+// names. This is the contract that a new M* constant cannot ship without a
+// metricHelp entry.
+func TestExpositionAudit(t *testing.T) {
+	reg := NewRegistry()
+	for _, n := range CanonicalMetricNames() {
+		switch {
+		case n == MBuildInfo:
+			// Synthesized by WritePrometheus itself.
+		case strings.HasSuffix(n, "_seconds") && !strings.Contains(n, "uptime"):
+			reg.Histogram(n, DurationBuckets()).Observe(0.001)
+		case n == MAttempts:
+			reg.Histogram(n, CountBuckets()).Observe(2)
+		case strings.HasSuffix(n, "_total"):
+			reg.Counter(n).Inc()
+		default:
+			reg.Gauge(n).Set(1)
+		}
+	}
+	reg.Counter("adhoc_series_total").Inc() // uncurated: generic HELP fallback
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	types, helps, samples := parsePrometheus(t, b.String())
+
+	base := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if bn := strings.TrimSuffix(name, suf); bn != name && types[bn] == "histogram" {
+				return bn
+			}
+		}
+		return name
+	}
+	for _, s := range samples {
+		bn := base(s.name)
+		if types[bn] == "" {
+			t.Errorf("series %s has no TYPE comment", s.name)
+		}
+		if helps[bn] == "" {
+			t.Errorf("series %s has no HELP comment", s.name)
+		}
+	}
+	for _, n := range CanonicalMetricNames() {
+		if h := helps[n]; h != MetricHelp(n) || strings.HasPrefix(h, "govolve metric ") {
+			t.Errorf("canonical metric %s: HELP %q is missing or uncurated", n, h)
+		}
+	}
+	if !strings.HasPrefix(helps["adhoc_series_total"], "govolve metric ") {
+		t.Errorf("fallback HELP = %q", helps["adhoc_series_total"])
+	}
+
+	// Build identity and uptime ride every exposition.
+	var build *promSample
+	for i := range samples {
+		if samples[i].name == MBuildInfo {
+			build = &samples[i]
+		}
+	}
+	if build == nil || build.value != 1 || build.labels["module"] != "govolve" || build.labels["go"] == "" {
+		t.Fatalf("build_info sample %+v", build)
+	}
+	if types[MBuildInfo] != "gauge" || types[MVMUptime] != "gauge" {
+		t.Fatalf("identity types %v %v", types[MBuildInfo], types[MVMUptime])
 	}
 }
 

@@ -1,0 +1,327 @@
+package obs
+
+// Version-attributed sampling profiler. The VM's scheduler samples the
+// interpreter stack of the thread it just ran at every slice boundary,
+// weighting the sample by the instructions the slice executed. Each frame
+// is identified by (method global id × class id) — and because a DSU
+// update gives the NEW class version a fresh class id while the renamed
+// old version keeps its own, samples taken before and after an update
+// attribute time to the exact code version that ran. That is what makes a
+// post-update regression diagnosable: the folded-stack export shows
+// `User@c12.work` (old version) and `User@c47.work` (new version) as
+// distinct frames.
+//
+// Cost discipline (same as every barrier in this VM): the disabled path in
+// the scheduler is one nil-check on vm.Prof — zero allocations, ≤2%
+// dispatch overhead, gated by `make obs-verdict-gate`. The enabled write
+// path never blocks the scheduler: samples go into fixed per-thread rings
+// behind a TryLock — if an exporter holds a ring the sample is shed and
+// counted in govolve_profile_samples_dropped_total rather than stalling
+// execution.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// ProfMaxDepth caps recorded stack depth; deeper stacks keep the
+	// innermost frames under a truncation marker.
+	ProfMaxDepth = 16
+	// profMaxRings bounds the per-thread ring table; thread ids beyond it
+	// fold onto an existing ring (tid mod profMaxRings).
+	profMaxRings = 64
+	// DefaultProfCapacity is each per-thread ring's sample capacity when
+	// NewProfiler is given n <= 0.
+	DefaultProfCapacity = 256
+)
+
+// ProfKey packs a frame identity: method global id in the high 32 bits,
+// class id (the version discriminator) in the low 32.
+func ProfKey(methodGlobalID, classID int) uint64 {
+	return uint64(uint32(methodGlobalID))<<32 | uint64(uint32(classID))
+}
+
+// profTruncKey marks elided outer frames of an over-deep stack.
+const profTruncKey uint64 = 0
+
+// ProfSample is one slice-boundary stack sample.
+type ProfSample struct {
+	TS     time.Duration // since profiler start
+	TID    int32
+	Weight int64 // instructions executed in the slice
+	Depth  int32
+	Stack  [ProfMaxDepth]uint64 // outermost first
+}
+
+// profRing is one thread's fixed sample ring. The scheduler is the only
+// writer; exporters briefly hold mu to copy. The writer TryLocks and sheds
+// the sample on contention so it can never block.
+type profRing struct {
+	mu   sync.Mutex
+	buf  []ProfSample
+	next int
+}
+
+// Profiler is the sampling profiler. All methods are nil-receiver safe; a
+// nil *Profiler is the canonical "profiling disabled" value.
+type Profiler struct {
+	on    atomic.Bool
+	start time.Time
+	cap   int
+
+	total atomic.Int64 // samples ever accepted
+	shed  atomic.Int64 // samples dropped (exporter held the ring)
+
+	mu    sync.Mutex
+	rings [profMaxRings]*profRing
+	names map[uint64]string
+}
+
+// NewProfiler builds an enabled profiler whose per-thread rings hold n
+// samples each (DefaultProfCapacity when n <= 0).
+func NewProfiler(n int) *Profiler {
+	if n <= 0 {
+		n = DefaultProfCapacity
+	}
+	p := &Profiler{start: time.Now(), cap: n, names: map[uint64]string{
+		profTruncKey: "...",
+	}}
+	p.on.Store(true)
+	return p
+}
+
+// Enabled reports whether samples are being recorded.
+func (p *Profiler) Enabled() bool { return p != nil && p.on.Load() }
+
+// SetEnabled toggles sampling without dropping buffered samples.
+func (p *Profiler) SetEnabled(on bool) {
+	if p != nil {
+		p.on.Store(on)
+	}
+}
+
+// Start returns the instant TS values are measured from.
+func (p *Profiler) Start() time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	return p.start
+}
+
+// RegisterName binds a frame key to its display name ("User@c12.work(i)i").
+// First registration wins — a sample taken before an update keeps the name
+// the code had when it ran.
+func (p *Profiler) RegisterName(key uint64, name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if _, ok := p.names[key]; !ok {
+		p.names[key] = name
+	}
+	p.mu.Unlock()
+}
+
+// NameOf resolves a frame key ("frame_<key>" when unregistered).
+func (p *Profiler) NameOf(key uint64) string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	n, ok := p.names[key]
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Sprintf("frame_%x", key)
+	}
+	return n
+}
+
+// ringFor returns (creating if needed) the ring thread tid folds onto.
+// Only the sampling goroutine creates rings; creation takes the profiler
+// lock, the steady-state lookup is lock-free.
+func (p *Profiler) ringFor(tid int32) *profRing {
+	idx := int(tid) % profMaxRings
+	if idx < 0 {
+		idx = -idx
+	}
+	if r := p.rings[idx]; r != nil {
+		return r
+	}
+	p.mu.Lock()
+	r := p.rings[idx]
+	if r == nil {
+		r = &profRing{buf: make([]ProfSample, 0, p.cap)}
+		p.rings[idx] = r
+	}
+	p.mu.Unlock()
+	return r
+}
+
+// Sample records one stack sample (frames outermost first). Called by the
+// VM scheduler at a slice boundary; never blocks — on ring contention the
+// sample is shed and counted.
+func (p *Profiler) Sample(tid int32, weight int64, frames []uint64) {
+	if p == nil || !p.on.Load() || weight <= 0 || len(frames) == 0 {
+		return
+	}
+	r := p.ringFor(tid)
+	if !r.mu.TryLock() {
+		p.shed.Add(1)
+		return
+	}
+	var s *ProfSample
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ProfSample{})
+		s = &r.buf[len(r.buf)-1]
+	} else {
+		s = &r.buf[r.next]
+	}
+	r.next++
+	if r.next == cap(r.buf) {
+		r.next = 0
+	}
+	s.TS = time.Since(p.start)
+	s.TID = tid
+	s.Weight = weight
+	if len(frames) <= ProfMaxDepth {
+		s.Depth = int32(len(frames))
+		copy(s.Stack[:], frames)
+	} else {
+		// Keep the innermost frames; slot 0 marks the elision.
+		s.Depth = ProfMaxDepth
+		s.Stack[0] = profTruncKey
+		copy(s.Stack[1:], frames[len(frames)-(ProfMaxDepth-1):])
+	}
+	r.mu.Unlock()
+	p.total.Add(1)
+}
+
+// TotalSamples reports samples ever accepted (including ones the rings
+// have since overwritten).
+func (p *Profiler) TotalSamples() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.total.Load()
+}
+
+// DroppedSamples reports samples shed on ring contention plus samples the
+// rings have overwritten.
+func (p *Profiler) DroppedSamples() int64 {
+	if p == nil {
+		return 0
+	}
+	buffered := int64(0)
+	p.mu.Lock()
+	rings := p.rings
+	p.mu.Unlock()
+	for _, r := range rings {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		buffered += int64(len(r.buf))
+		r.mu.Unlock()
+	}
+	over := p.total.Load() - buffered
+	if over < 0 {
+		over = 0
+	}
+	return p.shed.Load() + over
+}
+
+// Samples returns a copy of every buffered sample, ordered by timestamp.
+func (p *Profiler) Samples() []ProfSample {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	rings := p.rings
+	p.mu.Unlock()
+	var out []ProfSample
+	for _, r := range rings {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		out = append(out, r.buf...)
+		r.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// Folded aggregates the buffered samples into folded-stack form:
+// "outer;inner weight" lines keyed by the rendered stack, sorted by
+// descending weight then stack — the input flamegraph.pl and speedscope
+// both accept.
+func (p *Profiler) Folded() []FoldedLine {
+	if p == nil {
+		return nil
+	}
+	agg := map[string]int64{}
+	for _, s := range p.Samples() {
+		var b strings.Builder
+		for i := int32(0); i < s.Depth; i++ {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			b.WriteString(p.NameOf(s.Stack[i]))
+		}
+		agg[b.String()] += s.Weight
+	}
+	out := make([]FoldedLine, 0, len(agg))
+	for stack, w := range agg {
+		out = append(out, FoldedLine{Stack: stack, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Stack < out[j].Stack
+	})
+	return out
+}
+
+// FoldedLine is one aggregated stack with its instruction weight.
+type FoldedLine struct {
+	Stack  string `json:"stack"`
+	Weight int64  `json:"weight"`
+}
+
+// WriteFolded writes the folded-stack export, one "stack weight" line each.
+func (p *Profiler) WriteFolded(w io.Writer) error {
+	for _, l := range p.Folded() {
+		if _, err := fmt.Fprintf(w, "%s %d\n", l.Stack, l.Weight); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendCounterTrack adds a Perfetto counter lane ("interp instructions"
+// per thread, one "C" event per sample) to a trace document, so the
+// profiler's view lines up with the DSU timeline. No-op on nil receivers.
+func (p *Profiler) AppendCounterTrack(doc *TraceDoc) {
+	if p == nil || doc == nil {
+		return
+	}
+	for _, s := range p.Samples() {
+		doc.TraceEvents = append(doc.TraceEvents, TraceEvent{
+			Name: "interp instructions", Ph: "C",
+			TS:  float64(s.TS.Nanoseconds()) / 1e3,
+			PID: tracePID, TID: LaneThread(int(s.TID)),
+			Args: map[string]any{"ins": s.Weight},
+		})
+	}
+	if doc.Metadata != nil {
+		doc.Metadata["profile_samples_total"] = p.TotalSamples()
+		doc.Metadata["profile_samples_dropped"] = p.DroppedSamples()
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfilerSampleAndFolded(t *testing.T) {
+	p := NewProfiler(8)
+	outer := ProfKey(1, 10)
+	inner := ProfKey(2, 10)
+	innerV2 := ProfKey(2, 47) // same method, post-update class version
+	p.RegisterName(outer, "Main@c10.run()V")
+	p.RegisterName(inner, "User@c10.work(i)i")
+	p.RegisterName(innerV2, "User@c47.work(i)i")
+
+	p.Sample(1, 100, []uint64{outer, inner})
+	p.Sample(1, 50, []uint64{outer, inner})
+	p.Sample(2, 30, []uint64{outer, innerV2})
+
+	if p.TotalSamples() != 3 || p.DroppedSamples() != 0 {
+		t.Fatalf("total=%d dropped=%d", p.TotalSamples(), p.DroppedSamples())
+	}
+	folded := p.Folded()
+	if len(folded) != 2 {
+		t.Fatalf("folded %+v", folded)
+	}
+	// Sorted by weight descending; the two versions of work are distinct
+	// frames — that is the version attribution.
+	if folded[0].Stack != "Main@c10.run()V;User@c10.work(i)i" || folded[0].Weight != 150 {
+		t.Fatalf("folded[0] %+v", folded[0])
+	}
+	if folded[1].Stack != "Main@c10.run()V;User@c47.work(i)i" || folded[1].Weight != 30 {
+		t.Fatalf("folded[1] %+v", folded[1])
+	}
+
+	var b strings.Builder
+	if err := p.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "Main@c10.run()V;User@c10.work(i)i 150\nMain@c10.run()V;User@c47.work(i)i 30\n"
+	if b.String() != want {
+		t.Fatalf("WriteFolded:\n%q\nwant\n%q", b.String(), want)
+	}
+}
+
+func TestProfilerTruncationKeepsInnermost(t *testing.T) {
+	p := NewProfiler(4)
+	frames := make([]uint64, ProfMaxDepth+5)
+	for i := range frames {
+		frames[i] = ProfKey(i+1, 1)
+	}
+	p.Sample(1, 10, frames)
+	s := p.Samples()
+	if len(s) != 1 || s[0].Depth != ProfMaxDepth {
+		t.Fatalf("samples %+v", s)
+	}
+	if s[0].Stack[0] != profTruncKey {
+		t.Fatalf("slot 0 = %#x, want truncation marker", s[0].Stack[0])
+	}
+	// The innermost ProfMaxDepth-1 frames survive, outermost first.
+	wantFirst := frames[len(frames)-(ProfMaxDepth-1)]
+	if s[0].Stack[1] != wantFirst || s[0].Stack[ProfMaxDepth-1] != frames[len(frames)-1] {
+		t.Fatalf("truncated stack %v", s[0].Stack)
+	}
+	// The marker renders as "..." in folded output.
+	if f := p.Folded(); len(f) != 1 || !strings.HasPrefix(f[0].Stack, "...;") {
+		t.Fatalf("folded %+v", f)
+	}
+}
+
+func TestProfilerRingOverwriteCountsDropped(t *testing.T) {
+	p := NewProfiler(2)
+	for i := 0; i < 5; i++ {
+		p.Sample(1, 1, []uint64{ProfKey(1, 1)})
+	}
+	if p.TotalSamples() != 5 {
+		t.Fatalf("total %d", p.TotalSamples())
+	}
+	if got := p.DroppedSamples(); got != 3 { // ring holds 2 of 5
+		t.Fatalf("dropped %d, want 3", got)
+	}
+	if len(p.Samples()) != 2 {
+		t.Fatalf("buffered %d", len(p.Samples()))
+	}
+}
+
+func TestProfilerShedOnContention(t *testing.T) {
+	p := NewProfiler(4)
+	key := []uint64{ProfKey(1, 1)}
+	p.Sample(7, 1, key)
+	// Hold thread 7's ring the way an exporter would; the writer must shed
+	// rather than block.
+	r := p.ringFor(7)
+	r.mu.Lock()
+	p.Sample(7, 1, key)
+	r.mu.Unlock()
+	if p.TotalSamples() != 1 || p.DroppedSamples() != 1 {
+		t.Fatalf("total=%d dropped=%d, want 1/1", p.TotalSamples(), p.DroppedSamples())
+	}
+}
+
+func TestProfilerDisabledAndNil(t *testing.T) {
+	var nilP *Profiler
+	nilP.Sample(1, 1, []uint64{1})
+	if nilP.Enabled() || nilP.TotalSamples() != 0 || nilP.Folded() != nil {
+		t.Fatal("nil profiler leaked state")
+	}
+	nilP.AppendCounterTrack(nil)
+
+	p := NewProfiler(4)
+	p.SetEnabled(false)
+	p.Sample(1, 1, []uint64{ProfKey(1, 1)})
+	if p.TotalSamples() != 0 {
+		t.Fatal("disabled profiler recorded a sample")
+	}
+	p.SetEnabled(true)
+	p.Sample(1, 1, []uint64{ProfKey(1, 1)})
+	if p.TotalSamples() != 1 {
+		t.Fatal("re-enabled profiler dropped the sample")
+	}
+	if got := p.NameOf(ProfKey(1, 1)); !strings.HasPrefix(got, "frame_") {
+		t.Fatalf("unregistered name %q", got)
+	}
+	// First registration wins.
+	p.RegisterName(5, "old")
+	p.RegisterName(5, "new")
+	if p.NameOf(5) != "old" {
+		t.Fatalf("NameOf(5) = %q", p.NameOf(5))
+	}
+}
+
+func TestProfilerAppendCounterTrack(t *testing.T) {
+	p := NewProfiler(4)
+	p.Sample(3, 42, []uint64{ProfKey(1, 1)})
+	rec := NewRecorder(16)
+	rec.Emit(KUpdateRequested, LaneEngine, 0, "v1")
+	doc := rec.BuildTrace()
+	n := len(doc.TraceEvents)
+	p.AppendCounterTrack(doc)
+	if len(doc.TraceEvents) != n+1 {
+		t.Fatalf("events %d, want %d", len(doc.TraceEvents), n+1)
+	}
+	ev := doc.TraceEvents[len(doc.TraceEvents)-1]
+	if ev.Ph != "C" || ev.Name != "interp instructions" || ev.TID != LaneThread(3) {
+		t.Fatalf("counter event %+v", ev)
+	}
+	if ev.Args["ins"] != int64(42) {
+		t.Fatalf("args %+v", ev.Args)
+	}
+	if doc.Metadata["profile_samples_total"] != int64(1) {
+		t.Fatalf("metadata %+v", doc.Metadata)
+	}
+}

@@ -240,6 +240,18 @@ func (r *Recorder) Total() uint64 {
 	return r.total
 }
 
+// Dropped reports how many emitted events the ring has overwritten — the
+// recorder's loss count, published as govolve_obs_events_dropped_total and
+// surfaced in trace metadata.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - uint64(len(r.buf))
+}
+
 // Events returns a chronological snapshot of the buffered events (oldest
 // first). The slice is a copy; the caller owns it.
 func (r *Recorder) Events() []Event {

@@ -160,3 +160,27 @@ func TestWriteEventsAndKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestRecorderDropped(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 3; i++ {
+		r.Emit(KTrace, LaneEngine, int64(i), "")
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped = %d before wrap", r.Dropped())
+	}
+	for i := 0; i < 7; i++ {
+		r.Emit(KTrace, LaneEngine, int64(i), "")
+	}
+	if r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("total=%d dropped=%d, want 10/6", r.Total(), r.Dropped())
+	}
+	r.Reset()
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped = %d after reset", r.Dropped())
+	}
+	var nilR *Recorder
+	if nilR.Dropped() != 0 {
+		t.Fatal("nil recorder reported loss")
+	}
+}

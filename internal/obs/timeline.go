@@ -172,13 +172,34 @@ func BuildTrace(events []Event) *TraceDoc {
 	return doc
 }
 
-// WriteChromeTrace renders events as Chrome trace-event JSON.
-func WriteChromeTrace(w io.Writer, events []Event) error {
-	doc := BuildTrace(events)
+// Encode writes the document as Chrome trace-event JSON.
+func (d *TraceDoc) Encode(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	if err := enc.Encode(doc); err != nil {
+	if err := enc.Encode(d); err != nil {
 		return fmt.Errorf("obs: encoding trace: %w", err)
 	}
 	return nil
+}
+
+// WriteChromeTrace renders events as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	return BuildTrace(events).Encode(w)
+}
+
+// BuildTrace converts the recorder's buffered events into a trace document
+// whose metadata states how complete the record is: events_total is every
+// event ever emitted, events_dropped the ones the ring overwrote (a
+// non-zero value means the timeline's left edge is truncated, not quiet).
+func (r *Recorder) BuildTrace() *TraceDoc {
+	doc := BuildTrace(r.Events())
+	doc.Metadata["events_total"] = r.Total()
+	doc.Metadata["events_dropped"] = r.Dropped()
+	return doc
+}
+
+// WriteChromeTrace renders the recorder's buffered events with loss
+// metadata — the blessed export for live recorders.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	return r.BuildTrace().Encode(w)
 }

@@ -165,3 +165,30 @@ func TestWriteChromeTraceIsValidJSON(t *testing.T) {
 		t.Fatal("KOSRRecompile with Arg=1 did not render as active-method rewrite")
 	}
 }
+
+func TestRecorderBuildTraceCarriesLossMetadata(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 9; i++ {
+		r.Emit(KTrace, LaneEngine, int64(i), "")
+	}
+	doc := r.BuildTrace()
+	if doc.Metadata["events_total"] != uint64(9) {
+		t.Fatalf("events_total = %v", doc.Metadata["events_total"])
+	}
+	if doc.Metadata["events_dropped"] != uint64(5) {
+		t.Fatalf("events_dropped = %v", doc.Metadata["events_dropped"])
+	}
+	var b strings.Builder
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Metadata map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if parsed.Metadata["events_dropped"] != float64(5) {
+		t.Fatalf("serialized metadata %+v", parsed.Metadata)
+	}
+}

@@ -1,0 +1,242 @@
+package obs
+
+// Verdicts: the per-update output of the health-gate engine. The DSU
+// engine hands the GateEngine the three snapshots bracketing an update;
+// the GateEngine runs every gate spec over the window, rolls the results
+// into one PASS/FAIL Verdict, keeps the last N verdicts in a ring, and
+// publishes govolve_gate_* series into the registry so the exposition a
+// fleet controller scrapes carries the judgment, not just the raw data.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Verdict is one update's acceptance judgment.
+type Verdict struct {
+	// Seq numbers verdicts from 1 in evaluation order.
+	Seq int64 `json:"seq"`
+	// Tag is the update's identifying tag (spec tag or step label).
+	Tag string `json:"tag,omitempty"`
+	// Outcome is the engine outcome the verdict judged (applied, aborted,
+	// failed) — gates see aborted/failed updates too; that is how the
+	// abort-rate gates fire.
+	Outcome string `json:"outcome,omitempty"`
+	// Pass is the conjunction of all gate results.
+	Pass bool `json:"pass"`
+	// Violated names the first failing gate ("" when Pass).
+	Violated string `json:"violated,omitempty"`
+	// Results holds every gate's reading, in spec order.
+	Results []GateResult `json:"results"`
+	// When stamps evaluation time (wall clock; excluded from Fingerprint).
+	When time.Time `json:"when"`
+}
+
+// String renders the one-line form used in failure reports:
+// "verdict #3 FAIL gate=pause-budget observed=2.41 threshold<=2 (tag=v7)".
+func (v *Verdict) String() string {
+	if v == nil {
+		return "verdict <nil>"
+	}
+	if v.Pass {
+		return fmt.Sprintf("verdict #%d PASS (%d gates, tag=%s, outcome=%s)",
+			v.Seq, len(v.Results), v.Tag, v.Outcome)
+	}
+	s := fmt.Sprintf("verdict #%d FAIL gate=%s", v.Seq, v.Violated)
+	for _, g := range v.Results {
+		if g.Gate == v.Violated {
+			s += fmt.Sprintf(" observed=%g threshold%s%g", g.Observed, g.Cmp, g.Threshold)
+			break
+		}
+	}
+	return s + fmt.Sprintf(" (tag=%s, outcome=%s)", v.Tag, v.Outcome)
+}
+
+// Fingerprint renders the verdict's deterministic skeleton: pass/fail and
+// violated-gate per verdict, plus observed values for gates not marked
+// WallClock. Two replays of a seeded deterministic chain must produce
+// byte-identical fingerprints; wall-clock gates contribute their pass bit
+// (budgets are sized to hold on any host) but never their reading.
+func (v *Verdict) Fingerprint() string {
+	if v == nil {
+		return "verdict=<nil>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seq=%d tag=%s outcome=%s pass=%t violated=%s", v.Seq, v.Tag, v.Outcome, v.Pass, v.Violated)
+	for _, g := range v.Results {
+		if g.WallClock {
+			fmt.Fprintf(&b, " %s:pass=%t", g.Gate, g.Pass)
+		} else {
+			fmt.Fprintf(&b, " %s:pass=%t,obs=%g,n=%d", g.Gate, g.Pass, g.Observed, g.Samples)
+		}
+	}
+	return b.String()
+}
+
+// GateEngine evaluates a fixed set of gate specs per update and keeps the
+// verdict ring. All methods are nil-receiver safe; a nil *GateEngine is the
+// canonical "gating disabled" value (Evaluate returns nil).
+type GateEngine struct {
+	mu    sync.Mutex
+	specs []GateSpec
+	ring  []*Verdict
+	next  int
+	total int64
+	reg   *Registry // gate series sink; may be nil
+}
+
+// DefaultVerdictRing is the verdict ring capacity used when n <= 0.
+const DefaultVerdictRing = 256
+
+// NewGateEngine builds a gate engine over the given specs (DefaultGateSpecs
+// when nil), keeping the last n verdicts (DefaultVerdictRing when n <= 0)
+// and publishing govolve_gate_* series into reg (may be nil).
+func NewGateEngine(specs []GateSpec, n int, reg *Registry) *GateEngine {
+	if specs == nil {
+		specs = DefaultGateSpecs()
+	}
+	if n <= 0 {
+		n = DefaultVerdictRing
+	}
+	return &GateEngine{
+		specs: append([]GateSpec(nil), specs...),
+		ring:  make([]*Verdict, 0, n),
+		reg:   reg,
+	}
+}
+
+// Specs returns a copy of the engine's gate specs.
+func (g *GateEngine) Specs() []GateSpec {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]GateSpec(nil), g.specs...)
+}
+
+// Evaluate runs every gate over the snapshot window and records the
+// verdict. Any snapshot may be nil. Returns nil on a nil engine.
+func (g *GateEngine) Evaluate(tag, outcome string, before, during, after *Snapshot) *Verdict {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	specs := g.specs
+	g.total++
+	seq := g.total
+	g.mu.Unlock()
+
+	v := &Verdict{
+		Seq: seq, Tag: tag, Outcome: outcome,
+		Pass: true, When: time.Now(),
+		Results: make([]GateResult, 0, len(specs)),
+	}
+	for _, spec := range specs {
+		res := spec.eval(before, during, after)
+		if !res.Pass && v.Pass {
+			v.Pass = false
+			v.Violated = res.Gate
+		}
+		v.Results = append(v.Results, res)
+	}
+
+	g.mu.Lock()
+	if len(g.ring) < cap(g.ring) {
+		g.ring = append(g.ring, v)
+	} else {
+		g.ring[g.next] = v
+	}
+	g.next++
+	if g.next == cap(g.ring) {
+		g.next = 0
+	}
+	reg := g.reg
+	g.mu.Unlock()
+
+	// Publish the judgment as metrics so the scrape plane sees it.
+	reg.Counter(MGateEvaluations).Inc()
+	if v.Pass {
+		reg.Counter(MGatePass).Inc()
+		reg.Gauge(MGateLastPass).Set(1)
+	} else {
+		reg.Counter(MGateFail).Inc()
+		reg.Gauge(MGateLastPass).Set(0)
+		reg.Counter(MGateViolations).Inc()
+	}
+	return v
+}
+
+// Verdicts returns a chronological snapshot of the ring (oldest first).
+func (g *GateEngine) Verdicts() []*Verdict {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Verdict, 0, len(g.ring))
+	if len(g.ring) < cap(g.ring) || g.next == 0 {
+		return append(out, g.ring...)
+	}
+	out = append(out, g.ring[g.next:]...)
+	return append(out, g.ring[:g.next]...)
+}
+
+// Last returns the most recent verdict, or nil when none.
+func (g *GateEngine) Last() *Verdict {
+	vs := g.Verdicts()
+	if len(vs) == 0 {
+		return nil
+	}
+	return vs[len(vs)-1]
+}
+
+// Total reports how many verdicts have ever been evaluated (including ones
+// the ring has since overwritten).
+func (g *GateEngine) Total() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.total
+}
+
+// Counts reports (pass, fail) over the buffered verdicts.
+func (g *GateEngine) Counts() (pass, fail int64) {
+	for _, v := range g.Verdicts() {
+		if v.Pass {
+			pass++
+		} else {
+			fail++
+		}
+	}
+	return pass, fail
+}
+
+// WriteJSON writes the buffered verdicts plus the active specs as one
+// indented JSON document — the /verdicts endpoint body.
+func (g *GateEngine) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Specs    []GateSpec `json:"specs"`
+		Total    int64      `json:"total"`
+		Verdicts []*Verdict `json:"verdicts"`
+	}{
+		Specs:    g.Specs(),
+		Total:    g.Total(),
+		Verdicts: g.Verdicts(),
+	}
+	if doc.Verdicts == nil {
+		doc.Verdicts = []*Verdict{}
+	}
+	if doc.Specs == nil {
+		doc.Specs = []GateSpec{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

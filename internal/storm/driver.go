@@ -47,8 +47,14 @@ type DriverConfig struct {
 	// 40; negative disables the recorder).
 	EventTail int
 	// Metrics, if set, attaches the registry to the VM so the engine and
-	// the stream obs plane publish into it.
+	// the stream obs plane publish into it. When nil the driver still arms
+	// gating against a private registry (see Config.GateSpecs).
 	Metrics *obs.Registry
+
+	// GateSpecs / GatePolicy configure the engine's per-update health gates
+	// (nil specs = obs.DefaultGateSpecs; zero policy = core.GateObserve).
+	GateSpecs  []obs.GateSpec
+	GatePolicy core.GatePolicy
 
 	Log io.Writer
 }
@@ -71,6 +77,8 @@ func NewDriver(cfg DriverConfig, v0 Version) (*Driver, error) {
 		ConcurrentReloc: cfg.ConcurrentReloc,
 		Lazy:            cfg.Lazy,
 		EventTail:       cfg.EventTail,
+		GateSpecs:       cfg.GateSpecs,
+		GatePolicy:      cfg.GatePolicy,
 		Log:             cfg.Log,
 	}.withDefaults()
 	r := &runner{

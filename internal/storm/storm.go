@@ -72,6 +72,20 @@ type Config struct {
 	// spans, transformer events — leading up to the violation.
 	EventTail int
 
+	// GateSpecs overrides the per-update health gates the engine evaluates
+	// over metric snapshots bracketing every update (nil means
+	// obs.DefaultGateSpecs); GatePolicy is the engine's FAIL reaction
+	// (GateObserve by default). Gating is always armed — bootVM creates a
+	// private registry when none is attached — so every storm update
+	// produces a Verdict, and failure reports carry the last one.
+	GateSpecs  []obs.GateSpec
+	GatePolicy core.GatePolicy
+
+	// Metrics, if set, attaches the registry to the VM so the engine, the
+	// gates and the obs plane publish into it (a private registry is used
+	// when nil — see GateSpecs).
+	Metrics *obs.Registry
+
 	Log io.Writer // optional progress log
 }
 
@@ -197,6 +211,11 @@ func Run(cfg Config) (*Report, error) {
 
 func (r *runner) failf(format string, args ...any) error {
 	msg := fmt.Sprintf("storm: seed=%d update=%d: %s", r.cfg.Seed, r.updateIdx, fmt.Sprintf(format, args...))
+	if r.eng != nil && r.eng.Gate != nil {
+		if v := r.eng.Gate.Last(); v != nil {
+			msg += "\nlast gate " + v.String()
+		}
+	}
 	if tail := r.rec.Last(r.cfg.EventTail); len(tail) > 0 {
 		var b strings.Builder
 		fmt.Fprintf(&b, "%s\nflight recorder (last %d of %d events):\n", msg, len(tail), r.rec.Total())
@@ -221,7 +240,7 @@ func (r *runner) boot() error {
 		return r.failf("initial program build: %v", err)
 	}
 	r.prog = prog
-	return r.bootVM(nil)
+	return r.bootVM(r.cfg.Metrics)
 }
 
 // bootVM stands up the VM, engine, checker hook and workload for whatever
@@ -244,10 +263,14 @@ func (r *runner) bootVM(metrics *obs.Registry) error {
 	if r.cfg.EventTail > 0 {
 		r.rec = obs.NewRecorder(obs.DefaultCapacity)
 	}
-	if r.rec != nil || metrics != nil {
-		v.AttachObs(r.rec, metrics)
+	if metrics == nil {
+		// Gate evaluation needs a registry to snapshot; a private one keeps
+		// every storm/stream update judged even when no caller scrapes it.
+		metrics = obs.NewRegistry()
 	}
+	v.AttachObs(r.rec, metrics)
 	r.eng = core.NewEngine(v)
+	r.eng.AttachGates(obs.NewGateEngine(r.cfg.GateSpecs, 0, metrics), r.cfg.GatePolicy)
 	// The checker hook: run the structural sweep the instant each update
 	// resolves, before any mutator step can mask a violation.
 	r.eng.AfterUpdate = func(res *core.Result) {

@@ -1,0 +1,49 @@
+package storm
+
+import (
+	"strings"
+	"testing"
+
+	"govolve/internal/core"
+	"govolve/internal/obs"
+)
+
+// TestStormEveryUpdateJudged: gating is always armed in storm (bootVM falls
+// back to a private registry), so every engine-resolved update — applied or
+// aborted — produces exactly one verdict, visible on the scrape plane when a
+// registry is attached.
+func TestStormEveryUpdateJudged(t *testing.T) {
+	reg := obs.NewRegistry()
+	rep, err := Run(Config{Seed: 4, Updates: 8, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(rep.Applied + rep.Aborted)
+	if got := reg.Counter(obs.MGateEvaluations).Value(); got != want {
+		t.Fatalf("%d verdicts for %d resolved updates", got, want)
+	}
+	if got := reg.Counter(obs.MGatePass).Value(); got != want {
+		t.Fatalf("all-green storm run passed %d/%d verdicts", got, want)
+	}
+}
+
+// TestStormGateHaltSurfacesVerdict: a deterministically failing gate (zero
+// pause budget) under the halt policy stops the storm at its second update
+// request, and the failure report names the violated gate.
+func TestStormGateHaltSurfacesVerdict(t *testing.T) {
+	_, err := Run(Config{
+		Seed: 1, Updates: 5,
+		GateSpecs: []obs.GateSpec{
+			{Name: "pause-budget", Metric: obs.MPauseTotal, Agg: obs.AggSum, Cmp: obs.CmpLE, Threshold: 0, WallClock: true},
+		},
+		GatePolicy: core.GateHalt,
+	})
+	if err == nil {
+		t.Fatal("zero pause budget halted nothing")
+	}
+	for _, want := range []string{"halted by gate policy", "last gate verdict", "FAIL gate=pause-budget"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("failure report missing %q:\n%v", want, err)
+		}
+	}
+}

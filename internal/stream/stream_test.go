@@ -309,3 +309,106 @@ func TestStreamReportTimestampFree(t *testing.T) {
 		t.Fatal("fingerprint depends on wall-clock fields")
 	}
 }
+
+// goldenVerdictFPs is the verdict analogue of goldenFingerprints: persists
+// across -count=N reruns so a second count compares against the first.
+var goldenVerdictFPs = map[string]string{}
+
+// TestStreamVerdictDeterminism: every step of a seeded deterministic chain
+// carries a verdict, an all-green chain passes every one, and the full
+// verdict sequence (per-gate pass bits, counts, non-wall-clock observations)
+// is byte-identical in-process and across go test -count=2.
+func TestStreamVerdictDeterminism(t *testing.T) {
+	for _, mode := range Modes() {
+		if !mode.Deterministic() {
+			continue
+		}
+		cfg := Config{Seed: 42, Length: 20, Mode: mode, Hostile: true, ScratchWords: 1 << 14}
+		a, err := Replay(cfg)
+		if err != nil {
+			t.Fatalf("mode %s first replay: %v", mode.Name, err)
+		}
+		for i := range a.Records {
+			rec := &a.Records[i]
+			if rec.Verdict != "PASS" || rec.VerdictGate != "" {
+				t.Fatalf("mode %s step %d: verdict %q gate %q, want all-green PASS",
+					mode.Name, rec.Step, rec.Verdict, rec.VerdictGate)
+			}
+			if rec.VerdictFP == "" {
+				t.Fatalf("mode %s step %d: no verdict fingerprint", mode.Name, rec.Step)
+			}
+		}
+		b, err := Replay(cfg)
+		if err != nil {
+			t.Fatalf("mode %s second replay: %v", mode.Name, err)
+		}
+		fa, fb := a.VerdictFingerprint(), b.VerdictFingerprint()
+		if fa != fb {
+			t.Fatalf("mode %s: in-process verdict mismatch:\n--- a ---\n%s\n--- b ---\n%s", mode.Name, fa, fb)
+		}
+		if prev, ok := goldenVerdictFPs[mode.Name]; ok && prev != fa {
+			t.Fatalf("mode %s: cross-run verdict mismatch:\n--- prev ---\n%s\n--- now ---\n%s", mode.Name, prev, fa)
+		}
+		goldenVerdictFPs[mode.Name] = fa
+	}
+}
+
+// TestStreamGateHaltStopsChain injects a deterministic regression (a zero
+// pause budget: a real pause is always > 0) under the halt policy. The chain
+// must stop after the first update with an error naming the violated gate,
+// and the step's record must carry the FAIL verdict.
+func TestStreamGateHaltStopsChain(t *testing.T) {
+	mode, _ := ModeByName("serial")
+	rep, err := Replay(Config{
+		Seed: 9, Length: 10, Mode: mode,
+		GateSpecs: []obs.GateSpec{
+			{Name: "pause-budget", Metric: obs.MPauseTotal, Agg: obs.AggSum, Cmp: obs.CmpLE, Threshold: 0, WallClock: true},
+		},
+		GatePolicy: core.GateHalt,
+	})
+	if err == nil {
+		t.Fatalf("zero pause budget halted nothing (applied=%d)", rep.Applied)
+	}
+	for _, want := range []string{"chain halted by gate policy", "pause-budget", "seed=9 step=1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("halt error %q missing %q", err, want)
+		}
+	}
+	if len(rep.Records) != 1 {
+		t.Fatalf("records = %d, want the halting step alone", len(rep.Records))
+	}
+	if rec := rep.Records[0]; rec.Verdict != "FAIL" || rec.VerdictGate != "pause-budget" {
+		t.Fatalf("halting record verdict %q gate %q", rec.Verdict, rec.VerdictGate)
+	}
+}
+
+// TestStreamGateQuiesceRetryCompletes runs a hostile chain with a tight
+// safe-point budget under the quiesce-retry policy: aborted attempts fail
+// the update-aborted gate, which escalates the very next retry to a quiesced
+// request. The chain must still complete, and at least one step must have
+// exercised the retry path.
+func TestStreamGateQuiesceRetryCompletes(t *testing.T) {
+	mode, _ := ModeByName("serial")
+	rep, err := Replay(Config{
+		Seed: 7, Length: 12, Mode: mode, Hostile: true,
+		MaxAttempts: 2, GatePolicy: core.GateQuiesceRetry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied != 12 {
+		t.Fatalf("applied = %d, want 12", rep.Applied)
+	}
+	retried := 0
+	for i := range rep.Records {
+		retried += rep.Records[i].Retries
+		if rep.Records[i].Verdict != "PASS" {
+			t.Fatalf("step %d final verdict %q, want PASS (abort deltas reset per attempt)",
+				rep.Records[i].Step, rep.Records[i].Verdict)
+		}
+	}
+	if rep.Aborted == 0 || retried == 0 {
+		t.Fatalf("aborted=%d retries=%d: tight budget never aborted, escalation unexercised",
+			rep.Aborted, retried)
+	}
+}

@@ -1,0 +1,52 @@
+package vm
+
+// Scheduler-side half of the version-attributed sampling profiler
+// (obs.Profiler). The scheduler already owns a natural sampling point —
+// the slice boundary, right after interpret returns — so sampling costs no
+// extra interrupts and no per-instruction work: one nil-check per slice
+// when disabled, a frame walk over the just-run thread when enabled,
+// weighted by the instructions that slice actually executed.
+//
+// Frame identity is (method global id × class id). Class IDs are the
+// version discriminator: a DSU update renames the old class in place
+// (keeping its id) and loads the new version under a fresh id, so samples
+// taken before and after an update land on distinct keys and the folded
+// stacks show exactly which code version the time went to.
+
+import (
+	"fmt"
+
+	"govolve/internal/obs"
+)
+
+// AttachProfiler arms (or, with nil, disarms) slice-boundary stack
+// sampling into p.
+func (v *VM) AttachProfiler(p *obs.Profiler) {
+	v.Prof = p
+}
+
+// profileSlice records one stack sample of t, weighted by the instructions
+// the finished slice executed. Called only from runSlice with v.Prof
+// non-nil; steady state allocates nothing (the frame-key scratch buffer is
+// reused, name registration happens once per key).
+func (v *VM) profileSlice(t *Thread, weight int64) {
+	p := v.Prof
+	if !p.Enabled() || weight <= 0 || len(t.Frames) == 0 {
+		return
+	}
+	frames := v.profScratch[:0]
+	for _, f := range t.Frames {
+		m := f.CM.Method
+		key := obs.ProfKey(m.GlobalID, m.Class.ID)
+		if !v.profSeen[key] {
+			if v.profSeen == nil {
+				v.profSeen = make(map[uint64]bool)
+			}
+			v.profSeen[key] = true
+			p.RegisterName(key, fmt.Sprintf("%s@c%d.%s%s", m.Class.Name, m.Class.ID, m.Def.Name, m.Def.Sig))
+		}
+		frames = append(frames, key)
+	}
+	v.profScratch = frames
+	p.Sample(int32(t.ID), weight, frames)
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package vm
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Performance gates skip their thresholds under -race: tsan
+// instruments every memory access with a function call, so a relative
+// throughput bound measures the instrumentation, not the code under test.
+const raceEnabled = true

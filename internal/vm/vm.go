@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"govolve/internal/classfile"
 	"govolve/internal/gc"
@@ -77,6 +78,11 @@ type Options struct {
 	// Metrics, if non-nil, receives counter/gauge/histogram updates; see
 	// VM.PublishMetrics and the engine's pause histograms.
 	Metrics *obs.Registry
+	// Profiler, if non-nil, arms the version-attributed sampling profiler:
+	// the scheduler samples the just-run thread's interpreter stack at
+	// every slice boundary, weighted by the instructions the slice
+	// executed. Nil is the disabled state: one nil-check per slice.
+	Profiler *obs.Profiler
 }
 
 // VM is one virtual machine instance.
@@ -163,10 +169,26 @@ type VM struct {
 	// the DSU engine records its pause histograms here.
 	Metrics *obs.Registry
 
+	// Prof is the attached sampling profiler (nil = sampling disabled; the
+	// scheduler pays a single nil-check per slice). profScratch is the
+	// reused frame-key buffer and profSeen the keys whose display names
+	// have been registered — both written only by the scheduler goroutine.
+	Prof        *obs.Profiler
+	profScratch []uint64
+	profSeen    map[uint64]bool
+
+	// created anchors the govolve_vm_uptime_seconds gauge.
+	created time.Time
+
 	// published remembers the last snapshot PublishMetrics exported, so
 	// monotonic VM counters map onto monotonic registry counters.
 	published       Stats
 	publishedCopied int64
+	// publishedEvDropped / publishedProf* are the delta anchors for the
+	// recorder-loss and profiler counters, same discipline as published.
+	publishedEvDropped   uint64
+	publishedProfTotal   int64
+	publishedProfDropped int64
 
 	// Exited is set by System.exit; ExitCode carries its argument.
 	Exited   bool
@@ -246,8 +268,8 @@ func New(opts Options) (*VM, error) {
 	reg := rt.NewRegistry()
 	h := heap.NewWithScratch(opts.HeapWords, opts.ScratchWords)
 	v := &VM{
-		Reg:              reg,
-		Heap:             h,
+		Reg:  reg,
+		Heap: h,
 		GC: gc.NewWithOptions(h, reg, gc.Options{
 			Workers:         opts.GCWorkers,
 			ConcurrentMark:  opts.GCConcurrentMark,
@@ -260,12 +282,16 @@ func New(opts Options) (*VM, error) {
 		natives:          make(map[string]NativeFunc),
 		IndirectionCheck: opts.IndirectionCheck,
 		LazyTransform:    opts.LazyTransform,
+		created:          time.Now(),
 	}
 	if opts.OptThreshold > 0 {
 		v.JIT.OptThreshold = opts.OptThreshold
 	}
 	if opts.Recorder != nil || opts.Metrics != nil {
 		v.AttachObs(opts.Recorder, opts.Metrics)
+	}
+	if opts.Profiler != nil {
+		v.AttachProfiler(opts.Profiler)
 	}
 	if err := v.bootstrap(); err != nil {
 		return nil, err
@@ -697,7 +723,15 @@ func (v *VM) liveThreads() int {
 // the scheduler list matching its post-slice state.
 func (v *VM) runSlice(t *Thread) {
 	v.stats.Slices++
-	v.interpret(t, v.Quantum)
+	if v.Prof == nil {
+		// Disabled-path discipline: profiling off costs exactly this one
+		// nil-check per slice (gated by TestProfDisabled* / obs-verdict-gate).
+		v.interpret(t, v.Quantum)
+	} else {
+		before := v.TotalSteps
+		v.interpret(t, v.Quantum)
+		v.profileSlice(t, v.TotalSteps-before)
+	}
 	switch t.State {
 	case Runnable:
 		v.enqueue(t)
@@ -1106,4 +1140,24 @@ func (v *VM) PublishMetrics() {
 	m.Gauge(obs.MThreadsLive).Set(float64(s.LiveThreads))
 	m.Gauge(obs.MThreadsBlocked).Set(float64(s.BlockedThreads))
 	m.Gauge(obs.MRunnableQueue).Set(float64(s.RunnableQueue))
+	m.Gauge(obs.MVMUptime).Set(time.Since(v.created).Seconds())
+	if v.Rec != nil {
+		// Flight-recorder ring overwrite loss, delta-published. A Reset()
+		// rewinds the recorder's totals; resync instead of going negative.
+		dropped := v.Rec.Dropped()
+		if dropped >= v.publishedEvDropped {
+			m.Counter(obs.MObsEventsDropped).Add(int64(dropped - v.publishedEvDropped))
+		}
+		v.publishedEvDropped = dropped
+	}
+	if v.Prof != nil {
+		tot, drop := v.Prof.TotalSamples(), v.Prof.DroppedSamples()
+		if tot >= v.publishedProfTotal {
+			m.Counter(obs.MProfSamples).Add(tot - v.publishedProfTotal)
+		}
+		if drop >= v.publishedProfDropped {
+			m.Counter(obs.MProfSamplesDropped).Add(drop - v.publishedProfDropped)
+		}
+		v.publishedProfTotal, v.publishedProfDropped = tot, drop
+	}
 }
