@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race race-gc obs-gate obs-verdict-gate satb-gate lazy-gate reloc-gate stream-gate storm bench-gc bench-obs bench-pause bench-stream trace fuzz
+.PHONY: verify build vet test race race-gc obs-gate obs-verdict-gate satb-gate lazy-gate reloc-gate stream-gate dispatch-gate storm bench-gc bench-obs bench-pause bench-stream bench-dispatch trace fuzz
 
-verify: build vet test race race-gc obs-gate obs-verdict-gate satb-gate lazy-gate reloc-gate stream-gate
+verify: build vet test race race-gc obs-gate obs-verdict-gate satb-gate lazy-gate reloc-gate stream-gate dispatch-gate
 
 build:
 	$(GO) build ./...
@@ -90,6 +90,21 @@ reloc-gate:
 stream-gate:
 	$(GO) test -race -run 'TestStreamGate' -count=1 ./internal/stream/
 
+# Interpreter-tier gate: the fused fast path must stay allocation-free, the
+# fused/base speedup ratio must hold (off-race; the ratio test self-skips
+# under -race), and the tier's DSU honesty is pinned by name — base-vs-fused
+# storm reports byte-identical, stale ICs flushed when the class behind a
+# hot monomorphic site is replaced, and updates that land on threads pinned
+# in fused loops deopting through the fused pc-map (core + hostile stream).
+# Prints the dispatch benchmark so tier regressions are visible.
+dispatch-gate:
+	$(GO) test -race -run 'TestFusedDispatchZeroAlloc|TestInterpFastPathZeroAlloc|TestFusedSpeedupRatio' -count=1 ./internal/vm/
+	$(GO) test -race -run 'TestStormTierEquivalence|TestStormStaleICCoverage' -count=1 ./internal/storm/
+	$(GO) test -race -run 'TestFusedFrameOSRUpdate|TestStaleICFlushOnClassReplacement' -count=1 ./internal/core/
+	$(GO) test -race -run 'TestStreamFusedFrameOSR' -count=1 ./internal/stream/
+	$(GO) test -run 'TestFusedSpeedupRatio' -count=1 ./internal/vm/
+	$(GO) test -run '^$$' -bench 'BenchmarkInterpDispatch' -benchtime 200ms ./internal/vm/
+
 # Long-running randomized soak (reproduce failures with -seed).
 storm:
 	$(GO) run ./cmd/jvolve-bench -exp storm -updates 500
@@ -112,6 +127,11 @@ bench-obs:
 # BENCH_stream.json.
 bench-stream:
 	$(GO) run ./cmd/jvolve-bench -exp stream -stream-out BENCH_stream.json
+
+# Interpreter dispatch tiers (base / fused / fused+ic over arith and
+# virtual-call mixes); writes BENCH_dispatch.json.
+bench-dispatch:
+	$(GO) run ./cmd/jvolve-bench -exp dispatch -dispatch-out BENCH_dispatch.json
 
 # Demo: record one fig5 updated run and export the DSU timeline as a
 # Chrome trace — open trace.json in https://ui.perfetto.dev.

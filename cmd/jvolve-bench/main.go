@@ -15,6 +15,7 @@
 //	jvolve-bench -exp gcpause   # GC-phase pause vs collection workers (writes BENCH_gc.json)
 //	jvolve-bench -exp pausecmp  # STW vs concurrent-mark DSU pause (writes BENCH_pause.json)
 //	jvolve-bench -exp obs       # pause decomposition via obs histograms (writes BENCH_obs.json)
+//	jvolve-bench -exp dispatch  # interpreter tier throughput grid (writes BENCH_dispatch.json)
 //	jvolve-bench -exp all
 //
 // -scale divides the microbenchmark object counts (1 = the paper's full
@@ -50,7 +51,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6|fig5|tables234|matrix|ablation|transformers|scratch|active|gcpause|pausecmp|storm|stream|obs|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig5|tables234|matrix|ablation|transformers|scratch|active|gcpause|pausecmp|storm|stream|obs|dispatch|all")
 	scale := flag.Int("scale", 8, "divide microbenchmark object counts by this factor (1 = paper scale)")
 	runs := flag.Int("runs", 3, "runs per measurement cell (paper: 21 for fig5)")
 	duration := flag.Duration("duration", 500*time.Millisecond, "measurement window per fig5/ablation run (paper: 60s)")
@@ -61,6 +62,7 @@ func main() {
 	pauseOut := flag.String("pause-out", "BENCH_pause.json", "pausecmp: output JSON path (empty disables the file)")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "obs: output JSON path (empty disables the file)")
 	streamOut := flag.String("stream-out", "BENCH_stream.json", "stream: output JSON path (empty disables the file)")
+	dispatchOut := flag.String("dispatch-out", "BENCH_dispatch.json", "dispatch: output JSON path (empty disables the file)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the fig5 flight-recorder events (load in Perfetto)")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot to this path ('-' for stdout)")
 	serveAddr := flag.String("serve", "", "serve live /metrics and /timeline over HTTP on this address until interrupted")
@@ -363,8 +365,25 @@ func main() {
 		return nil
 	})
 
+	run("dispatch", func() error {
+		fmt.Println("=== Extension: interpreter dispatch tiers (superinstructions + inline caches) ===")
+		rep, err := bench.RunDispatch(bench.DispatchSweep{Rounds: *runs}, os.Stderr)
+		if err != nil {
+			return err
+		}
+		bench.PrintDispatch(os.Stdout, rep)
+		if *dispatchOut != "" {
+			if err := bench.WriteDispatchJSON(*dispatchOut, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *dispatchOut)
+		}
+		fmt.Println()
+		return nil
+	})
+
 	switch *exp {
-	case "table1", "fig6", "fig5", "tables234", "matrix", "ablation", "transformers", "scratch", "active", "gcpause", "pausecmp", "storm", "stream", "obs", "all":
+	case "table1", "fig6", "fig5", "tables234", "matrix", "ablation", "transformers", "scratch", "active", "gcpause", "pausecmp", "storm", "stream", "obs", "dispatch", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "jvolve-bench: unknown experiment %q\n", *exp)
 		flag.Usage()

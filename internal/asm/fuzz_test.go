@@ -64,6 +64,12 @@ class S {
 	f.Add("class A {\n  method m()V {\n  end:\n    goto end\n  }\n}\n")
 	f.Add("not a class at all")
 	f.Add("class X {")
+	// Fused-superinstruction mnemonics are JIT-internal: OpByName excludes
+	// the whole resolved range, so these must be rejected as unknown ops,
+	// never assembled.
+	f.Add("class F {\n  method m()V {\n    fconstarith\n    return\n  }\n}\n")
+	f.Add("class F {\n  method m()V {\n    floadinvoke\n  }\n}\n")
+	f.Add("class F {\n  method m()V {\n    fpad\n    fconstarith2\n  }\n}\n")
 
 	f.Fuzz(func(t *testing.T, src string) {
 		classes, err := Assemble("fuzz.jva", src)

@@ -101,9 +101,16 @@ func printBody(b *strings.Builder, code []bytecode.Ins) {
 		case bytecode.INVOKEVIRTUAL, bytecode.INVOKESTATIC, bytecode.INVOKESPECIAL:
 			fmt.Fprintf(b, "%s %s%s\n", ins.Op, ins.Sym, ins.Desc)
 		default:
-			if ins.Op.IsBranch() {
+			switch {
+			case ins.Op.IsBranch():
 				fmt.Fprintf(b, "%s L%d\n", ins.Op, ins.A)
-			} else {
+			case ins.Op.IsResolved():
+				// JIT-internal opcodes (resolved forms, fused
+				// superinstructions) cannot appear in assembler source;
+				// render them unmistakably non-reassemblable so a dump of
+				// forged class-file code is never mistaken for source.
+				fmt.Fprintf(b, "!jit %s A=%d\n", ins.Op, ins.A)
+			default:
 				fmt.Fprintf(b, "%s\n", ins.Op)
 			}
 		}

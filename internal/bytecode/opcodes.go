@@ -111,7 +111,46 @@ const (
 	CONST_R                        // A = constant (result of JIT constant folding)
 	ENTERINL_R                     // inlined-callee prologue marker (opt compiler)
 	LEAVEINL_R                     // inlined-callee epilogue marker
+
+	// Fused superinstructions, produced only by the JIT's peephole fusion
+	// pass (fused/opt tiers). Each replaces an adjacent pair [A, B] of
+	// resolved instructions in place: the fused opcode occupies the first
+	// slot and FPAD pads the second, so code length and branch targets are
+	// unchanged and the OSR pc-map stays valid — a fused pc deoptimizes to
+	// its first constituent's bytecode pc. The fusion pass never fuses a
+	// pair whose second instruction is a branch target, so FPAD is never
+	// jumped to (the interpreter still treats it as a nop defensively).
+	FPAD        // padding slot of a fused pair
+	FCONSTARITH // const A then arith C, in place on the stack top
+	FLOADLOAD   // load A; load C
+	FSTORELOAD  // store A; load C
+	FSTOREGOTO  // store A; goto C (with backedge yield semantics)
+	FLOADCMPBR  // load C; conditional branch B to target A
+	FCONSTCMPBR // const A; two-operand compare-branch B to target C
+	FGETGET     // getfield A (ref) then getfield C of the result; B = 1 if final ref
+	FLOADINVOKE // load C; invokevirtual (A = TIB slot, B = nargs incl receiver)
+
+	// Chained superinstructions, produced by the fusion pass's second
+	// sweep: it merges a fused pair with an adjacent constituent (or a
+	// second fused pair) into a 3- or 4-wide superinstruction, padding
+	// every absorbed slot with FPAD. The same in-place rules apply —
+	// nothing absorbed may be a branch target — and the chains are
+	// restricted to trap-free constituents (no runtime divisors), so one
+	// dispatch can account for all constituent steps up front.
+	FLOADLOADARITH // load A; load C; arith B (B never DIV/REM) — 3 slots
+	FCONSTARITH2   // const A, arith lo(B); const C, arith hi(B) — 4 slots
 )
+
+// FusedMin/FusedMax bound the fused-superinstruction opcode range, used by
+// the printer, the verifier, and the fuzz corpora to recognise the tier-2
+// opcode space without enumerating it.
+const (
+	FusedMin = FPAD
+	FusedMax = FCONSTARITH2
+)
+
+// IsFused reports whether the opcode is a fused superinstruction.
+func (op Op) IsFused() bool { return op >= FusedMin && op <= FusedMax }
 
 var names = map[Op]string{
 	NOP: "nop", CONST: "const", NULL: "null", LDC: "ldc",
@@ -140,6 +179,12 @@ var names = map[Op]string{
 	INVOKEVIRT_R: "invokevirtual_r", INVOKESTAT_R: "invokestatic_r",
 	INVOKESPEC_R: "invokespecial_r", INVOKENAT_R: "invokenative_r",
 	CONST_R: "const_r", ENTERINL_R: "enterinline_r", LEAVEINL_R: "leaveinline_r",
+
+	FPAD: "fpad", FCONSTARITH: "fconstarith", FLOADLOAD: "floadload",
+	FSTORELOAD: "fstoreload", FSTOREGOTO: "fstoregoto",
+	FLOADCMPBR: "floadcmpbr", FCONSTCMPBR: "fconstcmpbr",
+	FGETGET: "fgetget", FLOADINVOKE: "floadinvoke",
+	FLOADLOADARITH: "floadloadarith", FCONSTARITH2: "fconstarith2",
 }
 
 // String returns the assembler mnemonic for the opcode.

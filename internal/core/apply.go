@@ -226,6 +226,7 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 		}
 		m.Invocations = 0 // profiles are invalidated (paper §3.3)
 		p.stats.InvalidatedMethods++
+		p.stats.InvalidatedBody++
 	}
 	// Refresh whole definitions of body-updated classes so later diffs and
 	// verification see current code.
@@ -255,7 +256,8 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 		if cm == nil || cm.Invalid {
 			continue
 		}
-		stale := cm.InlinedAny(cat1)
+		inline := cm.InlinedAny(cat1)
+		stale := inline
 		if !stale {
 			for dep := range cm.LayoutDeps {
 				if updatedOldSet[dep] {
@@ -269,6 +271,26 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 			cm.Invalid = true
 			m.Compiled = nil
 			p.stats.InvalidatedMethods++
+			if inline {
+				p.stats.InvalidatedInline++
+			} else {
+				p.stats.InvalidatedLayout++
+			}
+		}
+	}
+
+	// Flush every inline cache in the compiled code that survives the
+	// update. Monotonic class ids already make a stale hit impossible — the
+	// renamed old version keeps its id and the new version gets a fresh one,
+	// so post-update receivers self-miss — but leaving dead (old-id →
+	// old-method) entries in the fast slots would force every surviving
+	// site through its slow path until the entry happened to be evicted.
+	// Wiping the caches here re-warms them against new class ids on first
+	// dispatch. Always safe (an empty cache is just a TIB lookup), so no
+	// rollback entry is recorded.
+	for _, m := range reg.Methods() {
+		if cm := m.Compiled; cm != nil {
+			p.stats.ICFlushed += cm.FlushICs()
 		}
 	}
 
@@ -310,6 +332,7 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 	for _, job := range osrJobs {
 		f := job.frame
 		m := f.CM.Method
+		wasFused := f.CM.Level == rt.Fused
 		target := m
 		if m.Class.Renamed && m.Class.UpdatedTo != nil {
 			// The class was replaced; continue in the new version's
@@ -344,6 +367,11 @@ func (e *Engine) apply(p *Pending, osrJobs []osrJob, cat1 map[*rt.Method]bool) *
 			e.VM.Rec.Emit(obs.KOSRRecompile, obs.LaneEngine, 0, target.FullName())
 		}
 		p.stats.OSRFrames++
+		if wasFused {
+			// The frame was resting in trace-promoted fused code; the
+			// identity pc-map let the rewrite land at the fused pc.
+			p.stats.OSRFusedFrames++
+		}
 	}
 
 	// --- DSU garbage collection ---------------------------------------------

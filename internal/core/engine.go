@@ -66,9 +66,27 @@ type Stats struct {
 	Attempts           int
 	BarriersInstalled  int
 	OSRFrames          int
+	// OSRFusedFrames is the subset of OSRFrames that were resting in
+	// trace-promoted fused code when the update landed — each one deopted
+	// through the fused tier's identity pc-map.
+	OSRFusedFrames int
 	ActiveRewrites     int  // UpStare-style rewrites of changed on-stack methods
 	Immediate          bool // safe point reached on the first attempt
 	InvalidatedMethods int
+	// InvalidatedMethods decomposed by reason: Body counts direct bytecode
+	// swaps (category (1) identities kept alive via MethodBodyUpdates),
+	// Inline counts compiled methods that had inlined an updated method,
+	// Layout counts code whose baked field offsets or TIB slots referenced a
+	// renamed class. Body+Inline+Layout == InvalidatedMethods.
+	InvalidatedBody   int
+	InvalidatedInline int
+	InvalidatedLayout int
+	// ICFlushed counts inline-cache entries cleared from surviving compiled
+	// code at install: every cached (class id → target) pair keyed by an
+	// old-version class is stale the moment the rename commits, so the
+	// install phase wipes them all and lets the sites re-warm against the
+	// new class ids.
+	ICFlushed          int
 	TransformedObjects int
 	CopiedObjects      int
 	// CopiedWords counts words copied into to-space; ScratchWords counts
@@ -518,6 +536,12 @@ func classify(f *vm.Frame, cat1 map[*rt.Method]bool, updatedOld map[*rt.Class]bo
 	if cm.Level == rt.Base {
 		return frameOSR
 	}
+	if cm.Level == rt.Fused {
+		// Fused-tier code is index-aligned with base code (superinstructions
+		// replace pairs in place) and carries a total identity pc-map, so a
+		// fused frame deopts at any resting pc — no osrOpt gate needed.
+		return frameOSR
+	}
 	if osrOpt && vm.OSRMappable(f) {
 		return frameOSR
 	}
@@ -580,7 +604,13 @@ func (e *Engine) handle() bool {
 				// A changed method with a user-provided yield-point map
 				// can be rewritten on stack (the UpStare extension)
 				// instead of blocking — if the frame sits at a mapped pc.
-				if am, ok := active[f.CM.Method]; ok && f.CM.Level == rt.Base {
+				// Fused frames qualify too: in-place fusion keeps pcs
+				// index-aligned with base code, so the user's yield-point
+				// map reads the fused pc unchanged (hot loops trace-promote
+				// to the fused tier, and an active update of a spinning
+				// method is exactly the hot-loop case).
+				if am, ok := active[f.CM.Method]; ok &&
+					(f.CM.Level == rt.Base || f.CM.Level == rt.Fused) {
 					if _, mapped := am.PC[f.PC]; mapped {
 						amCopy := am
 						osrJobs = append(osrJobs, osrJob{frame: f, active: &amCopy})
@@ -830,6 +860,10 @@ func (e *Engine) observeUpdate(res *Result) {
 		m.Counter(obs.MPairsLogged).Add(int64(s.PairsLogged))
 		m.Counter(obs.MGCSteals).Add(s.GCSteals)
 		m.Counter(obs.MLazyPending).Add(int64(s.LazyPending))
+		m.Counter(obs.MJITInvalidationsBody).Add(int64(s.InvalidatedBody))
+		m.Counter(obs.MJITInvalidationsInline).Add(int64(s.InvalidatedInline))
+		m.Counter(obs.MJITInvalidationsLayout).Add(int64(s.InvalidatedLayout))
+		m.Counter(obs.MJITICFlushes).Add(int64(s.ICFlushed))
 	case Aborted:
 		m.Counter(obs.MUpdatesAborted).Add(1)
 	default:

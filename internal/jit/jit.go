@@ -5,11 +5,16 @@
 // methods real: when a class's layout changes, code that baked in its
 // offsets is stale and must be recompiled (or OSRed if on stack).
 //
-// Two tiers mirror Jikes RVM: the base compiler is a strict 1:1 translation
-// of bytecode (so the OSR pc-map is the identity), and the opt compiler adds
-// constant folding and inlining of small static/special calls, recording
-// what it inlined so the DSU engine can restrict inlining callers of
-// updated methods.
+// Three tiers mirror Jikes RVM's adaptive system: the base compiler is a
+// strict 1:1 translation of bytecode (so the OSR pc-map is the identity);
+// the fused tier adds in-place superinstruction fusion and inline caches to
+// base code (trace promotion moves hot loops here without waiting for a
+// return); and the opt compiler additionally inlines small static/special
+// calls and folds constants, recording what it inlined so the DSU engine
+// can restrict inlining callers of updated methods. Fusion rewrites pairs
+// in place ([A,B] becomes [FUSED,FPAD]), so code length and branch targets
+// never change and the OSR pc-map stays valid: a fused pc deoptimizes to
+// its first constituent's bytecode pc.
 package jit
 
 import (
@@ -31,9 +36,15 @@ type Compiler struct {
 	// compiler inlines.
 	InlineMaxCode int
 
-	// Counters for the benchmark harness.
-	BaseCompiles int
-	OptCompiles  int
+	// NoIC disables inline-cache installation in fused/opt code. The
+	// dispatch benchmark uses it to isolate the fusion win from the IC win;
+	// everything else leaves it false.
+	NoIC bool
+
+	// Counters for the benchmark harness and the obs metrics plane.
+	BaseCompiles  int
+	OptCompiles   int
+	FusedCompiles int
 }
 
 // New builds a compiler with Jikes-flavoured defaults.
@@ -52,9 +63,13 @@ func (c *Compiler) Compile(m *rt.Method, level rt.OptLevel) (*rt.CompiledMethod,
 		return nil, err
 	}
 	c.BaseCompiles++
-	if level == rt.Opt {
+	switch level {
+	case rt.Opt:
 		cm = c.optimize(cm)
 		c.OptCompiles++
+	case rt.Fused:
+		cm = c.fusedTier(cm)
+		c.FusedCompiles++
 	}
 	// Final pass: bake each instruction's minimum stack need into the
 	// executable form, so the interpreter's underflow guard is a single
@@ -196,13 +211,171 @@ func (c *Compiler) baseCompile(m *rt.Method) (*rt.CompiledMethod, error) {
 	return cm, nil
 }
 
-// optimize applies constant folding and inlining to base code, producing
-// opt-level code. The input is consumed.
+// optimize applies inlining, constant folding, superinstruction fusion,
+// and inline caches to base code, producing opt-level code. The input is
+// consumed. Fusion runs last and in place, so the pc-map built by inlining
+// stays valid: a fused pc inherits the map entry of its first constituent.
 func (c *Compiler) optimize(cm *rt.CompiledMethod) *rt.CompiledMethod {
 	out := c.inline(cm)
 	out.Code = foldConstants(out.Code)
+	fuse(out.Code)
+	if !c.NoIC {
+		installICs(out)
+	}
 	out.Level = rt.Opt
 	return out
+}
+
+// fusedTier turns base code into the trace-promoted loop tier: in-place
+// superinstruction fusion plus inline caches, no inlining. Because fusion
+// preserves instruction indexes, the pc-map is the identity — materialized
+// explicitly so the OSR deopt contract (fused pc → first constituent's
+// bytecode pc) is a table lookup like the opt tier's, not a special case.
+func (c *Compiler) fusedTier(cm *rt.CompiledMethod) *rt.CompiledMethod {
+	fuse(cm.Code)
+	if !c.NoIC {
+		installICs(cm)
+	}
+	pcMap := make([]int, len(cm.Code))
+	for i := range pcMap {
+		pcMap[i] = i
+	}
+	cm.PCMap = pcMap
+	cm.Level = rt.Fused
+	return cm
+}
+
+// installICs embeds a fresh inline cache at every virtual call site and
+// records it in ICSites so the DSU install phase can flush them without
+// scanning instruction streams.
+func installICs(cm *rt.CompiledMethod) {
+	for i := range cm.Code {
+		switch cm.Code[i].Op {
+		case bytecode.INVOKEVIRT_R, bytecode.FLOADINVOKE:
+			ic := &rt.ICache{}
+			cm.Code[i].IC = ic
+			cm.ICSites = append(cm.ICSites, ic)
+		}
+	}
+}
+
+// fusable reports whether the adjacent pair (a, b) at index i matches the
+// fusion catalog, and returns the fused replacement. The caller has already
+// checked that i+1 is not a branch target. Branch-carrying fusions refuse
+// the degenerate self-target (b jumping to its own pc, i+1): the fused
+// backedge test compares against the pair's first pc, which would turn that
+// one case from a backedge into a forward edge and shift yield boundaries.
+func fusable(i int, a, b rt.Ins) (rt.Ins, bool) {
+	isConst := func(op bytecode.Op) bool {
+		return op == bytecode.CONST || op == bytecode.CONST_R
+	}
+	switch {
+	case isConst(a.Op):
+		switch b.Op {
+		case bytecode.ADD, bytecode.SUB, bytecode.MUL, bytecode.AND,
+			bytecode.OR, bytecode.XOR, bytecode.SHL, bytecode.SHR:
+			return rt.Ins{Op: bytecode.FCONSTARITH, A: a.A, C: int32(b.Op)}, true
+		case bytecode.DIV, bytecode.REM:
+			// A compile-time nonzero divisor needs no runtime zero trap.
+			if a.A != 0 {
+				return rt.Ins{Op: bytecode.FCONSTARITH, A: a.A, C: int32(b.Op)}, true
+			}
+		case bytecode.IF_ICMPEQ, bytecode.IF_ICMPNE, bytecode.IF_ICMPLT,
+			bytecode.IF_ICMPLE, bytecode.IF_ICMPGT, bytecode.IF_ICMPGE:
+			if int(b.A) != i+1 {
+				return rt.Ins{Op: bytecode.FCONSTCMPBR, A: a.A, B: int32(b.Op), C: int32(b.A)}, true
+			}
+		}
+	case a.Op == bytecode.LOAD:
+		switch {
+		case b.Op == bytecode.LOAD:
+			return rt.Ins{Op: bytecode.FLOADLOAD, A: a.A, C: int32(b.A)}, true
+		case b.Op.IsConditional() && int(b.A) != i+1:
+			return rt.Ins{Op: bytecode.FLOADCMPBR, A: b.A, B: int32(b.Op), C: int32(a.A)}, true
+		case b.Op == bytecode.INVOKEVIRT_R:
+			return rt.Ins{Op: bytecode.FLOADINVOKE, A: b.A, B: b.B,
+				C: int32(a.A), Ref: b.Ref, RetVoid: b.RetVoid}, true
+		}
+	case a.Op == bytecode.STORE:
+		switch b.Op {
+		case bytecode.LOAD:
+			return rt.Ins{Op: bytecode.FSTORELOAD, A: a.A, C: int32(b.A)}, true
+		case bytecode.GOTO:
+			if int(b.A) != i+1 {
+				return rt.Ins{Op: bytecode.FSTOREGOTO, A: a.A, C: int32(b.A)}, true
+			}
+		}
+	case a.Op == bytecode.GETFIELD_R && a.B == 1 && b.Op == bytecode.GETFIELD_R:
+		return rt.Ins{Op: bytecode.FGETGET, A: a.A, C: int32(b.A), B: b.B}, true
+	}
+	return rt.Ins{}, false
+}
+
+// fuse rewrites adjacent instruction pairs from the fusion catalog into
+// single superinstructions, greedily left to right and strictly in place:
+// the pair [A, B] becomes [FUSED, FPAD], so code length, branch targets,
+// and the pc-map all survive untouched. A pair whose second instruction is
+// a branch target is never fused — control must be able to land on it.
+func fuse(code []rt.Ins) {
+	targets := make(map[int]bool)
+	for _, ins := range code {
+		if ins.Op.IsBranch() {
+			targets[int(ins.A)] = true
+		}
+	}
+	for i := 0; i+1 < len(code); i++ {
+		if targets[i+1] {
+			continue
+		}
+		f, ok := fusable(i, code[i], code[i+1])
+		if !ok {
+			continue
+		}
+		code[i] = f
+		code[i+1] = rt.Ins{Op: bytecode.FPAD}
+		i++ // the pad is consumed; never pair it as a first constituent
+	}
+
+	// Second sweep: chain a fused pair with the constituent (or pair) that
+	// follows its pad into a 3- or 4-wide superinstruction. The same
+	// in-place rules hold — the absorbed slot must not be a branch target
+	// (the slot after it, when part of a pair, is already target-free from
+	// the first sweep) — and only trap-free shapes chain, so one dispatch
+	// accounts for every constituent step without a mid-chain kill ever
+	// observing a partial count.
+	for i := 0; i+2 < len(code); i++ {
+		if targets[i+2] {
+			continue
+		}
+		switch code[i].Op {
+		case bytecode.FLOADLOAD:
+			// load A; load C; arith B. DIV/REM are excluded: their divisor
+			// is a runtime local, and a zero would need the kill path to
+			// reconstruct which constituent trapped.
+			switch code[i+2].Op {
+			case bytecode.ADD, bytecode.SUB, bytecode.MUL, bytecode.AND,
+				bytecode.OR, bytecode.XOR, bytecode.SHL, bytecode.SHR:
+				code[i] = rt.Ins{Op: bytecode.FLOADLOADARITH, A: code[i].A,
+					B: int32(code[i+2].Op), C: code[i].C}
+				code[i+2] = rt.Ins{Op: bytecode.FPAD}
+				i += 2
+			}
+		case bytecode.FCONSTARITH:
+			// Two const+arith pairs back to back: const A, arith lo(B);
+			// const C, arith hi(B). The second constant must fit the int32
+			// C operand; both divisors were already proven nonzero by the
+			// first sweep.
+			if code[i+2].Op == bytecode.FCONSTARITH {
+				c2 := code[i+2].A
+				if int64(int32(c2)) == c2 {
+					code[i] = rt.Ins{Op: bytecode.FCONSTARITH2, A: code[i].A,
+						B: code[i].C | code[i+2].C<<8, C: int32(c2)}
+					code[i+2] = rt.Ins{Op: bytecode.FPAD}
+					i += 3
+				}
+			}
+		}
+	}
 }
 
 // inlinable reports whether a resolved call site can be inlined: direct

@@ -61,7 +61,29 @@ func TestOptPCMapShape(t *testing.T) {
 			op == bytecode.NOP || op == bytecode.CONST_R {
 			continue // markers and folded constants
 		}
+		if op == bytecode.FPAD {
+			continue // pad slot of a fused pair; deopt never lands here
+		}
 		oop := m.Def.Code[orig].Op
+		if op.IsFused() {
+			// A fused pc deopts to its FIRST constituent's original pc.
+			firstOf := map[bytecode.Op]bytecode.Op{
+				bytecode.FCONSTARITH:    bytecode.CONST,
+				bytecode.FCONSTARITH2:   bytecode.CONST,
+				bytecode.FCONSTCMPBR:    bytecode.CONST,
+				bytecode.FLOADLOAD:      bytecode.LOAD,
+				bytecode.FLOADLOADARITH: bytecode.LOAD,
+				bytecode.FLOADCMPBR:     bytecode.LOAD,
+				bytecode.FLOADINVOKE:    bytecode.LOAD,
+				bytecode.FSTORELOAD:     bytecode.STORE,
+				bytecode.FSTOREGOTO:     bytecode.STORE,
+				bytecode.FGETGET:        bytecode.GETFIELD,
+			}
+			if want, ok := firstOf[op]; !ok || oop != want {
+				t.Fatalf("pc %d: fused %v maps to original %v, want its first constituent", pc, op, oop)
+			}
+			continue
+		}
 		resolvedPairs := map[bytecode.Op]bytecode.Op{
 			bytecode.GETFIELD_R:   bytecode.GETFIELD,
 			bytecode.PUTFIELD_R:   bytecode.PUTFIELD,

@@ -437,6 +437,24 @@ const (
 	MGateViolations  = "govolve_gate_violations_total"
 	MGateLastPass    = "govolve_gate_last_pass"
 
+	// JIT/tier plane: per-tier compile activity, trace promotions into the
+	// fused tier, DSU code invalidations by reason (method-body swap,
+	// layout/TIB dependency, inlined-callee change), inline-cache dispatch
+	// outcomes and install-phase flushes, and the cumulative IC hit-rate
+	// gauge. The registry is flat-name-keyed, so what Prometheus would
+	// label {tier=...}/{reason=...} is realized as suffixed names.
+	MJITCompilesBase        = "govolve_jit_compiles_base_total"
+	MJITCompilesOpt         = "govolve_jit_compiles_opt_total"
+	MJITCompilesFused       = "govolve_jit_compiles_fused_total"
+	MJITTracePromotions     = "govolve_jit_trace_promotions_total"
+	MJITInvalidationsBody   = "govolve_jit_invalidations_body_total"
+	MJITInvalidationsLayout = "govolve_jit_invalidations_layout_total"
+	MJITInvalidationsInline = "govolve_jit_invalidations_inline_total"
+	MJITICHits              = "govolve_jit_ic_hits_total"
+	MJITICMisses            = "govolve_jit_ic_misses_total"
+	MJITICFlushes           = "govolve_jit_ic_flushes_total"
+	MJITICHitRate           = "govolve_jit_ic_hit_rate"
+
 	// Sampling-profiler plane (profile.go).
 	MProfSamples        = "govolve_profile_samples_total"
 	MProfSamplesDropped = "govolve_profile_samples_dropped_total"
@@ -498,6 +516,18 @@ var metricHelp = map[string]string{
 	MGateFail:        "Verdicts with at least one violated gate.",
 	MGateViolations:  "Individual gate violations across all verdicts.",
 	MGateLastPass:    "1 when the most recent verdict passed, else 0.",
+
+	MJITCompilesBase:        "Methods compiled at the base tier.",
+	MJITCompilesOpt:         "Methods compiled at the opt tier (inline+fold+fuse+IC).",
+	MJITCompilesFused:       "Methods compiled at the fused tier (fuse+IC).",
+	MJITTracePromotions:     "Hot loop frames trace-promoted onto fused code.",
+	MJITInvalidationsBody:   "Compiled bodies invalidated by method-body updates.",
+	MJITInvalidationsLayout: "Compiled bodies invalidated by baked-in layout/TIB deps.",
+	MJITInvalidationsInline: "Compiled bodies invalidated for inlining updated callees.",
+	MJITICHits:              "Inline-cache hits at cached virtual call sites.",
+	MJITICMisses:            "Inline-cache misses falling back to the TIB lookup.",
+	MJITICFlushes:           "Inline-cache entries flushed by DSU install phases.",
+	MJITICHitRate:           "Cumulative inline-cache hit rate (hits / lookups).",
 
 	MProfSamples:        "Stack samples accepted by the sampling profiler.",
 	MProfSamplesDropped: "Profiler samples shed on contention or overwritten.",

@@ -47,6 +47,12 @@ type Method struct {
 	Invocations int
 	// Pinned marks bootstrap methods the adaptive system leaves alone.
 	Pinned bool
+	// HotSlices counts consecutive scheduling slices this method's
+	// base-compiled code spent pinned on top of a thread's stack — the
+	// trace-promotion signal: a method that never returns (a hot loop)
+	// accumulates slices instead of invocations, and at the VM's trace
+	// threshold its frame is promoted in place to the fused tier.
+	HotSlices int
 }
 
 // ID returns the method's name+signature identity.

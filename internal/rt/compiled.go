@@ -16,16 +16,58 @@ const (
 	// why, like JVOLVE, the DSU engine only OSRs base-compiled frames.
 	Base OptLevel = iota
 	// Opt adds inlining of small static/special calls and constant
-	// folding. Opt code records what it inlined so the DSU engine can
-	// restrict inlining callers of updated methods.
+	// folding, then superinstruction fusion and inline caches. Opt code
+	// records what it inlined so the DSU engine can restrict inlining
+	// callers of updated methods.
 	Opt
+	// Fused is the trace-promoted loop tier: base resolution plus in-place
+	// superinstruction fusion and inline caches, but no inlining. Because
+	// fusion rewrites pairs in place, fused code is index-for-index aligned
+	// with base code, so its OSR pc-map is the identity at every
+	// instruction start — fused frames deoptimize as cheaply as base
+	// frames, which is why the DSU engine OSRs them unconditionally.
+	Fused
 )
 
 func (l OptLevel) String() string {
-	if l == Opt {
+	switch l {
+	case Opt:
 		return "opt"
+	case Fused:
+		return "fused"
 	}
 	return "base"
+}
+
+// ICEntry is one inline-cache entry: a receiver class id and the virtual
+// target it resolved to at that site.
+type ICEntry struct {
+	ClassID int
+	Target  *Method
+}
+
+// ICache is a per-call-site inline cache for virtual dispatch, embedded in
+// the instruction stream of fused/opt code (base code carries none).
+// Entries[0] is the monomorphic fast slot; a miss that finds room promotes
+// the site to a small polymorphic stub (linear scan of Entries[:N]); a full
+// cache leaves the site megamorphic and every dispatch falls back to the
+// TIB lookup. The DSU install phase flushes every cache (N=0) so no entry
+// can survive a class update — and because registry class ids are
+// monotonic, an updated class's instances carry fresh ids that would miss
+// stale entries anyway; the flush is the belt to that braces.
+type ICache struct {
+	Entries [4]ICEntry
+	N       int
+}
+
+// Flush empties the cache and returns how many entries it dropped.
+func (ic *ICache) Flush() int {
+	n := ic.N
+	ic.N = 0
+	for i := range ic.Entries {
+		ic.Entries[i] = ICEntry{}
+	}
+	return n
 }
 
 // Ins is one resolved (executable) instruction. Operand use by opcode:
@@ -42,10 +84,26 @@ func (l OptLevel) String() string {
 //	LOAD/STORE               A = local slot (unchanged from bytecode)
 //	branches                 A = resolved-code target index
 //	ENTERINL_R/LEAVEINL_R    Ref = inlined callee, A = saved-locals base
+//
+// Fused superinstructions (C is their third operand):
+//
+//	FCONSTARITH  A = constant, C = arith opcode
+//	FLOADLOAD    A = first local slot, C = second local slot
+//	FSTORELOAD   A = store slot, C = load slot
+//	FSTOREGOTO   A = store slot, C = branch target
+//	FLOADCMPBR   A = branch target, B = compare opcode, C = local slot
+//	FCONSTCMPBR  A = constant, B = compare opcode, C = branch target
+//	FGETGET      A = first word offset, C = second word offset, B = 1 if final ref
+//	FLOADINVOKE  A = TIB slot, B = nargs incl receiver, C = local slot, Ref, IC
+//	FLOADLOADARITH  A = first slot, C = second slot, B = arith opcode (3 slots)
+//	FCONSTARITH2    A = first constant, C = second constant, B = lo byte first
+//	                arith opcode, hi byte second (4 slots)
 type Ins struct {
 	Op      bytecode.Op
 	A       int64
 	B       int32
+	C       int32      // third operand of fused superinstructions
+	IC      *ICache    // inline cache; non-nil only on virtual sites in fused/opt code
 	Cls     *Class
 	Ref     *Method
 	Str     string // TRAP message
@@ -101,9 +159,24 @@ type CompiledMethod struct {
 	// agree with base execution, so the mapping is sound there.
 	PCMap []int
 
+	// ICSites lists every inline cache embedded in Code (fused/opt level
+	// only), so the DSU install phase can flush them all without scanning
+	// instruction streams.
+	ICSites []*ICache
+
 	// Invalid marks code invalidated by the DSU engine; the interpreter
 	// never runs invalid code (invocation recompiles first).
 	Invalid bool
+}
+
+// FlushICs empties every inline cache in the method and returns the total
+// number of entries dropped.
+func (cm *CompiledMethod) FlushICs() int {
+	n := 0
+	for _, ic := range cm.ICSites {
+		n += ic.Flush()
+	}
+	return n
 }
 
 // StackNeed returns the minimum operand stack depth an instruction needs.
@@ -137,6 +210,22 @@ func StackNeed(ins Ins) int32 {
 	case bytecode.INVOKEVIRT_R, bytecode.INVOKESTAT_R, bytecode.INVOKESPEC_R,
 		bytecode.INVOKENAT_R, bytecode.ENTERINL_R:
 		return ins.B
+	case bytecode.FCONSTARITH, bytecode.FSTORELOAD, bytecode.FSTOREGOTO,
+		bytecode.FCONSTCMPBR, bytecode.FGETGET, bytecode.FCONSTARITH2:
+		// FCONSTARITH2 also needs just the stack top: each of its chained
+		// const+arith pairs rewrites it in place. FLOADLOADARITH needs 0
+		// (both arith operands come from locals) — the default covers it.
+		return 1
+	case bytecode.FLOADCMPBR:
+		// One-operand conditions compare the fused load itself; two-operand
+		// forms additionally pop one pre-existing stack value.
+		if op := bytecode.Op(ins.B); op >= bytecode.IF_ICMPEQ && op <= bytecode.IF_ACMPNE {
+			return 1
+		}
+		return 0
+	case bytecode.FLOADINVOKE:
+		// The fused load supplies one of the B arguments.
+		return ins.B - 1
 	default:
 		return 0
 	}

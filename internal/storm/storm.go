@@ -50,6 +50,28 @@ type Config struct {
 	// consumes extra rng or Steps, so a reloc run must produce a Report
 	// equal to the same seed's eager run.
 	ConcurrentReloc bool
+	// BaseTierOnly pins the VM to the base interpreter: no trace promotion,
+	// no opt recompilation, so no fused superinstructions and no inline
+	// caches ever run. Fused handlers replicate the base tier's step
+	// accounting and yield-point placement exactly, so a base-only run
+	// must produce a Report byte-identical to the same seed's FusedOnly
+	// run — the tier-equivalence check that proves superinstructions and
+	// ICs are observationally invisible under a live update storm.
+	BaseTierOnly bool
+	// FusedOnly keeps trace promotion, superinstruction fusion and inline
+	// caches (the PR's new tier) but pins opt recompilation out of reach.
+	// The opt tier's inlining removes method-entry yield points, which
+	// legitimately shifts slice boundaries and thus the rng trajectory —
+	// so the byte-identical tier-equivalence check compares BaseTierOnly
+	// against FusedOnly, the two tiers that share yield-point placement.
+	FusedOnly bool
+	// OptThreshold overrides the VM's opt-recompilation invocation count
+	// (0 keeps the VM default of 50). The stale-IC storm config sets this
+	// low so the snap probe methods — each a hot monomorphic virtual call
+	// site on a class the updates keep replacing — reach the IC-carrying
+	// opt tier within a couple of checks, putting inline caches directly
+	// in the oracle's line of fire.
+	OptThreshold int
 	// Lazy runs every update with lazy per-object transformation: objects
 	// leave the pause tagged and transform on first touch behind the read
 	// barrier. AfterUpdate's CheckVM then runs mid-drain (exercising the
@@ -247,15 +269,25 @@ func (r *runner) boot() error {
 // model/program pair the runner already holds — the shared half of boot,
 // also entered by the chain Driver with an externally generated Version.
 func (r *runner) bootVM(metrics *obs.Registry) error {
-	v, err := vm.New(vm.Options{
+	opts := vm.Options{
 		HeapWords:        r.cfg.HeapWords,
 		ScratchWords:     r.cfg.ScratchWords,
 		GCWorkers:        r.cfg.Workers,
 		GCConcurrentMark: r.cfg.ConcurrentMark,
 		ConcurrentReloc:  r.cfg.ConcurrentReloc,
 		LazyTransform:    r.cfg.Lazy,
+		OptThreshold:     r.cfg.OptThreshold,
 		Out:              io.Discard,
-	})
+	}
+	if r.cfg.BaseTierOnly {
+		opts.TraceThreshold = -1
+		opts.OptThreshold = 1 << 30
+		opts.NoInlineCache = true
+	}
+	if r.cfg.FusedOnly {
+		opts.OptThreshold = 1 << 30
+	}
+	v, err := vm.New(opts)
 	if err != nil {
 		return r.failf("vm: %v", err)
 	}

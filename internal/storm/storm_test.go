@@ -3,6 +3,8 @@ package storm
 import (
 	"strings"
 	"testing"
+
+	"govolve/internal/obs"
 )
 
 // TestStormShort is the bounded tier-1 configuration: three seeds, ~70
@@ -185,6 +187,63 @@ func TestStormRelocEagerEquivalent(t *testing.T) {
 				seed, *eager, *reloc)
 		}
 	}
+}
+
+// TestStormTierEquivalence runs the same seeds with the fused tier (trace
+// promotion onto superinstructions with inline caches) and with the VM
+// pinned to the base interpreter. The shadow oracle validates every field
+// value, static, array and probe after each update; the probe pass runs
+// virtual dispatch through whatever tier the probe methods currently
+// occupy, so the fused run exercises inline caches across repeated updates
+// of the classes behind those call sites. Requiring the two Reports
+// byte-identical pins the whole trajectory: superinstruction fusion, ICs
+// and trace promotion must be observationally invisible — including across
+// every IC flush and fused-code invalidation the updates trigger. (The opt
+// tier is excluded on both sides: its inlining removes method-entry yield
+// points, which legitimately shifts slice boundaries — a pre-existing
+// property of inlining, not a tier-honesty bug.)
+func TestStormTierEquivalence(t *testing.T) {
+	for _, seed := range []int64{5, 6} {
+		fused, err := Run(Config{Seed: seed, Updates: 20, FastDefaults: true, FusedOnly: true})
+		if err != nil {
+			t.Fatalf("seed %d fused: %v", seed, err)
+		}
+		base, err := Run(Config{Seed: seed, Updates: 20, FastDefaults: true, BaseTierOnly: true})
+		if err != nil {
+			t.Fatalf("seed %d base-only: %v", seed, err)
+		}
+		if *fused != *base {
+			t.Fatalf("seed %d: interpreter tier changed the trajectory:\n  fused=%+v\n  base=%+v",
+				seed, *fused, *base)
+		}
+	}
+}
+
+// TestStormStaleICCoverage proves the storm's stale-IC coverage is real,
+// not vacuous: a default-tier run whose updates repeatedly replace the
+// classes behind the hot monomorphic snap/probe call sites must actually
+// drive inline-cache traffic (hits), flush IC entries at update installs,
+// and invalidate fused code — all while the shadow oracle and CheckVM stay
+// green. An IC left stale across any of those updates would dispatch to
+// the old method body and show up as a probe-oracle mismatch.
+func TestStormStaleICCoverage(t *testing.T) {
+	reg := obs.NewRegistry()
+	rep, err := Run(Config{Seed: 11, Updates: 30, FastDefaults: true, OptThreshold: 4, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied < 30 {
+		t.Fatalf("applied only %d/30 updates", rep.Applied)
+	}
+	if hits := reg.Counter(obs.MJITICHits).Value(); hits == 0 {
+		t.Fatal("no inline-cache hits: the storm never exercised cached dispatch")
+	}
+	if flushes := reg.Counter(obs.MJITICFlushes).Value(); flushes == 0 {
+		t.Fatal("no IC flushes: updates installed without clearing inline caches")
+	}
+	t.Logf("ic hits=%d misses=%d flushes=%d promotions=%d",
+		reg.Counter(obs.MJITICHits).Value(), reg.Counter(obs.MJITICMisses).Value(),
+		reg.Counter(obs.MJITICFlushes).Value(), reg.Counter(obs.MJITTracePromotions).Value())
 }
 
 // TestStormLazyEagerEquivalent runs the same seeds eagerly and lazily. The

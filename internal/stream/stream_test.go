@@ -412,3 +412,42 @@ func TestStreamGateQuiesceRetryCompletes(t *testing.T) {
 			rep.Aborted, retried)
 	}
 }
+
+// TestStreamFusedFrameOSR is the hostile-stream half of the interpreter
+// tier's DSU coverage: under the hostile schedule, updates land while
+// worker threads are pinned inside hot loops that trace promotion has
+// moved onto the fused tier — every such frame must deopt through the
+// fused pc-map at the update pause. The chain-wide oracle inside Replay
+// already proves the rewritten frames compute the right answers; here we
+// additionally require that the fused-frame OSR path actually fired, so
+// the coverage can't silently decay into base-tier-only OSR.
+func TestStreamFusedFrameOSR(t *testing.T) {
+	mode, _ := ModeByName("serial")
+	reg := obs.NewRegistry()
+	rep, err := Replay(Config{
+		Seed: 9, Length: 25, Mode: mode, Hostile: true,
+		FastDefaults: true, ScratchWords: 1 << 14, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied != 25 {
+		t.Fatalf("applied = %d, want 25", rep.Applied)
+	}
+	if promos := reg.Counter(obs.MJITTracePromotions).Value(); promos == 0 {
+		t.Fatal("workload never trace-promoted: the chain ran base-tier only")
+	}
+	osr, fused := 0, 0
+	for i := range rep.Records {
+		osr += rep.Records[i].OSRFrames
+		fused += rep.Records[i].OSRFused
+	}
+	if osr == 0 {
+		t.Fatal("no update caught a thread on-stack in an invalidated method")
+	}
+	if fused == 0 {
+		t.Fatalf("%d OSR frames but none on the fused tier: no update landed while a thread was pinned in a fused loop", osr)
+	}
+	t.Logf("osr frames=%d fused=%d promotions=%d", osr, fused,
+		int64(reg.Counter(obs.MJITTracePromotions).Value()))
+}

@@ -15,7 +15,13 @@ import (
 func decodeFuzzMethod(data []byte) []bytecode.Ins {
 	var code []bytecode.Ins
 	for i := 0; i+1 < len(data); i += 2 {
-		op := bytecode.Op(data[i] % (uint8(bytecode.YIELD) + 1))
+		op := bytecode.Op(data[i])
+		if !op.IsResolved() {
+			op = bytecode.Op(data[i] % (uint8(bytecode.YIELD) + 1))
+		}
+		// Resolved and fused opcodes (0x80+) pass through raw: they are
+		// JIT-internal and must never verify in class-file code — the
+		// fuzz oracle below fails if the verifier accepts one.
 		arg := int64(data[i+1])
 		ins := bytecode.Ins{Op: op}
 		switch op {
@@ -151,6 +157,15 @@ func FuzzVerifier(f *testing.F) {
 	f.Add([]byte{byte(bytecode.NEW), 0, byte(bytecode.DUP), 0,
 		byte(bytecode.INVOKESPECIAL), 0, byte(bytecode.GETFIELD), 0,
 		byte(bytecode.RETURN), 0})
+	// JIT-internal opcodes smuggled into class-file code: every fused
+	// superinstruction and resolved form must be rejected, never verified
+	// and never panicked on.
+	f.Add([]byte{byte(bytecode.FPAD), 0})
+	f.Add([]byte{byte(bytecode.FCONSTARITH), 3, byte(bytecode.RETURN), 0})
+	f.Add([]byte{byte(bytecode.CONST), 1, byte(bytecode.FCONSTCMPBR), 0})
+	f.Add([]byte{byte(bytecode.FLOADINVOKE), 1, byte(bytecode.FGETGET), 2})
+	f.Add([]byte{byte(bytecode.FLOADLOADARITH), 0, byte(bytecode.FCONSTARITH2), 9})
+	f.Add([]byte{byte(bytecode.GETFIELD_R), 0, byte(bytecode.RETURN), 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		code := decodeFuzzMethod(data)
@@ -162,7 +177,14 @@ func FuzzVerifier(f *testing.F) {
 		if verr != nil {
 			return
 		}
-		// Accepted. For straight-line code the stack depth at each pc is
+		// Accepted. JIT-internal opcodes (resolved forms and fused
+		// superinstructions) must never get this far.
+		for pc, ins := range code {
+			if ins.Op.IsResolved() {
+				t.Fatalf("verifier accepted JIT-internal opcode %s at pc %d: %v", ins.Op, pc, code)
+			}
+		}
+		// For straight-line code the stack depth at each pc is
 		// exact; replay it and reject any accepted underflow.
 		depth := 0
 		for pc, ins := range code {

@@ -457,6 +457,11 @@ func (v *Verifier) VerifyMethod(c *classfile.Class, m *classfile.Method) error {
 		case bytecode.TRAP:
 			fallthrough_ = false
 		default:
+			if ins.Op.IsFused() {
+				// Fused superinstructions exist only in JIT-compiled
+				// streams; class-file code carrying one is forged.
+				return fail(pc, "fused superinstruction %s is JIT-internal and illegal in class files", ins.Op)
+			}
 			return fail(pc, "unexpected opcode %s (resolved form in class file?)", ins.Op)
 		}
 

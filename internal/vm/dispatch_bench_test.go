@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"runtime"
 	"testing"
+	"time"
 
 	"govolve/internal/asm"
 )
@@ -40,10 +41,21 @@ class Hot {
 
 // newDispatchVM builds a VM running the arithmetic loop and warms it past
 // JIT recompilation and slice-ring growth so steady state is measured.
+// With default options the hot loop trace-promotes onto the fused tier
+// during warmup, so this measures the current production configuration.
 func newDispatchVM(tb testing.TB) *VM {
+	return newDispatchVMOpts(tb, Options{})
+}
+
+// newDispatchVMOpts is newDispatchVM with tier selection: pass
+// TraceThreshold -1 + a huge OptThreshold for the base-only interpreter,
+// or NoInlineCache to isolate the fusion win from the IC win.
+func newDispatchVMOpts(tb testing.TB, opts Options) *VM {
 	tb.Helper()
 	var out bytes.Buffer
-	v, err := New(Options{HeapWords: 1 << 14, Out: &out})
+	opts.HeapWords = 1 << 14
+	opts.Out = &out
+	v, err := New(opts)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -68,7 +80,12 @@ func newDispatchVM(tb testing.TB) *VM {
 // per op and per second, plus allocs/op — the inner loop must be
 // allocation-free.
 func BenchmarkInterpDispatch(b *testing.B) {
-	v := newDispatchVM(b)
+	benchDispatch(b, newDispatchVM(b))
+}
+
+// benchDispatch measures steady-state dispatch on an already-warm VM.
+func benchDispatch(b *testing.B, v *VM) {
+	b.Helper()
 	b.ReportAllocs()
 	start := v.TotalSteps
 	b.ResetTimer()
@@ -84,11 +101,30 @@ func BenchmarkInterpDispatch(b *testing.B) {
 	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "instructions/s")
 }
 
+// BenchmarkInterpDispatchBase pins the pre-fusion interpreter: trace
+// promotion disabled, opt recompilation out of reach. This is the PR 1
+// number — the denominator of the fused-tier speedup claim.
+func BenchmarkInterpDispatchBase(b *testing.B) {
+	v := newDispatchVMOpts(b, Options{TraceThreshold: -1, OptThreshold: 1 << 30})
+	benchDispatch(b, v)
+}
+
+// BenchmarkInterpDispatchFused measures the fused tier explicitly (trace
+// promotion fires during warmup; the loop runs as superinstructions).
+func BenchmarkInterpDispatchFused(b *testing.B) {
+	v := newDispatchVMOpts(b, Options{})
+	if v.Stats().TracePromotions == 0 {
+		b.Fatal("warmup did not trace-promote the hot loop")
+	}
+	benchDispatch(b, v)
+}
+
 // TestInterpFastPathZeroAlloc is the guard: after warmup, interpreting the
 // arithmetic fast path performs zero heap allocations per instruction —
-// no closure churn, no boxing, no scheduler garbage.
+// no closure churn, no boxing, no scheduler garbage. Runs the base tier
+// explicitly; TestFusedDispatchZeroAlloc covers the fused tier.
 func TestInterpFastPathZeroAlloc(t *testing.T) {
-	v := newDispatchVM(t)
+	v := newDispatchVMOpts(t, Options{TraceThreshold: -1, OptThreshold: 1 << 30})
 	// One more warm round so every slice-local structure has grown.
 	v.Step(100)
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
@@ -102,5 +138,68 @@ func TestInterpFastPathZeroAlloc(t *testing.T) {
 	}
 	if allocs != 0 {
 		t.Fatalf("interpreter fast path allocates: %.1f allocs per 10 slices (%d instructions executed)", allocs, executed)
+	}
+}
+
+// TestFusedDispatchZeroAlloc is the fused-tier guard: after trace promotion
+// the superinstruction fast path — fused dispatch plus inline-cache-carrying
+// code — must also run allocation-free. A single alloc per op here would
+// erase the tier's win under GC pressure.
+func TestFusedDispatchZeroAlloc(t *testing.T) {
+	v := newDispatchVMOpts(t, Options{})
+	v.Step(100)
+	if v.Stats().TracePromotions == 0 {
+		t.Fatal("warmup did not trace-promote the hot loop")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	before := v.TotalSteps
+	allocs := testing.AllocsPerRun(50, func() {
+		v.Step(10)
+	})
+	executed := v.TotalSteps - before
+	if executed < 1000 {
+		t.Fatalf("fused fast path barely ran: %d instructions", executed)
+	}
+	if allocs != 0 {
+		t.Fatalf("fused fast path allocates: %.1f allocs per 10 slices (%d instructions executed)", allocs, executed)
+	}
+}
+
+// TestFusedSpeedupRatio is the perf tripwire: the fused tier must execute
+// the arithmetic loop at least 1.5x as fast as the base interpreter. Skipped
+// under the race detector, whose instrumentation swamps dispatch cost.
+// Best-of-three on each side to shrug off scheduler noise.
+func TestFusedSpeedupRatio(t *testing.T) {
+	if raceEnabled {
+		t.Skip("dispatch timing is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	measure := func(v *VM) float64 {
+		best := 0.0
+		for round := 0; round < 3; round++ {
+			start := v.TotalSteps
+			t0 := time.Now()
+			v.Step(2000)
+			el := time.Since(t0)
+			if el <= 0 {
+				continue
+			}
+			if r := float64(v.TotalSteps-start) / el.Seconds(); r > best {
+				best = r
+			}
+		}
+		return best
+	}
+	base := measure(newDispatchVMOpts(t, Options{TraceThreshold: -1, OptThreshold: 1 << 30}))
+	fused := measure(newDispatchVMOpts(t, Options{}))
+	if base == 0 {
+		t.Fatal("base tier measured zero throughput")
+	}
+	ratio := fused / base
+	t.Logf("base %.0f ins/s, fused %.0f ins/s, ratio %.2fx", base, fused, ratio)
+	if ratio < 1.5 {
+		t.Fatalf("fused tier only %.2fx over base, want >= 1.5x", ratio)
 	}
 }

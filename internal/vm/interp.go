@@ -8,6 +8,35 @@ import (
 	"govolve/internal/rt"
 )
 
+// fconstArith applies one const+arith constituent of an FCONSTARITH2 chain:
+// a OP b with b a compile-time constant the fusion pass proved nonzero for
+// DIV/REM, so no trap path exists.
+func fconstArith(a, b int64, op bytecode.Op) int64 {
+	switch op {
+	case bytecode.ADD:
+		return a + b
+	case bytecode.SUB:
+		return a - b
+	case bytecode.MUL:
+		return a * b
+	case bytecode.DIV:
+		return a / b
+	case bytecode.REM:
+		return a % b
+	case bytecode.AND:
+		return a & b
+	case bytecode.OR:
+		return a | b
+	case bytecode.XOR:
+		return a ^ b
+	case bytecode.SHL:
+		return a << uint(b&63)
+	case bytecode.SHR:
+		return a >> uint(b&63)
+	}
+	return 0
+}
+
 // kill terminates a thread with a runtime error. It is a method (not a
 // per-interpret closure) so the steady-state dispatch loop carries no
 // closure setup at all.
@@ -382,13 +411,19 @@ func (v *VM) interpret(t *Thread, budget int) {
 					return
 				}
 			}
-			cls := v.Reg.ClassByID(v.Heap.ClassID(recv.Ref()))
-			if cls == nil || int(ins.A) >= len(cls.TIB) {
+			// Inline-cache fast path (fused/opt code only; base code carries
+			// no caches): a monomorphic hit is one class-id compare, the
+			// polymorphic stub a short linear scan, and only a miss pays the
+			// registry + TIB lookup. Entries key on the receiver's class id —
+			// ids are monotonic, so an updated class's instances (which carry
+			// fresh ids) can never hit a stale entry, and the DSU install
+			// phase flushes every cache anyway.
+			target, ok := v.vdispatch(ins, recv.Ref())
+			if !ok {
 				v.kill(t, fmt.Errorf("vm: bad dispatch (class id %d, slot %d) in %s",
 					v.Heap.ClassID(recv.Ref()), ins.A, f.Method().FullName()))
 				return
 			}
-			target := cls.TIB[ins.A]
 			if stop := v.invoke(t, f, target, nargs, &budget); stop {
 				return
 			}
@@ -475,6 +510,325 @@ func (v *VM) interpret(t *Thread, budget int) {
 			}
 			continue
 
+		// --- fused superinstructions (fused/opt tiers only) --------------
+		//
+		// Each executes both constituents of a fused pair in one dispatch
+		// and skips the FPAD slot (pc += 2). Logical instruction accounting
+		// stays identical to unfused execution: the loop top counted the
+		// first constituent; each handler counts the second exactly when it
+		// begins, so a kill mid-pair leaves the same step totals as base
+		// code — what keeps storm reports byte-identical across tiers.
+		// Yield semantics are unchanged too: only backedges and calls touch
+		// the budget, and fused backedge tests compare against the second
+		// constituent's pc (f.PC+1), exactly where the branch used to live.
+
+		case bytecode.FPAD:
+			// Padding slot of a fused pair. Never branched to (the fusion
+			// pass refuses branch-target seconds) and never reached
+			// linearly (handlers skip it); behaves as a nop defensively.
+
+		case bytecode.FCONSTARITH:
+			t.Steps++
+			v.TotalSteps++
+			n := len(f.Stack) - 1
+			a := f.Stack[n].Int()
+			b := ins.A
+			var r int64
+			switch bytecode.Op(ins.C) {
+			case bytecode.ADD:
+				r = a + b
+			case bytecode.SUB:
+				r = a - b
+			case bytecode.MUL:
+				r = a * b
+			case bytecode.DIV:
+				r = a / b // b != 0: the fusion pass refuses zero divisors
+			case bytecode.REM:
+				r = a % b
+			case bytecode.AND:
+				r = a & b
+			case bytecode.OR:
+				r = a | b
+			case bytecode.XOR:
+				r = a ^ b
+			case bytecode.SHL:
+				r = a << uint(b&63)
+			case bytecode.SHR:
+				r = a >> uint(b&63)
+			}
+			f.Stack[n] = rt.IntVal(r)
+			f.PC += 2
+			continue
+
+		case bytecode.FLOADLOAD:
+			t.Steps++
+			v.TotalSteps++
+			f.Stack = append(f.Stack, f.Locals[ins.A], f.Locals[ins.C])
+			f.PC += 2
+			continue
+
+		case bytecode.FLOADLOADARITH:
+			// load A; load C; arith B — three constituents, one dispatch.
+			// No constituent can trap (DIV/REM never chain), so the extra
+			// two steps are counted up front.
+			t.Steps += 2
+			v.TotalSteps += 2
+			a := f.Locals[ins.A].Int()
+			b := f.Locals[ins.C].Int()
+			var r int64
+			switch bytecode.Op(ins.B) {
+			case bytecode.ADD:
+				r = a + b
+			case bytecode.SUB:
+				r = a - b
+			case bytecode.MUL:
+				r = a * b
+			case bytecode.AND:
+				r = a & b
+			case bytecode.OR:
+				r = a | b
+			case bytecode.XOR:
+				r = a ^ b
+			case bytecode.SHL:
+				r = a << uint(b&63)
+			case bytecode.SHR:
+				r = a >> uint(b&63)
+			}
+			f.Stack = append(f.Stack, rt.IntVal(r))
+			f.PC += 3
+			continue
+
+		case bytecode.FCONSTARITH2:
+			// const A, arith lo(B); const C, arith hi(B) — two chained
+			// const+arith pairs rewriting the stack top in place. Divisors
+			// were proven nonzero at fusion time, so nothing can trap.
+			t.Steps += 3
+			v.TotalSteps += 3
+			n := len(f.Stack) - 1
+			a := f.Stack[n].Int()
+			r := fconstArith(a, ins.A, bytecode.Op(ins.B&0xff))
+			r = fconstArith(r, int64(ins.C), bytecode.Op(ins.B>>8))
+			f.Stack[n] = rt.IntVal(r)
+			f.PC += 4
+			continue
+
+		case bytecode.FSTORELOAD:
+			t.Steps++
+			v.TotalSteps++
+			n := len(f.Stack) - 1
+			f.Locals[ins.A] = f.Stack[n]
+			f.Stack[n] = f.Locals[ins.C]
+			f.PC += 2
+			continue
+
+		case bytecode.FSTOREGOTO:
+			t.Steps++
+			v.TotalSteps++
+			n := len(f.Stack) - 1
+			f.Locals[ins.A] = f.Stack[n]
+			f.Stack = f.Stack[:n]
+			target := int(ins.C)
+			backedge := target <= f.PC+1
+			f.PC = target
+			if backedge {
+				budget--
+				if budget <= 0 || v.yieldFlag {
+					return
+				}
+			}
+			continue
+
+		case bytecode.FLOADCMPBR:
+			t.Steps++
+			v.TotalSteps++
+			cond := bytecode.Op(ins.B)
+			loaded := f.Locals[ins.C]
+			var taken bool
+			switch cond {
+			case bytecode.IFEQ:
+				taken = loaded.Int() == 0
+			case bytecode.IFNE:
+				taken = loaded.Int() != 0
+			case bytecode.IFLT:
+				taken = loaded.Int() < 0
+			case bytecode.IFLE:
+				taken = loaded.Int() <= 0
+			case bytecode.IFGT:
+				taken = loaded.Int() > 0
+			case bytecode.IFGE:
+				taken = loaded.Int() >= 0
+			case bytecode.IFNULL:
+				taken = loaded.Ref() == rt.Null
+			case bytecode.IFNONNULL:
+				taken = loaded.Ref() != rt.Null
+			case bytecode.IF_ACMPEQ, bytecode.IF_ACMPNE:
+				n := len(f.Stack) - 1
+				taken = f.Stack[n].Ref() == loaded.Ref()
+				f.Stack = f.Stack[:n]
+				if cond == bytecode.IF_ACMPNE {
+					taken = !taken
+				}
+			default: // IF_ICMPEQ..IF_ICMPGE: stack value vs loaded local
+				n := len(f.Stack) - 1
+				a := f.Stack[n].Int()
+				b := loaded.Int()
+				f.Stack = f.Stack[:n]
+				switch cond {
+				case bytecode.IF_ICMPEQ:
+					taken = a == b
+				case bytecode.IF_ICMPNE:
+					taken = a != b
+				case bytecode.IF_ICMPLT:
+					taken = a < b
+				case bytecode.IF_ICMPLE:
+					taken = a <= b
+				case bytecode.IF_ICMPGT:
+					taken = a > b
+				case bytecode.IF_ICMPGE:
+					taken = a >= b
+				}
+			}
+			if taken {
+				target := int(ins.A)
+				backedge := target <= f.PC+1
+				f.PC = target
+				if backedge {
+					budget--
+					if budget <= 0 || v.yieldFlag {
+						return
+					}
+				}
+				continue
+			}
+			f.PC += 2
+			continue
+
+		case bytecode.FCONSTCMPBR:
+			t.Steps++
+			v.TotalSteps++
+			n := len(f.Stack) - 1
+			a := f.Stack[n].Int()
+			b := ins.A
+			f.Stack = f.Stack[:n]
+			var taken bool
+			switch bytecode.Op(ins.B) {
+			case bytecode.IF_ICMPEQ:
+				taken = a == b
+			case bytecode.IF_ICMPNE:
+				taken = a != b
+			case bytecode.IF_ICMPLT:
+				taken = a < b
+			case bytecode.IF_ICMPLE:
+				taken = a <= b
+			case bytecode.IF_ICMPGT:
+				taken = a > b
+			case bytecode.IF_ICMPGE:
+				taken = a >= b
+			}
+			if taken {
+				target := int(ins.C)
+				backedge := target <= f.PC+1
+				f.PC = target
+				if backedge {
+					budget--
+					if budget <= 0 || v.yieldFlag {
+						return
+					}
+				}
+				continue
+			}
+			f.PC += 2
+			continue
+
+		case bytecode.FGETGET:
+			n := len(f.Stack) - 1
+			a := f.Stack[n].Ref()
+			if a == rt.Null {
+				v.kill(t, fmt.Errorf("vm: null dereference (getfield) in %s pc=%d", f.Method().FullName(), f.PC))
+				return
+			}
+			if v.IndirectionCheck {
+				v.indirectionProbe(a)
+			}
+			if v.DSULazyTouch != nil && v.Heap.Untransformed(a) {
+				if err := v.DSULazyTouch(a); err != nil {
+					v.kill(t, fmt.Errorf("vm: lazy transform (getfield) @%d in %s: %w", a, f.Method().FullName(), err))
+					return
+				}
+			}
+			mid := v.Heap.FieldValue(a, int(ins.A), true).Ref()
+			// Second constituent begins here — counted only now so a kill
+			// on the first getfield leaves base-identical step totals.
+			t.Steps++
+			v.TotalSteps++
+			if mid == rt.Null {
+				v.kill(t, fmt.Errorf("vm: null dereference (getfield) in %s pc=%d", f.Method().FullName(), f.PC))
+				return
+			}
+			if v.IndirectionCheck {
+				v.indirectionProbe(mid)
+			}
+			if v.DSULazyTouch != nil && v.Heap.Untransformed(mid) {
+				if err := v.DSULazyTouch(mid); err != nil {
+					v.kill(t, fmt.Errorf("vm: lazy transform (getfield) @%d in %s: %w", mid, f.Method().FullName(), err))
+					return
+				}
+			}
+			f.Stack[n] = v.Heap.FieldValue(mid, int(ins.C), ins.B == 1)
+			f.PC += 2
+			continue
+
+		case bytecode.FLOADINVOKE:
+			f.Stack = append(f.Stack, f.Locals[ins.C])
+			// Second constituent (the invoke) begins here.
+			t.Steps++
+			v.TotalSteps++
+			nargs := int(ins.B)
+			recv := f.Stack[len(f.Stack)-nargs]
+			if recv.Ref() == rt.Null {
+				v.kill(t, fmt.Errorf("vm: null receiver calling %s in %s", ins.Ref.FullName(), f.Method().FullName()))
+				return
+			}
+			if v.Heap.IsArray(recv.Ref()) {
+				v.kill(t, fmt.Errorf("vm: virtual call on array in %s", f.Method().FullName()))
+				return
+			}
+			if v.DSULazyTouch != nil && v.Heap.Untransformed(recv.Ref()) {
+				if err := v.DSULazyTouch(recv.Ref()); err != nil {
+					v.kill(t, fmt.Errorf("vm: lazy transform (invokevirt %s) @%d in %s: %w", ins.Ref.FullName(), recv.Ref(), f.Method().FullName(), err))
+					return
+				}
+			}
+			target, ok := v.vdispatch(ins, recv.Ref())
+			if !ok {
+				v.kill(t, fmt.Errorf("vm: bad dispatch (class id %d, slot %d) in %s",
+					v.Heap.ClassID(recv.Ref()), ins.A, f.Method().FullName()))
+				return
+			}
+			if target.Def.Native {
+				// A virtual dispatch can land on a native override. invoke's
+				// blocking-native protocol retries at an unchanged pc with
+				// the args still stacked — for the fused form the retry
+				// re-runs the load too, so the pushed local must come back
+				// off first.
+				n := len(f.Stack)
+				if stop := v.invoke(t, f, target, nargs, &budget); stop {
+					if t.State == Blocked {
+						f.Stack = f.Stack[:n-1]
+					}
+					return
+				}
+				f.PC++ // skip the FPAD: invoke's native path stepped to it
+				f = t.Frames[len(t.Frames)-1]
+				continue
+			}
+			f.PC++ // the callee returns past the FPAD slot
+			if stop := v.invoke(t, f, target, nargs, &budget); stop {
+				return
+			}
+			f = t.Frames[len(t.Frames)-1]
+			continue
+
 		default:
 			v.kill(t, fmt.Errorf("vm: cannot execute opcode %s in %s (unresolved code?)", ins.Op, f.Method().FullName()))
 			return
@@ -542,6 +896,43 @@ func (v *VM) invoke(t *Thread, f *Frame, target *rt.Method, nargs int, budget *i
 	// Method-entry yield point.
 	*budget--
 	return *budget <= 0 || v.yieldFlag
+}
+
+// vdispatch resolves a virtual call site against the receiver's dynamic
+// class — through the site's inline cache when the code carries one
+// (fused/opt tiers), falling back to the registry + TIB lookup. A miss at
+// a cached site installs the resolution: the first fills the monomorphic
+// slot, later ones grow the polymorphic stub until the cache is full
+// (megamorphic sites pay the TIB lookup every time). Hit/miss counters are
+// plain VM fields, published to the metrics registry off the hot path.
+func (v *VM) vdispatch(ins *rt.Ins, recv rt.Addr) (*rt.Method, bool) {
+	cid := v.Heap.ClassID(recv)
+	ic := ins.IC
+	if ic != nil && ic.N > 0 {
+		if ic.Entries[0].ClassID == cid {
+			v.icHits++
+			return ic.Entries[0].Target, true
+		}
+		for i := 1; i < ic.N; i++ {
+			if ic.Entries[i].ClassID == cid {
+				v.icHits++
+				return ic.Entries[i].Target, true
+			}
+		}
+	}
+	cls := v.Reg.ClassByID(cid)
+	if cls == nil || int(ins.A) >= len(cls.TIB) {
+		return nil, false
+	}
+	target := cls.TIB[ins.A]
+	if ic != nil {
+		v.icMisses++
+		if ic.N < len(ic.Entries) {
+			ic.Entries[ic.N] = rt.ICEntry{ClassID: cid, Target: target}
+			ic.N++
+		}
+	}
+	return target, true
 }
 
 // indirectionProbe simulates the per-dereference cost of lazy-update DSU

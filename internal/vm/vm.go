@@ -12,6 +12,7 @@ import (
 	"os"
 	"time"
 
+	"govolve/internal/bytecode"
 	"govolve/internal/classfile"
 	"govolve/internal/gc"
 	"govolve/internal/heap"
@@ -60,6 +61,18 @@ type Options struct {
 	Out io.Writer
 	// OptThreshold overrides the adaptive recompilation threshold.
 	OptThreshold int
+	// TraceThreshold is the number of consecutive scheduling slices a
+	// base-compiled method must spend on top of a thread's stack before
+	// trace promotion swaps its frame onto fused-tier code (in-place
+	// superinstruction fusion + inline caches). Loop-pinned methods never
+	// return, so invocation counting alone can't reach them — this is the
+	// backedge-flavored signal that does. 0 selects the default (3);
+	// negative disables trace promotion entirely (the base-tier-only
+	// configuration the storm equivalence tests run).
+	TraceThreshold int
+	// NoInlineCache disables inline caches in fused/opt code; the dispatch
+	// benchmark uses it to separate the fusion win from the IC win.
+	NoInlineCache bool
 	// IndirectionCheck enables the ablation mode: every field access pays
 	// a handle-space indirection plus an is-updated check, simulating
 	// JDrums/DVM-style lazy-update VMs (paper §5). Steady-state overhead
@@ -147,6 +160,16 @@ type VM struct {
 	// TotalSteps counts all executed instructions.
 	TotalSteps int64
 
+	// TraceThreshold is the trace-promotion slice count (see Options);
+	// <= 0 disables promotion.
+	TraceThreshold int
+
+	// icHits/icMisses count inline-cache dispatch outcomes at cached call
+	// sites (fused/opt code only). Plain fields on the interpreter's own
+	// goroutine; PublishMetrics exports them with the delta discipline.
+	icHits   int64
+	icMisses int64
+
 	// IndirectionCheck is the ablation switch (see Options).
 	IndirectionCheck bool
 	indirections     int64
@@ -184,6 +207,11 @@ type VM struct {
 	// monotonic VM counters map onto monotonic registry counters.
 	published       Stats
 	publishedCopied int64
+	// publishedJIT* are the delta anchors for the compiler-activity and
+	// inline-cache counters, same discipline as published.
+	publishedJITBase  int64
+	publishedJITOpt   int64
+	publishedJITFused int64
 	// publishedEvDropped / publishedProf* are the delta anchors for the
 	// recorder-loss and profiler counters, same discipline as published.
 	publishedEvDropped   uint64
@@ -287,6 +315,15 @@ func New(opts Options) (*VM, error) {
 	if opts.OptThreshold > 0 {
 		v.JIT.OptThreshold = opts.OptThreshold
 	}
+	switch {
+	case opts.TraceThreshold > 0:
+		v.TraceThreshold = opts.TraceThreshold
+	case opts.TraceThreshold == 0:
+		v.TraceThreshold = 3
+	default:
+		v.TraceThreshold = 0 // disabled
+	}
+	v.JIT.NoIC = opts.NoInlineCache
 	if opts.Recorder != nil || opts.Metrics != nil {
 		v.AttachObs(opts.Recorder, opts.Metrics)
 	}
@@ -732,6 +769,9 @@ func (v *VM) runSlice(t *Thread) {
 		v.interpret(t, v.Quantum)
 		v.profileSlice(t, v.TotalSteps-before)
 	}
+	if v.TraceThreshold > 0 && t.State == Runnable {
+		v.maybePromote(t)
+	}
 	switch t.State {
 	case Runnable:
 		v.enqueue(t)
@@ -745,6 +785,48 @@ func (v *VM) runSlice(t *Thread) {
 	}
 	// UpdateWait threads sit in neither list; ReleaseUpdateWaiters
 	// re-enqueues them when the update resolves.
+}
+
+// maybePromote is the trace-promotion hook, run once per scheduling slice
+// on the just-run thread. A base-compiled method that stays on top of the
+// stack for TraceThreshold consecutive-ish slices is a hot loop the
+// invocation counter can never see (it never returns, so resolveCompiled
+// never runs for it); its frame is swapped in place onto fused-tier code.
+// The swap keeps the same pc: in-place fusion makes fused code
+// index-aligned with base code, and resting pcs are always resumption
+// points (branch targets, post-call pcs, post-yield pcs), which the fusion
+// pass never buries inside a pair — the FPAD check below is a pure
+// defensive backstop. Steady state (top frame already fused) costs one
+// level compare and allocates nothing.
+func (v *VM) maybePromote(t *Thread) {
+	if len(t.Frames) == 0 {
+		return
+	}
+	f := t.Frames[len(t.Frames)-1]
+	cm := f.CM
+	if cm.Level != rt.Base || cm.Invalid {
+		return
+	}
+	m := cm.Method
+	if m.Pinned || m.Compiled != cm {
+		return
+	}
+	m.HotSlices++
+	if m.HotSlices < v.TraceThreshold {
+		return
+	}
+	m.HotSlices = 0
+	fcm, err := v.JIT.Compile(m, rt.Fused)
+	if err != nil {
+		return // unresolvable now; the counter restarts
+	}
+	if f.PC < 0 || f.PC >= len(fcm.Code) || fcm.Code[f.PC].Op == bytecode.FPAD {
+		return // not a landing pc; retry next slice
+	}
+	v.stats.TracePromotions++
+	v.tracef("trace promotion: %s -> fused at pc %d (thread %d)", m.FullName(), f.PC, t.ID)
+	f.CM = fcm
+	m.Compiled = fcm
 }
 
 // --- GC integration -------------------------------------------------------
@@ -958,13 +1040,18 @@ func (v *VM) OSRReplace(f *Frame, cm *rt.CompiledMethod) error {
 		if len(cm.Code) != len(f.CM.Code) {
 			return fmt.Errorf("vm: OSR pc map not identity for %s", f.Method().FullName())
 		}
-	case rt.Opt:
+	case rt.Opt, rt.Fused:
+		// The fused tier's pc map is total (the identity — in-place fusion
+		// keeps indices aligned with base code), so unlike opt code a fused
+		// frame is always mappable; a fused pc deoptimizes to its first
+		// constituent's bytecode pc, which at a resting point has executed
+		// neither constituent.
 		if !OSRMappable(f) {
-			return fmt.Errorf("vm: opt frame of %s not at a mappable pc (inlined region?)", f.Method().FullName())
+			return fmt.Errorf("vm: %s frame of %s not at a mappable pc (inlined region?)", f.CM.Level, f.Method().FullName())
 		}
 		newPC = f.CM.PCMap[f.PC]
 		if newPC >= len(cm.Code) {
-			return fmt.Errorf("vm: opt pc map out of range for %s", f.Method().FullName())
+			return fmt.Errorf("vm: %s pc map out of range for %s", f.CM.Level, f.Method().FullName())
 		}
 	}
 	if cm.MaxLocals > len(f.Locals) {
@@ -1010,11 +1097,13 @@ func (v *VM) OSRRewrite(f *Frame, cm *rt.CompiledMethod, newPC int, locals map[i
 	return nil
 }
 
-// OSRMappable reports whether an opt-compiled frame's pc can be mapped back
-// to bytecode (it is outside every inlined region).
+// OSRMappable reports whether an opt- or fused-compiled frame's pc can be
+// mapped back to bytecode. For opt code that means the pc is outside every
+// inlined region; fused code's map is total, so fused frames are always
+// mappable at any in-range pc.
 func OSRMappable(f *Frame) bool {
 	cm := f.CM
-	return cm.Level == rt.Opt && cm.PCMap != nil &&
+	return (cm.Level == rt.Opt || cm.Level == rt.Fused) && cm.PCMap != nil &&
 		f.PC >= 0 && f.PC < len(cm.PCMap) && cm.PCMap[f.PC] >= 0
 }
 
@@ -1023,13 +1112,14 @@ func OSRMappable(f *Frame) bool {
 // per-instruction counter is TotalSteps, which the simulated clock already
 // pays for).
 type statCounters struct {
-	Slices         int64
-	SchedulerScans int64
-	WakeChecks     int64
-	ThreadsSpawned int64
-	ThreadsReaped  int64
-	AllocObjects   int64
-	AllocArrays    int64
+	Slices          int64
+	SchedulerScans  int64
+	WakeChecks      int64
+	ThreadsSpawned  int64
+	ThreadsReaped   int64
+	AllocObjects    int64
+	AllocArrays     int64
+	TracePromotions int64
 }
 
 // Stats is a snapshot of the VM's steady-state counters — the paper's
@@ -1051,6 +1141,13 @@ type Stats struct {
 	AllocArrays    int64
 	GCCollections  int64
 
+	// TracePromotions counts frames hot-swapped onto the fused tier;
+	// ICHits/ICMisses count inline-cache dispatch outcomes at cached
+	// virtual call sites (fused/opt code only).
+	TracePromotions int64
+	ICHits          int64
+	ICMisses        int64
+
 	RunnableQueue  int
 	BlockedThreads int
 	LiveThreads    int
@@ -1070,6 +1167,9 @@ func (v *VM) Stats() Stats {
 		AllocObjects:   v.stats.AllocObjects,
 		AllocArrays:    v.stats.AllocArrays,
 		GCCollections:  int64(v.GC.Collections),
+		TracePromotions: v.stats.TracePromotions,
+		ICHits:          v.icHits,
+		ICMisses:        v.icMisses,
 		RunnableQueue:  len(v.runq) - v.runqHead,
 		BlockedThreads: len(v.blocked),
 		LiveThreads:    v.liveThreads(),
@@ -1092,6 +1192,9 @@ func (s Stats) Delta(prev Stats) Stats {
 	d.AllocObjects -= prev.AllocObjects
 	d.AllocArrays -= prev.AllocArrays
 	d.GCCollections -= prev.GCCollections
+	d.TracePromotions -= prev.TracePromotions
+	d.ICHits -= prev.ICHits
+	d.ICMisses -= prev.ICMisses
 	return d
 }
 
@@ -1137,6 +1240,21 @@ func (v *VM) PublishMetrics() {
 	m.Counter(obs.MGCCollections).Add(d.GCCollections)
 	m.Counter(obs.MObjectsCopied).Add(int64(v.GC.CopiedObjects) - v.publishedCopied)
 	v.publishedCopied = int64(v.GC.CopiedObjects)
+	// JIT/IC activity (satellite of the fused tier): per-tier compile
+	// counters, trace promotions, IC hit/miss counters, and the hit-rate
+	// gauge — all delta-published, never written on the dispatch path.
+	m.Counter(obs.MJITCompilesBase).Add(int64(v.JIT.BaseCompiles) - v.publishedJITBase)
+	m.Counter(obs.MJITCompilesOpt).Add(int64(v.JIT.OptCompiles) - v.publishedJITOpt)
+	m.Counter(obs.MJITCompilesFused).Add(int64(v.JIT.FusedCompiles) - v.publishedJITFused)
+	v.publishedJITBase = int64(v.JIT.BaseCompiles)
+	v.publishedJITOpt = int64(v.JIT.OptCompiles)
+	v.publishedJITFused = int64(v.JIT.FusedCompiles)
+	m.Counter(obs.MJITTracePromotions).Add(d.TracePromotions)
+	m.Counter(obs.MJITICHits).Add(d.ICHits)
+	m.Counter(obs.MJITICMisses).Add(d.ICMisses)
+	if total := v.icHits + v.icMisses; total > 0 {
+		m.Gauge(obs.MJITICHitRate).Set(float64(v.icHits) / float64(total))
+	}
 	m.Gauge(obs.MThreadsLive).Set(float64(s.LiveThreads))
 	m.Gauge(obs.MThreadsBlocked).Set(float64(s.BlockedThreads))
 	m.Gauge(obs.MRunnableQueue).Set(float64(s.RunnableQueue))
